@@ -1,0 +1,42 @@
+// Micro-benchmark behind the paper's §2.1 argument: AllReduce cost vs the
+// number of participating processes, at the field-solve payload size, on
+// the simulated Frontier-like network. Reports the DES virtual time (the
+// modeled quantity) as a counter alongside the host-side wall time of the
+// simulation itself.
+#include <benchmark/benchmark.h>
+
+#include "perfmodel/perfmodel.hpp"
+#include "simmpi/comm.hpp"
+#include "simmpi/runtime.hpp"
+#include "simnet/machine.hpp"
+
+namespace {
+
+void BM_AllReduceParticipants(benchmark::State& state) {
+  const int participants = static_cast<int>(state.range(0));
+  const std::uint64_t bytes = static_cast<std::uint64_t>(state.range(1));
+  const auto spec = xg::net::frontier_like((participants + 7) / 8);
+  // Note: no DoNotOptimize(virt) — this benchmark library's GCC inline-asm
+  // constraint ("+m,r") corrupts doubles at -O2, and the DES run has thread
+  // side effects the optimizer cannot elide anyway.
+  double virt = 0.0;
+  for (auto _ : state) {
+    const auto res = xg::mpi::run_simulation(
+        spec, participants,
+        [&](xg::mpi::Proc& p) { p.world().allreduce_virtual(bytes); });
+    virt = res.makespan_s;
+  }
+  state.counters["virtual_us"] = virt * 1e6;
+  state.counters["virtual_us_per_rank"] = virt * 1e6 / participants;
+  state.counters["closedform_us"] =
+      xg::perfmodel::estimate_allreduce(spec, participants, bytes,
+                                        participants > 8) * 1e6;
+}
+
+}  // namespace
+
+BENCHMARK(BM_AllReduceParticipants)
+    ->ArgsProduct({{2, 4, 8, 16, 32, 64}, {16 * 1024, 512 * 1024}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

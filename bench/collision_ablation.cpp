@@ -1,0 +1,99 @@
+// Ablation behind the paper's §1 remark that the precomputed cmat "trades
+// memory intensity for lower compute cost ... allows for order of magnitude
+// compute speedup in the collision step".
+//
+// Compares, per collision step and cell:
+//   (a) precomputed-cmat path: one dense nv×nv fp32 mat-vec (CGYRO/XGYRO),
+//   (b) on-the-fly path: factor (I − Δt/2 C) and solve each step — what a
+//       memory-frugal implementation would have to do.
+// These are real host-side kernel timings (google-benchmark wall time).
+#include <benchmark/benchmark.h>
+
+#include <complex>
+#include <vector>
+
+#include "collision/operator.hpp"
+#include "collision/tensor.hpp"
+#include "la/lu.hpp"
+#include "util/rng.hpp"
+#include "vgrid/velocity_grid.hpp"
+
+namespace {
+
+using xg::collision::cplx;
+
+xg::vgrid::VelocityGrid grid_for_nv(int n_xi) {
+  xg::vgrid::VelocityGridSpec spec;
+  spec.n_species = 2;
+  spec.n_energy = 6;
+  spec.n_xi = n_xi;
+  std::vector<xg::vgrid::Species> sp(2);
+  sp[1].mass = 2.72e-4;
+  sp[1].charge = -1.0;
+  return xg::vgrid::VelocityGrid(spec, std::move(sp));
+}
+
+std::vector<cplx> random_state(int nv) {
+  xg::Rng rng(7);
+  std::vector<cplx> h(static_cast<size_t>(nv));
+  for (auto& v : h) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  return h;
+}
+
+void BM_PrecomputedCmatApply(benchmark::State& state) {
+  const auto grid = grid_for_nv(static_cast<int>(state.range(0)));
+  const int nv = grid.nv();
+  xg::collision::CollisionParams params;
+  const auto scattering = xg::collision::build_scattering_operator(grid, params);
+  const auto rates = xg::collision::gyro_diffusion_rates(grid, params, 1.0);
+  const auto a = xg::collision::build_implicit_step_matrix(
+      xg::collision::build_cell_operator(scattering, rates), 0.01);
+  xg::collision::CollisionTensor cmat(nv, 1);
+  cmat.set_cell(0, a);
+  auto h = random_state(nv);
+  for (auto _ : state) {
+    cmat.apply_in_place(0, h);
+    benchmark::DoNotOptimize(h.data());
+  }
+  state.counters["nv"] = nv;
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_OnTheFlyImplicitSolve(benchmark::State& state) {
+  const auto grid = grid_for_nv(static_cast<int>(state.range(0)));
+  const int nv = grid.nv();
+  xg::collision::CollisionParams params;
+  const auto scattering = xg::collision::build_scattering_operator(grid, params);
+  const auto rates = xg::collision::gyro_diffusion_rates(grid, params, 1.0);
+  const auto c = xg::collision::build_cell_operator(scattering, rates);
+  auto h = random_state(nv);
+  std::vector<double> re(nv), im(nv);
+  for (auto _ : state) {
+    // (I − Δt/2 C) x = (I + Δt/2 C) h, re-factored every step (no storage).
+    xg::la::MatrixD lhs(nv, nv);
+    std::vector<double> rhs_re(nv, 0.0), rhs_im(nv, 0.0);
+    for (int i = 0; i < nv; ++i) {
+      for (int j = 0; j < nv; ++j) {
+        lhs(i, j) = -0.005 * c(i, j);
+        rhs_re[i] += (0.005 * c(i, j) + (i == j ? 1.0 : 0.0)) * h[j].real();
+        rhs_im[i] += (0.005 * c(i, j) + (i == j ? 1.0 : 0.0)) * h[j].imag();
+      }
+      lhs(i, i) += 1.0;
+    }
+    const xg::la::LuFactorization lu(std::move(lhs));
+    re = lu.solve(rhs_re);
+    im = lu.solve(rhs_im);
+    for (int i = 0; i < nv; ++i) h[i] = {re[i], im[i]};
+    benchmark::DoNotOptimize(h.data());
+  }
+  state.counters["nv"] = nv;
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+// range arg = n_xi; nv = 2 species × 6 energies × n_xi
+BENCHMARK(BM_PrecomputedCmatApply)->Arg(4)->Arg(8)->Arg(16)->Arg(24);
+BENCHMARK(BM_OnTheFlyImplicitSolve)->Arg(4)->Arg(8)->Arg(16)->Arg(24);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Reproduces the claim motivating the whole paper (its §1, citing Belli et
+// al., PEARC22 [2]): "While CGYRO can linearly scale compute over multiple
+// nodes, communication overheads do increase with node count."
+//
+// Strong-scaling sweep of ONE nl03c-like CGYRO simulation across node
+// counts: per-rank compute shrinks ∝ 1/nodes while communication time per
+// reporting step grows, degrading parallel efficiency — the regime that
+// makes ensemble sharing attractive in the first place.
+#include <cstdio>
+
+#include "gyro/simulation.hpp"
+#include "perfmodel/perfmodel.hpp"
+#include "util/format.hpp"
+#include "xgyro/driver.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xg;
+  int steps = 5;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::string(argv[i]) == "--steps") steps = std::atoi(argv[i + 1]);
+  }
+  gyro::Input in = gyro::Input::nl03c_like();
+  in.n_steps_per_report = steps;
+
+  std::printf("=== Strong scaling of one nl03c-like CGYRO simulation ===\n");
+  std::printf("(paper §1 / ref [2]: compute scales, communication overhead "
+              "grows with node count)\n\n");
+  std::printf("%-7s %-6s %10s %10s %10s %10s %12s %11s\n", "nodes", "pv",
+              "compute", "str_comm", "all_comm", "t/report", "node-seconds",
+              "efficiency");
+
+  double base_node_seconds = -1.0;
+  bool comm_grows = true;
+  double prev_comm = -1.0;
+  for (const int nodes : {32, 64, 128}) {
+    const auto machine = perfmodel::nl03c_machine(nodes);
+    gyro::Decomposition d;
+    try {
+      d = gyro::Decomposition::choose(in, machine.total_ranks());
+    } catch (const Error&) {
+      std::printf("%-7d no valid decomposition\n", nodes);
+      continue;
+    }
+    xgyro::JobOptions opts;
+    opts.mode = gyro::Mode::kModel;
+    const auto res =
+        xgyro::run_cgyro_job(in, machine, machine.total_ranks(), opts);
+    const double total = xgyro::report_step_seconds(res);
+    const double comm = xgyro::phase_seconds(res, "str_comm") +
+                        xgyro::phase_seconds(res, "nl_comm") +
+                        xgyro::phase_seconds(res, "coll_comm");
+    const double compute = total - comm;
+    const double node_seconds = total * nodes;
+    if (base_node_seconds < 0) base_node_seconds = node_seconds;
+    const double efficiency = base_node_seconds / node_seconds;
+    std::printf("%-7d %-6d %10.3f %10.3f %10.3f %10.3f %12.3f %10.1f%%\n",
+                nodes, d.pv, compute, xgyro::phase_seconds(res, "str_comm"),
+                comm, total, node_seconds, 100.0 * efficiency);
+    const double comm_share = comm / total;
+    if (prev_comm >= 0 && comm_share <= prev_comm) comm_grows = false;
+    prev_comm = comm_share;
+  }
+
+  std::printf("\ncommunication share grows with node count: %s\n",
+              comm_grows ? "YES (as in ref [2])" : "NO");
+  return comm_grows ? 0 : 1;
+}

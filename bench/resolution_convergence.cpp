@@ -1,0 +1,71 @@
+// Velocity-space resolution study: the reason cmat is huge in the first
+// place. The Sugama-class operator needs enough (ξ, energy) resolution for
+// converged physics, and cmat grows as nv² per cell — so the resolution a
+// user picks sets the memory wall that forces multi-node runs (paper §1).
+// This bench sweeps n_xi and reports a physics observable (free energy
+// after a fixed time, collisionally damped) together with the per-cell
+// cmat cost, showing convergence of one against growth of the other.
+#include <cmath>
+#include <cstdio>
+
+#include "gyro/simulation.hpp"
+#include "simnet/machine.hpp"
+#include "util/format.hpp"
+#include "xgyro/driver.hpp"
+
+namespace {
+
+double damped_energy(int n_xi, int n_energy) {
+  using namespace xg;
+  gyro::Input in = gyro::Input::small_test(2);
+  in.n_xi = n_xi;
+  in.n_energy = n_energy;
+  for (auto& s : in.species) {
+    s.a_ln_n = 0.0;
+    s.a_ln_t = 0.0;
+  }
+  in.collision.nu_ee = 0.5;
+  in.n_steps_per_report = 25;
+  double w = 0.0;
+  const auto d = gyro::Decomposition::choose(in, 1);
+  mpi::run_simulation(net::testbox(1, 1), 1, [&](mpi::Proc& p) {
+    auto layout = gyro::make_cgyro_layout(p.world(), d);
+    gyro::Simulation sim(in, d, std::move(layout), p, gyro::Mode::kReal);
+    sim.initialize();
+    sim.advance_report_interval();
+    // Normalize by the initial energy so grids of different size compare.
+    w = sim.diagnostics().free_energy;
+  });
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  using namespace xg;
+  std::printf("=== Velocity-resolution convergence vs cmat cost ===\n\n");
+  std::printf("%-8s %-6s %14s %14s %12s\n", "n_xi", "nv", "W(t=0.5)/W0-ish",
+              "delta vs finest", "cmat/cell");
+
+  const int n_energy = 4;
+  const int finest = 32;
+  const double ref = damped_energy(finest, n_energy);
+  double prev_delta = 1e9;
+  bool converging = true;
+  for (const int n_xi : {4, 8, 16, 32}) {
+    const double w = damped_energy(n_xi, n_energy);
+    const double delta = std::abs(w - ref) / ref;
+    const int nv = 2 * n_energy * n_xi;
+    const double cmat_cell = static_cast<double>(nv) * nv * sizeof(float);
+    std::printf("%-8d %-6d %14.6e %14.3e %12s\n", n_xi, nv, w, delta,
+                human_bytes(cmat_cell).c_str());
+    if (n_xi < finest && n_xi > 4) {
+      if (delta > prev_delta) converging = false;
+    }
+    if (n_xi < finest) prev_delta = delta;
+  }
+  std::printf("\ndamped free energy converges with pitch resolution while the "
+              "per-cell cmat cost grows as nv^2: %s\n",
+              converging ? "YES" : "NO");
+  return converging ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+// Reproduces the paper's memory claims as a table:
+//   §1: for nl03c, cmat is ~10× the size of all other buffers combined;
+//   §3: a single CGYRO simulation requires at least 32 Frontier nodes;
+//   §2.1: sharing cmat across an ensemble shrinks its per-rank slice by k
+//         while all other buffers are unchanged.
+#include <cstdio>
+
+#include "cluster/memory.hpp"
+#include "gyro/simulation.hpp"
+#include "perfmodel/perfmodel.hpp"
+#include "util/format.hpp"
+
+int main() {
+  using namespace xg;
+  const auto in = gyro::Input::nl03c_like();
+
+  std::printf("=== Memory accounting for the nl03c-like case ===\n");
+  std::printf("nc=%d nv=%d nt=%d; machine: %s, %s per rank\n\n", in.nc(),
+              in.nv(), in.nt(), perfmodel::nl03c_machine(1).name.c_str(),
+              human_bytes(perfmodel::nl03c_machine(1).rank_memory_bytes).c_str());
+
+  // --- §1: cmat vs everything else at the paper's 32-node decomposition ----
+  const auto d256 = gyro::Decomposition::choose(in, 256);
+  const auto inv = gyro::Simulation::memory_inventory(in, d256, 1);
+  std::printf("per-rank inventory, CGYRO on 32 nodes (256 ranks, pv=%d pt=%d):\n%s\n",
+              d256.pv, d256.pt, inv.table().c_str());
+  const double ratio = inv.bytes_of("cmat") / inv.total_excluding("cmat");
+  std::printf("cmat / all-other-buffers ratio: %.1fx   (paper: ~10x)\n\n", ratio);
+
+  // --- §3: node-count feasibility sweep -------------------------------------
+  std::printf("%-8s %-14s %-14s %-12s %s\n", "nodes", "per-rank need",
+              "capacity", "utilization", "fits?");
+  for (int n = 1; n <= 128; n *= 2) {
+    const auto machine = perfmodel::nl03c_machine(n);
+    try {
+      const auto p = perfmodel::plan_cgyro(in, machine);
+      std::printf("%-8d %-14s %-14s %-12.2f %s\n", n,
+                  human_bytes(p.fit.required_bytes).c_str(),
+                  human_bytes(p.fit.available_bytes).c_str(),
+                  p.fit.utilization, p.fit.fits ? "yes" : "NO");
+    } catch (const Error&) {
+      std::printf("%-8d no valid decomposition\n", n);
+    }
+  }
+  const int min_nodes = perfmodel::min_feasible_nodes_cgyro(in, 128);
+  std::printf("minimum nodes for one CGYRO simulation: %d   (paper: 32)\n\n",
+              min_nodes);
+
+  // --- §2.1: ensemble sharing -------------------------------------------------
+  std::printf("per-rank cmat slice vs ensemble size (8 ranks/node, 32 nodes "
+              "total, ranks split across k members):\n");
+  std::printf("%-6s %-12s %-16s %-16s %s\n", "k", "ranks/sim", "cmat/rank",
+              "others/rank", "fits 32 nodes?");
+  for (const int k : {1, 2, 4, 8, 16}) {
+    const auto machine = perfmodel::nl03c_machine(32);
+    if (machine.total_ranks() % k != 0) continue;
+    try {
+      const auto p = perfmodel::plan_xgyro(in, k, machine);
+      const auto pinv =
+          gyro::Simulation::memory_inventory(in, p.decomp, k);
+      std::printf("%-6d %-12d %-16s %-16s %s\n", k, p.ranks_per_sim,
+                  human_bytes(pinv.bytes_of("cmat")).c_str(),
+                  human_bytes(pinv.total_excluding("cmat")).c_str(),
+                  p.fit.fits ? "yes" : "NO");
+    } catch (const Error& e) {
+      std::printf("%-6d (no decomposition: %s)\n", k, e.what());
+    }
+  }
+  std::printf("\ntotal cmat bytes across the job are k-invariant: one shared "
+              "copy (paper §2.1).\n");
+  return (ratio > 8.0 && min_nodes == 32) ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// Ensemble sweep: the XGYRO workflow on a real (small-grid) computation.
+//
+// A four-member temperature-gradient scan — the classic fusion parameter
+// sweep whose members share every cmat-relevant parameter — runs as a
+// single simulated HPC job with one distributed copy of the collisional
+// constant tensor. Each member reports its own transport proxy, and the
+// job prints the memory the sharing saved.
+//
+//   $ ./examples/ensemble_sweep
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "gyro/simulation.hpp"
+#include "simnet/machine.hpp"
+#include "util/format.hpp"
+#include "xgyro/ensemble.hpp"
+
+int main() {
+  using namespace xg;
+
+  gyro::Input base = gyro::Input::small_test(2);
+  base.n_radial = 8;
+  base.n_steps_per_report = 10;
+
+  const int k = 4;
+  const auto ensemble = xgyro::EnsembleInput::sweep(
+      base, k, [](gyro::Input& in, int i) {
+        in.species[0].a_ln_t = 1.5 + 0.75 * i;  // the scan parameter
+        in.tag = strprintf("aLT=%.2f", in.species[0].a_ln_t);
+      });
+  std::printf("ensemble of %d members sharing cmat (fingerprint %016llx)\n\n",
+              k,
+              static_cast<unsigned long long>(
+                  ensemble.members[0].cmat_fingerprint()));
+
+  const int ranks_per_sim = 4;
+  const auto decomp =
+      gyro::Decomposition::choose(base, ranks_per_sim, k);
+  const auto machine = net::frontier_like(2);
+
+  struct Row {
+    std::string tag;
+    gyro::Diagnostics diag;
+    std::uint64_t cmat_bytes;
+  };
+  std::vector<Row> rows(static_cast<size_t>(k));
+  std::mutex mu;
+
+  mpi::run_simulation(machine, k * ranks_per_sim, [&](mpi::Proc& p) {
+    xgyro::EnsembleDriver driver(ensemble, decomp, p, gyro::Mode::kReal);
+    driver.initialize();
+    gyro::Diagnostics d;
+    for (int i = 0; i < 2; ++i) d = driver.advance_report_interval();
+    if (p.world_rank() % decomp.nranks() == 0) {
+      const std::scoped_lock lock(mu);
+      rows[driver.sim_index()] = {
+          ensemble.members[driver.sim_index()].tag, d,
+          driver.simulation().cmat().bytes()};
+    }
+  });
+
+  std::printf("%-12s %14s %14s %16s\n", "member", "phi_rms", "flux proxy",
+              "cmat slice/rank");
+  for (const auto& row : rows) {
+    std::printf("%-12s %14.6e %14.6e %16s\n", row.tag.c_str(),
+                row.diag.phi_rms, row.diag.flux_proxy,
+                human_bytes(static_cast<double>(row.cmat_bytes)).c_str());
+  }
+
+  const auto shared = gyro::Simulation::memory_inventory(base, decomp, k);
+  const auto unshared = gyro::Simulation::memory_inventory(base, decomp, 1);
+  std::printf("\ncmat per rank: %s shared vs %s if every member kept its own "
+              "copy (%dx saving, paper §2.1)\n",
+              human_bytes(shared.bytes_of("cmat")).c_str(),
+              human_bytes(unshared.bytes_of("cmat")).c_str(), k);
+  return 0;
+}

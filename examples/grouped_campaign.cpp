@@ -1,0 +1,85 @@
+// Grouped campaign: the generalization of XGYRO to a mixed parameter scan.
+//
+// The paper's XGYRO requires every ensemble member to share cmat. Real
+// campaigns often mix scans — here, a 2×2 grid over (collisionality,
+// temperature gradient). Collisionality feeds cmat, the gradient does not,
+// so the four members fall into TWO sharing groups of two. With
+// SharingPolicy::kGroupByFingerprint the whole campaign still runs as one
+// job: each group gets one distributed cmat copy and its own collision
+// communicator.
+//
+//   $ ./examples/grouped_campaign
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+#include "gyro/simulation.hpp"
+#include "simnet/machine.hpp"
+#include "util/format.hpp"
+#include "xgyro/ensemble.hpp"
+
+int main() {
+  using namespace xg;
+
+  const gyro::Input base = gyro::Input::small_test(2);
+  xgyro::EnsembleInput campaign;
+  for (const double nu : {0.05, 0.2}) {        // cmat-relevant axis
+    for (const double alt : {2.0, 4.0}) {      // sweep-safe axis
+      gyro::Input in = base;
+      in.collision.nu_ee = nu;
+      in.species[0].a_ln_t = alt;
+      in.tag = strprintf("nu=%.2f aLT=%.1f", nu, alt);
+      campaign.members.push_back(in);
+    }
+  }
+
+  const auto groups = campaign.sharing_groups();
+  std::printf("campaign of %d members -> %zu cmat sharing groups:\n",
+              campaign.n_sims(), groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    std::printf("  group %zu:", g);
+    for (const int s : groups[g]) {
+      std::printf(" [%s]", campaign.members[s].tag.c_str());
+    }
+    std::printf("\n");
+  }
+
+  const int ranks_per_sim = 4;
+  const auto decomp = gyro::Decomposition::choose(
+      base, ranks_per_sim, static_cast<int>(groups[0].size()));
+
+  struct Row {
+    std::string tag;
+    int group;
+    gyro::Diagnostics diag;
+    std::uint64_t cmat_bytes;
+  };
+  std::map<int, Row> rows;
+  std::mutex mu;
+  mpi::run_simulation(
+      net::frontier_like(2), campaign.n_sims() * ranks_per_sim,
+      [&](mpi::Proc& p) {
+        xgyro::EnsembleDriver driver(campaign, decomp, p, gyro::Mode::kReal,
+                                     xgyro::SharingPolicy::kGroupByFingerprint);
+        driver.initialize();
+        gyro::Diagnostics d;
+        for (int i = 0; i < 2; ++i) d = driver.advance_report_interval();
+        if (p.world_rank() % decomp.nranks() == 0) {
+          const std::scoped_lock lock(mu);
+          rows[driver.sim_index()] = {campaign.members[driver.sim_index()].tag,
+                                      driver.sharing_group(), d,
+                                      driver.simulation().cmat().bytes()};
+        }
+      });
+
+  std::printf("\n%-18s %-6s %14s %14s %12s\n", "member", "group", "phi_rms",
+              "flux proxy", "cmat/rank");
+  for (const auto& [sim, row] : rows) {
+    std::printf("%-18s %-6d %14.6e %14.6e %12s\n", row.tag.c_str(), row.group,
+                row.diag.phi_rms, row.diag.flux_proxy,
+                human_bytes(static_cast<double>(row.cmat_bytes)).c_str());
+  }
+  std::printf("\neach group shares one cmat copy across its members; a "
+              "single-group XGYRO job would have refused this campaign.\n");
+  return 0;
+}

@@ -1,0 +1,220 @@
+// xgyro_cli — run CGYRO-style input files through the simulated machine,
+// standalone or as an XGYRO ensemble, from the command line.
+//
+//   # one simulation (CGYRO layout)
+//   ./examples/xgyro_cli --input examples/inputs/small.cgyro --ranks 4
+//
+//   # an ensemble sharing cmat (XGYRO layout; repeat --input per member,
+//   # or point --ensemble at an input.xgyro manifest)
+//   ./examples/xgyro_cli --ensemble examples/inputs/input.xgyro
+//                        --ranks-per-sim 4 --intervals 2
+//                        --timing-out out.xgyro.timing
+//
+// Options:
+//   --input FILE        input file (repeat for an ensemble)
+//   --ensemble FILE     input.xgyro-style manifest (N_SIM / DIR_i keys)
+//   --ranks N           total ranks for a single simulation   [default 4]
+//   --ranks-per-sim N   ranks per ensemble member             [default 4]
+//   --nodes N           nodes of the Frontier-like machine    [default: fit]
+//   --mode real|model   real data or paper-scale model mode   [default real]
+//   --intervals N       reporting intervals to run            [default 1]
+//   --timing-out FILE   write an out.xgyro.timing-style log
+//   --grouped           allow mixed physics: members grouped by cmat
+//                       fingerprint, one shared tensor per group
+//   --restart-write DIR write binary checkpoints after the run (real mode)
+//   --restart-read DIR  resume from checkpoints before the run (real mode)
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gyro/restart.hpp"
+#include "gyro/simulation.hpp"
+#include "gyro/timing_log.hpp"
+#include "simnet/machine.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "xgyro/driver.hpp"
+#include "xgyro/ensemble.hpp"
+
+namespace {
+
+struct Options {
+  std::vector<std::string> inputs;
+  std::string manifest;
+  int ranks = 4;
+  int ranks_per_sim = 4;
+  int nodes = 0;  // 0 = derive from rank count
+  xg::gyro::Mode mode = xg::gyro::Mode::kReal;
+  int intervals = 1;
+  std::string timing_out;
+  bool grouped = false;
+  std::string restart_write, restart_read;
+};
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  auto need_value = [&](int i) {
+    if (i + 1 >= argc) {
+      throw xg::InputError(xg::strprintf("missing value after %s", argv[i]));
+    }
+    return std::string(argv[i + 1]);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--input") {
+      o.inputs.push_back(need_value(i++));
+    } else if (a == "--ensemble") {
+      o.manifest = need_value(i++);
+    } else if (a == "--ranks") {
+      o.ranks = std::stoi(need_value(i++));
+    } else if (a == "--ranks-per-sim") {
+      o.ranks_per_sim = std::stoi(need_value(i++));
+    } else if (a == "--nodes") {
+      o.nodes = std::stoi(need_value(i++));
+    } else if (a == "--intervals") {
+      o.intervals = std::stoi(need_value(i++));
+    } else if (a == "--timing-out") {
+      o.timing_out = need_value(i++);
+    } else if (a == "--grouped") {
+      o.grouped = true;
+    } else if (a == "--restart-write") {
+      o.restart_write = need_value(i++);
+    } else if (a == "--restart-read") {
+      o.restart_read = need_value(i++);
+    } else if (a == "--mode") {
+      const std::string m = need_value(i++);
+      if (m == "real") {
+        o.mode = xg::gyro::Mode::kReal;
+      } else if (m == "model") {
+        o.mode = xg::gyro::Mode::kModel;
+      } else {
+        throw xg::InputError("--mode must be 'real' or 'model'");
+      }
+    } else if (a == "--help" || a == "-h") {
+      std::printf("usage: see header comment of examples/xgyro_cli.cpp\n");
+      std::exit(0);
+    } else {
+      throw xg::InputError(xg::strprintf("unknown option '%s'", a.c_str()));
+    }
+  }
+  if (o.inputs.empty() && o.manifest.empty()) {
+    throw xg::InputError("need --input FILE (repeatable) or --ensemble FILE");
+  }
+  if (!o.inputs.empty() && !o.manifest.empty()) {
+    throw xg::InputError("--input and --ensemble are mutually exclusive");
+  }
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xg;
+  try {
+    const Options opt = parse_args(argc, argv);
+    xgyro::EnsembleInput manifest_ensemble;
+    if (!opt.manifest.empty()) {
+      manifest_ensemble =
+          xgyro::EnsembleInput::load_manifest(opt.manifest, !opt.grouped);
+    }
+    const int n_members = !opt.manifest.empty()
+                              ? manifest_ensemble.n_sims()
+                              : static_cast<int>(opt.inputs.size());
+    const bool ensemble_mode = n_members > 1;
+    const int total_ranks =
+        ensemble_mode ? opt.ranks_per_sim * n_members : opt.ranks;
+    const int nodes = opt.nodes > 0 ? opt.nodes : (total_ranks + 7) / 8;
+    const auto machine = net::frontier_like(nodes);
+    XG_REQUIRE(machine.total_ranks() >= total_ranks,
+               "not enough nodes for the requested rank count");
+
+    mpi::RunResult result;
+    struct MemberReport {
+      std::string tag;
+      gyro::Diagnostics diag;
+    };
+    std::vector<MemberReport> reports;
+    std::mutex mu;
+
+    if (ensemble_mode) {
+      const auto ensemble =
+          !opt.manifest.empty()
+              ? manifest_ensemble
+              : xgyro::EnsembleInput::load(opt.inputs, !opt.grouped);
+      std::printf("XGYRO: %d members x %d ranks on %d node(s), %s mode\n",
+                  ensemble.n_sims(), opt.ranks_per_sim, nodes,
+                  opt.mode == gyro::Mode::kReal ? "real" : "model");
+      const auto decomp = gyro::Decomposition::choose(
+          ensemble.members.front(), opt.ranks_per_sim, ensemble.n_sims());
+      reports.resize(static_cast<size_t>(ensemble.n_sims()));
+      result = mpi::run_simulation(machine, total_ranks, [&](mpi::Proc& p) {
+        xgyro::EnsembleDriver driver(
+            ensemble, decomp, p, opt.mode,
+            opt.grouped ? xgyro::SharingPolicy::kGroupByFingerprint
+                        : xgyro::SharingPolicy::kSingleGroup);
+        driver.initialize();
+        if (!opt.restart_read.empty()) {
+          gyro::read_restart(opt.restart_read, driver.simulation());
+        }
+        gyro::Diagnostics d;
+        for (int i = 0; i < opt.intervals; ++i) {
+          d = driver.advance_report_interval();
+        }
+        if (!opt.restart_write.empty()) {
+          gyro::write_restart(opt.restart_write, driver.simulation());
+        }
+        if (p.world_rank() % decomp.nranks() == 0) {
+          const std::scoped_lock lock(mu);
+          reports[driver.sim_index()] = {
+              ensemble.members[driver.sim_index()].tag, d};
+        }
+      });
+    } else {
+      const auto input = !opt.manifest.empty()
+                             ? manifest_ensemble.members.front()
+                             : gyro::Input::load(opt.inputs.front());
+      std::printf("CGYRO: '%s' on %d ranks / %d node(s), %s mode\n",
+                  input.tag.c_str(), total_ranks, nodes,
+                  opt.mode == gyro::Mode::kReal ? "real" : "model");
+      const auto decomp = gyro::Decomposition::choose(input, total_ranks);
+      reports.resize(1);
+      result = mpi::run_simulation(machine, total_ranks, [&](mpi::Proc& p) {
+        auto layout = gyro::make_cgyro_layout(p.world(), decomp);
+        gyro::Simulation sim(input, decomp, std::move(layout), p, opt.mode);
+        sim.initialize();
+        if (!opt.restart_read.empty()) gyro::read_restart(opt.restart_read, sim);
+        gyro::Diagnostics d;
+        for (int i = 0; i < opt.intervals; ++i) {
+          d = sim.advance_report_interval();
+        }
+        if (!opt.restart_write.empty()) gyro::write_restart(opt.restart_write, sim);
+        if (p.world_rank() == 0) {
+          const std::scoped_lock lock(mu);
+          reports[0] = {input.tag, d};
+        }
+      });
+    }
+
+    std::printf("\n%-16s %8s %10s %14s %14s\n", "member", "steps", "time",
+                "phi_rms", "flux_proxy");
+    for (const auto& r : reports) {
+      std::printf("%-16s %8d %10.3f %14.6e %14.6e\n", r.tag.c_str(),
+                  r.diag.steps, r.diag.time, r.diag.phi_rms,
+                  r.diag.flux_proxy);
+    }
+    std::printf("\n%s", gyro::format_timing(result, xgyro::solver_phases()).c_str());
+
+    if (!opt.timing_out.empty()) {
+      gyro::write_timing_log(
+          opt.timing_out,
+          gyro::timing_rows(result, xgyro::solver_phases()), result.makespan_s);
+      std::printf("timing log written to %s\n", opt.timing_out.c_str());
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "xgyro_cli: %s\n", e.what());
+    return 1;
+  }
+}

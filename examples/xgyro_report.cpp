@@ -1,0 +1,60 @@
+// xgyro_report — post-process timing-log artifacts into the paper's Fig. 2
+// comparison, the way the authors reduced their published log archive
+// (paper reference [5]) into the figure.
+//
+//   # generate logs, then reduce them:
+//   ./bench/fig2_breakdown --steps 10 --artifacts artifacts
+//   ./examples/xgyro_report artifacts/out.cgyro.timing ARTS/out.xgyro.timing 8
+//
+// Arguments: CGYRO log, XGYRO log, number of sequential CGYRO jobs the
+// single-job log stands for (default 8).
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "gyro/timing_log.hpp"
+#include "util/error.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xg;
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: xgyro_report CGYRO_LOG XGYRO_LOG [n_sequential]\n");
+    return 1;
+  }
+  const int k = argc > 3 ? std::atoi(argv[3]) : 8;
+  try {
+    double cg_makespan = 0, xg_makespan = 0;
+    const auto cg = gyro::load_timing_log(argv[1], &cg_makespan);
+    const auto xg = gyro::load_timing_log(argv[2], &xg_makespan);
+
+    std::map<std::string, gyro::TimingRow> xg_by_phase;
+    for (const auto& row : xg) xg_by_phase[row.phase] = row;
+
+    std::printf("Fig. 2-style reduction (%d sequential CGYRO jobs vs one "
+                "XGYRO ensemble)\n\n",
+                k);
+    std::printf("%-12s %14s %14s %10s\n", "phase", "CGYRO sum [s]",
+                "XGYRO [s]", "ratio");
+    double cg_total = 0, xg_total = 0;
+    for (const auto& row : cg) {
+      const auto it = xg_by_phase.find(row.phase);
+      const double cg_t = k * row.total_s;
+      const double xg_t = it != xg_by_phase.end() ? it->second.total_s : 0.0;
+      cg_total += cg_t;
+      xg_total += xg_t;
+      std::printf("%-12s %14.3f %14.3f %9.2fx\n", row.phase.c_str(), cg_t,
+                  xg_t, xg_t > 0 ? cg_t / xg_t : 0.0);
+    }
+    std::printf("%-12s %14.3f %14.3f %9.2fx\n", "TOTAL", cg_total, xg_total,
+                xg_total > 0 ? cg_total / xg_total : 0.0);
+    std::printf("\nmakespans: CGYRO job %.3f s (x%d sequential), XGYRO "
+                "ensemble %.3f s\n",
+                cg_makespan, k, xg_makespan);
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "xgyro_report: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,142 @@
+#include "campaign/campaign.hpp"
+
+#include <mutex>
+
+#include "cluster/memory.hpp"
+#include "perfmodel/perfmodel.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "xgyro/driver.hpp"
+
+namespace xg::campaign {
+
+namespace {
+
+/// Feasibility + predicted cost of batching k members of `input`'s physics
+/// on the whole machine. Returns false if no decomposition exists or the
+/// memory does not fit.
+bool evaluate_batch(const gyro::Input& input, const net::MachineSpec& machine,
+                    int k, gyro::Decomposition* decomp_out, double* seconds_out) {
+  if (machine.total_ranks() % k != 0) return false;
+  const int ranks_per_sim = machine.total_ranks() / k;
+  gyro::Decomposition d;
+  try {
+    d = gyro::Decomposition::choose(input, ranks_per_sim, k);
+  } catch (const Error&) {
+    return false;
+  }
+  const auto fit = cluster::check_fit(
+      gyro::Simulation::memory_inventory(input, d, k), machine);
+  if (!fit.fits) return false;
+  const auto plan = perfmodel::plan_xgyro(input, k, machine);
+  if (decomp_out != nullptr) *decomp_out = d;
+  if (seconds_out != nullptr) *seconds_out = plan.per_report.total();
+  return true;
+}
+
+}  // namespace
+
+CampaignPlan plan_campaign(const CampaignSpec& spec) {
+  XG_REQUIRE(spec.members.n_sims() >= 1, "plan_campaign: empty campaign");
+  CampaignPlan plan;
+  for (const auto& group : spec.members.sharing_groups()) {
+    const auto& input = spec.members.members[group.front()];
+    const int g = static_cast<int>(group.size());
+    // Best k: minimize (#jobs × predicted seconds per job).
+    int best_k = -1;
+    double best_cost = 0.0;
+    gyro::Decomposition best_d;
+    double best_seconds = 0.0;
+    for (int k = 1; k <= g; ++k) {
+      if (g % k != 0) continue;
+      gyro::Decomposition d;
+      double seconds = 0.0;
+      if (!evaluate_batch(input, spec.machine, k, &d, &seconds)) continue;
+      const double cost = (g / k) * seconds;
+      if (best_k < 0 || cost < best_cost) {
+        best_k = k;
+        best_cost = cost;
+        best_d = d;
+        best_seconds = seconds;
+      }
+    }
+    if (best_k < 0) {
+      throw Error(strprintf(
+          "campaign: no feasible batching for sharing group of %d member(s) "
+          "('%s') on %d nodes — even a single simulation does not fit",
+          g, input.tag.c_str(), spec.machine.n_nodes));
+    }
+    for (int j = 0; j < g / best_k; ++j) {
+      JobPlan job;
+      job.member_indices.assign(group.begin() + j * best_k,
+                                group.begin() + (j + 1) * best_k);
+      job.ranks_per_sim = spec.machine.total_ranks() / best_k;
+      job.decomp = best_d;
+      job.predicted_seconds = best_seconds;
+      plan.predicted_total_seconds += best_seconds;
+      plan.jobs.push_back(std::move(job));
+    }
+  }
+  return plan;
+}
+
+std::string CampaignPlan::describe() const {
+  std::string out = strprintf("campaign plan: %zu job(s), predicted %.3f s "
+                              "per reporting step total\n",
+                              jobs.size(), predicted_total_seconds);
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    const auto& job = jobs[j];
+    out += strprintf("  job %zu: k=%d members [", j, job.k());
+    for (size_t i = 0; i < job.member_indices.size(); ++i) {
+      out += strprintf("%s%d", i ? " " : "", job.member_indices[i]);
+    }
+    out += strprintf("] %d ranks/sim (pv=%d pt=%d), predicted %.3f s\n",
+                     job.ranks_per_sim, job.decomp.pv, job.decomp.pt,
+                     job.predicted_seconds);
+  }
+  return out;
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec, const CampaignPlan& plan,
+                            gyro::Mode mode) {
+  CampaignResult result;
+  result.plan = plan;
+  for (size_t j = 0; j < plan.jobs.size(); ++j) {
+    const auto& job = plan.jobs[j];
+    xgyro::EnsembleInput batch;
+    for (const int m : job.member_indices) {
+      batch.members.push_back(spec.members.members[m]);
+    }
+    std::vector<gyro::Diagnostics> diags(batch.members.size());
+    std::mutex mu;
+    const auto run = mpi::run_simulation(
+        spec.machine, job.k() * job.ranks_per_sim, [&](mpi::Proc& proc) {
+          xgyro::EnsembleDriver driver(batch, job.decomp, proc, mode);
+          driver.initialize();
+          gyro::Diagnostics d;
+          for (int i = 0; i < spec.n_report_intervals; ++i) {
+            d = driver.advance_report_interval();
+          }
+          if (proc.world_rank() % job.decomp.nranks() == 0) {
+            const std::scoped_lock lock(mu);
+            diags[driver.sim_index()] = d;
+          }
+        });
+    result.job_runs.push_back(run);
+    for (size_t i = 0; i < batch.members.size(); ++i) {
+      result.members.push_back(
+          {job.member_indices[i], static_cast<int>(j), diags[i]});
+    }
+  }
+  return result;
+}
+
+double CampaignResult::total_report_seconds() const {
+  double total = 0.0;
+  for (const auto& run : job_runs) {
+    total += xgyro::report_step_seconds(run);
+  }
+  return total;
+}
+
+}  // namespace xg::campaign

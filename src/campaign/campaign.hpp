@@ -1,0 +1,73 @@
+// Campaign planning and execution: the user-facing payoff of the paper.
+//
+// A fusion study is a pile of simulations and a node allocation. This module
+// decides how to run them — how many members to batch per XGYRO job, per
+// cmat-sharing group, subject to memory feasibility — and then executes the
+// resulting job sequence over the simulated machine, collecting per-member
+// diagnostics and the campaign cost the paper's Fig. 2 compares ("the net
+// result is more simulations completed on the same compute budget").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gyro/simulation.hpp"
+#include "simnet/machine.hpp"
+#include "xgyro/ensemble.hpp"
+
+namespace xg::campaign {
+
+struct CampaignSpec {
+  xgyro::EnsembleInput members;  ///< every simulation the study needs
+  net::MachineSpec machine;      ///< the fixed allocation to run on
+  int n_report_intervals = 1;
+};
+
+/// One scheduled job: a subset of members sharing cmat, run concurrently.
+struct JobPlan {
+  std::vector<int> member_indices;  ///< indices into CampaignSpec::members
+  int ranks_per_sim = 0;
+  gyro::Decomposition decomp;
+  double predicted_seconds = 0.0;  ///< closed-form time per report interval
+
+  [[nodiscard]] int k() const { return static_cast<int>(member_indices.size()); }
+};
+
+struct CampaignPlan {
+  std::vector<JobPlan> jobs;  ///< executed sequentially
+  double predicted_total_seconds = 0.0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Greedy planner: members are grouped by cmat fingerprint; within each
+/// group the largest batch size k is chosen such that
+///   * k divides the group size and the machine's rank count,
+///   * a valid (pv, pt) decomposition exists for nc % (k·pv) == 0,
+///   * the per-rank memory inventory fits the machine,
+/// and the group is chunked into group_size/k jobs. k = 1 degenerates to
+/// plain sequential CGYRO, so a plan always exists if a single simulation
+/// fits at all. Throws xg::Error when even k = 1 cannot run.
+CampaignPlan plan_campaign(const CampaignSpec& spec);
+
+struct MemberResult {
+  int member = -1;
+  int job = -1;
+  gyro::Diagnostics diagnostics;
+};
+
+struct CampaignResult {
+  CampaignPlan plan;
+  std::vector<mpi::RunResult> job_runs;  ///< one DES result per job
+  std::vector<MemberResult> members;     ///< diagnostics per member
+
+  /// Campaign cost: Σ over jobs of seconds-per-reporting-step (the Fig. 2
+  /// quantity; init time excluded, as in the paper).
+  [[nodiscard]] double total_report_seconds() const;
+};
+
+/// Execute a plan job by job on the simulated machine.
+CampaignResult run_campaign(const CampaignSpec& spec, const CampaignPlan& plan,
+                            gyro::Mode mode);
+
+}  // namespace xg::campaign

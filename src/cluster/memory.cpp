@@ -1,0 +1,70 @@
+#include "cluster/memory.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace xg::cluster {
+
+void MemoryInventory::add(std::string name, double bytes, std::string note) {
+  XG_REQUIRE(bytes >= 0.0, "MemoryInventory: negative byte count");
+  entries_.push_back({std::move(name), bytes, std::move(note)});
+}
+
+double MemoryInventory::total_bytes() const {
+  double t = 0.0;
+  for (const auto& e : entries_) t += e.bytes;
+  return t;
+}
+
+double MemoryInventory::bytes_of(const std::string& name) const {
+  double t = 0.0;
+  for (const auto& e : entries_) {
+    if (e.name == name) t += e.bytes;
+  }
+  return t;
+}
+
+double MemoryInventory::total_excluding(const std::string& name) const {
+  return total_bytes() - bytes_of(name);
+}
+
+std::string MemoryInventory::table() const {
+  auto sorted = entries_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const BufferEntry& a, const BufferEntry& b) {
+                     return a.bytes > b.bytes;
+                   });
+  std::string out = strprintf("%-28s %14s  %s\n", "buffer", "bytes", "note");
+  for (const auto& e : sorted) {
+    out += strprintf("%-28s %14s  %s\n", e.name.c_str(),
+                     human_bytes(e.bytes).c_str(), e.note.c_str());
+  }
+  out += strprintf("%-28s %14s\n", "TOTAL", human_bytes(total_bytes()).c_str());
+  return out;
+}
+
+Feasibility check_fit(const MemoryInventory& inventory,
+                      const net::MachineSpec& spec) {
+  Feasibility f;
+  f.required_bytes = inventory.total_bytes();
+  f.available_bytes = spec.rank_memory_bytes;
+  f.fits = f.required_bytes <= f.available_bytes;
+  f.utilization =
+      (f.available_bytes > 0.0) ? f.required_bytes / f.available_bytes : 0.0;
+  return f;
+}
+
+int min_feasible_nodes(
+    int max_nodes, const std::function<net::MachineSpec(int)>& spec_at,
+    const std::function<MemoryInventory(int)>& inventory_at) {
+  XG_REQUIRE(max_nodes >= 1, "min_feasible_nodes: max_nodes must be >= 1");
+  for (int n = 1; n <= max_nodes; ++n) {
+    if (check_fit(inventory_at(n), spec_at(n)).fits) return n;
+  }
+  return -1;
+}
+
+}  // namespace xg::cluster

@@ -1,0 +1,67 @@
+// Per-rank memory inventories and node-count feasibility.
+//
+// The paper's premise is a memory argument: cmat is ~10× all other buffers
+// for nl03c, so a single CGYRO simulation is forced onto ≥ 32 Frontier nodes
+// even though its compute would fit on fewer. This module gives the
+// bookkeeping to state such claims precisely: named per-rank buffer
+// inventories, totals, and "does this decomposition fit this machine?".
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simnet/machine.hpp"
+
+namespace xg::cluster {
+
+struct BufferEntry {
+  std::string name;
+  double bytes = 0.0;
+  std::string note;
+};
+
+/// Named list of buffers resident on one rank.
+class MemoryInventory {
+ public:
+  void add(std::string name, double bytes, std::string note = "");
+
+  [[nodiscard]] double total_bytes() const;
+
+  /// Bytes of one named buffer (0 if absent).
+  [[nodiscard]] double bytes_of(const std::string& name) const;
+
+  /// Sum of all entries except the named one — used for statements like
+  /// "cmat is N× the size of everything else combined".
+  [[nodiscard]] double total_excluding(const std::string& name) const;
+
+  [[nodiscard]] const std::vector<BufferEntry>& entries() const { return entries_; }
+
+  /// Human-readable table, largest first.
+  [[nodiscard]] std::string table() const;
+
+ private:
+  std::vector<BufferEntry> entries_;
+};
+
+struct Feasibility {
+  bool fits = false;
+  double required_bytes = 0.0;   ///< per rank
+  double available_bytes = 0.0;  ///< per rank
+  double utilization = 0.0;      ///< required / available
+};
+
+/// Does a per-rank inventory fit in one rank's memory on this machine?
+Feasibility check_fit(const MemoryInventory& inventory,
+                      const net::MachineSpec& spec);
+
+/// Smallest node count in [1, max_nodes] for which the per-rank inventory
+/// produced by `inventory_at(n_nodes)` fits a rank of `spec_at(n_nodes)`.
+/// Returns -1 if none fits. Callers supply the closure because per-rank
+/// buffer sizes depend on the decomposition, which depends on node count.
+int min_feasible_nodes(
+    int max_nodes,
+    const std::function<net::MachineSpec(int)>& spec_at,
+    const std::function<MemoryInventory(int)>& inventory_at);
+
+}  // namespace xg::cluster

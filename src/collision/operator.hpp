@@ -1,0 +1,114 @@
+// The velocity-space collision operator and the construction of the
+// "collisional constant tensor" (cmat) whose ensemble-wide sharing is the
+// subject of the paper.
+//
+// Physics model (a reduced but structurally faithful Sugama-class operator,
+// cf. Candy–Belli–Bravenec JCP 2016):
+//
+//   C = P · (C_L + C_E) · P  −  D_perp(k_perp²)
+//
+//   C_L : Lorentz pitch-angle scattering, spectral in Legendre space with
+//         eigenvalues −ν_D(x)·l(l+1)/2 (x = v/v_th). Exact on the
+//         Gauss–Legendre ξ grid.
+//   C_E : energy relaxation −ν_E·(I − P_ξ), with P_ξ the energy-average
+//         projector at fixed pitch (w-orthogonal, so C_E is symmetric
+//         negative-semidefinite).
+//   P   : w-orthogonal projector onto the complement of {1, v_par, e}
+//         per species. C = P C0 P conserves density, parallel momentum and
+//         energy exactly, keeps the Maxwellian (h = const) as a null vector,
+//         and preserves negative-semidefiniteness.
+//   D_perp : gyro-diffusion, diagonal damping ∝ ν_D(x)·(k_perp ρ_s)²/4 ·
+//         (1+ξ²). This is the term that makes cmat depend on the
+//         configuration cell (ic) and toroidal mode (it): k_perp varies
+//         across cells, so CGYRO must store one nv×nv matrix per (ic, it)
+//         — the memory hog. It is genuine (classical-diffusion) damping and
+//         is deliberately NOT conservation-corrected.
+//
+// The implicit Crank–Nicolson step matrix
+//
+//   A(ic,it) = (I − Δt/2·C)⁻¹ (I + Δt/2·C)
+//
+// is precomputed once per simulation ("trades memory for an order of
+// magnitude compute speedup", §1 of the paper) and applied as a dense
+// mat-vec each collision step. A is stored in single precision, as CGYRO
+// stores cmat.
+#pragma once
+
+#include <cstdint>
+
+#include "la/lu.hpp"
+#include "la/matrix.hpp"
+#include "vgrid/velocity_grid.hpp"
+
+namespace xg::collision {
+
+struct CollisionParams {
+  double nu_ee = 0.1;  ///< reference electron-electron collision rate
+  bool pitch_scattering = true;
+  bool energy_relaxation = true;
+  bool gyro_diffusion = true;
+  bool conserve_moments = true;
+  /// Full-Sugama-style field-particle coupling: conserve momentum and energy
+  /// summed over species (allowing inter-species exchange and temperature/
+  /// flow equilibration) instead of per species. Density stays conserved per
+  /// species either way. Produces genuinely dense cross-species blocks in
+  /// cmat, as in CGYRO's electromagnetic Sugama operator.
+  bool cross_species_exchange = false;
+
+  friend bool operator==(const CollisionParams&, const CollisionParams&) = default;
+
+  /// CGYRO's COLLISION_MODEL=1: pure Lorentz pitch-angle scattering, no
+  /// conservation corrections (the Connor model) — cheap, damps momentum.
+  static CollisionParams lorentz() {
+    CollisionParams p;
+    p.pitch_scattering = true;
+    p.energy_relaxation = false;
+    p.gyro_diffusion = false;
+    p.conserve_moments = false;
+    p.cross_species_exchange = false;
+    return p;
+  }
+
+  /// CGYRO's COLLISION_MODEL=4: the full Sugama-class operator — pitch +
+  /// energy scattering, FLR gyro-diffusion, conservation corrections with
+  /// cross-species momentum/energy exchange.
+  static CollisionParams sugama() {
+    CollisionParams p;
+    p.pitch_scattering = true;
+    p.energy_relaxation = true;
+    p.gyro_diffusion = true;
+    p.conserve_moments = true;
+    p.cross_species_exchange = true;
+    return p;
+  }
+};
+
+/// Velocity-dependent deflection frequency ν_D(x) = ν̂ (Φ(x) − G(x))/x³,
+/// with Φ the error function and G the Chandrasekhar function. Standard
+/// test-particle form; finite limit 4/(3√π)·ν̂ as x → 0.
+double deflection_frequency(double nu_hat, double x);
+
+/// Chandrasekhar function G(x) = (Φ(x) − x Φ'(x)) / (2x²).
+double chandrasekhar(double x);
+
+/// Species-pair collision rate scaling ν̂_s = nu_ee·Z⁴·n/(√m·T^{3/2}).
+double species_collision_rate(double nu_ee, const vgrid::Species& s);
+
+/// Build the conservative velocity-space operator P·(C_L + C_E)·P (no
+/// gyro-diffusion; k_perp-independent part, identical for every cell).
+la::MatrixD build_scattering_operator(const vgrid::VelocityGrid& grid,
+                                      const CollisionParams& params);
+
+/// Diagonal gyro-diffusion damping rates for a given k_perp² (length nv).
+std::vector<double> gyro_diffusion_rates(const vgrid::VelocityGrid& grid,
+                                         const CollisionParams& params,
+                                         double kperp2);
+
+/// Full per-cell operator C = scattering − diag(gyro-diffusion).
+la::MatrixD build_cell_operator(const la::MatrixD& scattering,
+                                std::span<const double> gyro_rates);
+
+/// Crank–Nicolson step matrix A = (I − Δt/2 C)⁻¹ (I + Δt/2 C).
+la::MatrixD build_implicit_step_matrix(const la::MatrixD& c, double dt);
+
+}  // namespace xg::collision

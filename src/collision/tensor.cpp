@@ -1,0 +1,66 @@
+#include "collision/tensor.hpp"
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace xg::collision {
+
+CollisionTensor::CollisionTensor(int nv, int n_cells)
+    : nv_(nv), n_cells_(n_cells),
+      data_(static_cast<size_t>(nv) * nv * n_cells, 0.0f),
+      scratch_(static_cast<size_t>(nv)) {
+  XG_REQUIRE(nv >= 1 && n_cells >= 0, "CollisionTensor: bad shape");
+}
+
+void CollisionTensor::set_cell(int cell, const la::MatrixD& a) {
+  XG_ASSERT(cell >= 0 && cell < n_cells_);
+  XG_REQUIRE(a.rows() == nv_ && a.cols() == nv_,
+             "CollisionTensor::set_cell: matrix shape mismatch");
+  float* dst = data_.data() + static_cast<size_t>(cell) * nv_ * nv_;
+  const auto src = a.data();
+  for (size_t i = 0; i < src.size(); ++i) dst[i] = static_cast<float>(src[i]);
+}
+
+std::span<const float> CollisionTensor::cell(int cell) const {
+  XG_ASSERT(cell >= 0 && cell < n_cells_);
+  return {data_.data() + static_cast<size_t>(cell) * nv_ * nv_,
+          static_cast<size_t>(nv_) * nv_};
+}
+
+void CollisionTensor::apply(int cell, std::span<const cplx> x,
+                            std::span<cplx> y) const {
+  XG_ASSERT(x.size() == static_cast<size_t>(nv_));
+  XG_ASSERT(y.size() == static_cast<size_t>(nv_));
+  const float* a = data_.data() + static_cast<size_t>(cell) * nv_ * nv_;
+  for (int i = 0; i < nv_; ++i) {
+    double re = 0.0, im = 0.0;
+    const float* row = a + static_cast<size_t>(i) * nv_;
+    for (int j = 0; j < nv_; ++j) {
+      re += row[j] * x[j].real();
+      im += row[j] * x[j].imag();
+    }
+    y[i] = {re, im};
+  }
+}
+
+void CollisionTensor::apply_in_place(int cell, std::span<cplx> x) {
+  apply(cell, x, scratch_);
+  std::copy(scratch_.begin(), scratch_.end(), x.begin());
+}
+
+std::uint64_t CollisionTensor::fingerprint() const {
+  Hasher h;
+  h.i64(nv_).i64(n_cells_);
+  for (const float v : data_) h.f64(static_cast<double>(v));
+  return h.digest();
+}
+
+la::MatrixD CmatRecipe::build_cell(const vgrid::VelocityGrid& grid,
+                                   const la::MatrixD& scattering,
+                                   double kperp2) const {
+  const auto rates = gyro_diffusion_rates(grid, params, kperp2);
+  const auto c = build_cell_operator(scattering, rates);
+  return build_implicit_step_matrix(c, dt);
+}
+
+}  // namespace xg::collision

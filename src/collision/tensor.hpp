@@ -1,0 +1,93 @@
+// The collisional constant tensor (cmat) proper: per-cell implicit-step
+// matrices in single precision, exactly the structure whose distribution
+// XGYRO changes.
+//
+// CGYRO stores cmat(nv, nv, nc_loc, nt_loc) — one nv×nv fp32 matrix per
+// local (configuration, toroidal) cell. A CollisionTensor holds the slice
+// for one rank's set of cells; which cells a rank owns is what differs
+// between CGYRO (nc/P_v cells per rank) and XGYRO (nc/(k·P_v) cells, one
+// ensemble-shared copy).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "collision/operator.hpp"
+#include "la/matrix.hpp"
+#include "vgrid/velocity_grid.hpp"
+
+namespace xg::collision {
+
+using cplx = std::complex<double>;
+
+class CollisionTensor {
+ public:
+  /// Storage for `n_cells` local cells of an nv×nv tensor.
+  CollisionTensor(int nv, int n_cells);
+
+  [[nodiscard]] int nv() const { return nv_; }
+  [[nodiscard]] int n_cells() const { return n_cells_; }
+
+  /// Bytes resident on this rank (the paper's headline quantity).
+  [[nodiscard]] std::uint64_t bytes() const {
+    return static_cast<std::uint64_t>(data_.size()) * sizeof(float);
+  }
+
+  /// Store the fp64 step matrix for local cell `cell` (fp32 truncation, as
+  /// CGYRO does for cmat).
+  void set_cell(int cell, const la::MatrixD& a);
+
+  [[nodiscard]] std::span<const float> cell(int cell) const;
+
+  /// y = A_cell · x for complex state (real constant matrix × complex field).
+  void apply(int cell, std::span<const cplx> x, std::span<cplx> y) const;
+
+  /// In-place collision step on one cell (uses an internal scratch vector;
+  /// not thread-safe across concurrent calls on the same object).
+  void apply_in_place(int cell, std::span<cplx> x);
+
+  /// FLOP count of one apply (for the compute model): 2·nv² per complex
+  /// component pair = 4·nv².
+  [[nodiscard]] double apply_flops() const {
+    return 4.0 * static_cast<double>(nv_) * nv_;
+  }
+  [[nodiscard]] double cell_bytes() const {
+    return static_cast<double>(nv_) * nv_ * sizeof(float);
+  }
+
+  /// Bit-stable fingerprint of the stored values; two ranks holding the
+  /// same cells of the same physical cmat agree, any parameter that
+  /// actually feeds cmat changes it.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+ private:
+  int nv_ = 0;
+  int n_cells_ = 0;
+  std::vector<float> data_;
+  std::vector<cplx> scratch_;
+};
+
+/// Everything that determines cmat values for a cell, gathered so CGYRO and
+/// XGYRO provably build identical tensors from identical inputs.
+struct CmatRecipe {
+  CollisionParams params;
+  double dt = 0.0;
+
+  /// Build the step matrix for one cell given its k_perp². `scattering`
+  /// must be build_scattering_operator(grid, params) (cell-independent,
+  /// computed once and reused — this is the expensive part CGYRO also
+  /// hoists out of the per-cell loop).
+  [[nodiscard]] la::MatrixD build_cell(const vgrid::VelocityGrid& grid,
+                                       const la::MatrixD& scattering,
+                                       double kperp2) const;
+
+  /// FLOP estimate for building one cell (LU + solve ≈ (2/3 + 2)·nv³).
+  [[nodiscard]] static double build_flops_per_cell(int nv) {
+    const double n3 = static_cast<double>(nv) * nv * nv;
+    return (2.0 / 3.0 + 2.0) * n3;
+  }
+};
+
+}  // namespace xg::collision

@@ -1,0 +1,171 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace xg::fft {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/// Bit-reversal permutation for radix-2.
+void bit_reverse_permute(std::span<cplx> a) {
+  const size_t n = a.size();
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+}
+
+/// Radix-2 in-place transform using precomputed twiddles.
+/// `twiddles` holds e^{-2πi k/n} for k in [0, n/2) (forward sign).
+void radix2(std::span<cplx> a, std::span<const cplx> twiddles, bool inv) {
+  const size_t n = a.size();
+  bit_reverse_permute(a);
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const size_t step = n / len;
+    for (size_t i = 0; i < n; i += len) {
+      for (size_t k = 0; k < len / 2; ++k) {
+        cplx w = twiddles[k * step];
+        if (inv) w = std::conj(w);
+        const cplx u = a[i + k];
+        const cplx v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool is_pow2(size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+size_t next_pow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+struct Plan::Impl {
+  size_t n = 0;
+  // Radix-2 path.
+  std::vector<cplx> twiddles;  // e^{-2πi k/n}, k < n/2
+  // Bluestein path (empty when n is a power of two).
+  size_t m = 0;                     // padded pow2 length >= 2n-1
+  std::vector<cplx> chirp;          // e^{-πi k²/n}, k < n
+  std::vector<cplx> chirp_fft;      // FFT of the padded conjugate chirp
+  std::vector<cplx> m_twiddles;     // twiddles for length-m transforms
+
+  explicit Impl(size_t n_in) : n(n_in) {
+    XG_REQUIRE(n >= 1, "FFT plan length must be >= 1");
+    if (is_pow2(n)) {
+      build_twiddles(n, twiddles);
+      return;
+    }
+    m = next_pow2(2 * n - 1);
+    build_twiddles(m, m_twiddles);
+    chirp.resize(n);
+    for (size_t k = 0; k < n; ++k) {
+      // k² mod 2n keeps the argument bounded for large k.
+      const double phase = -kPi * double((k * k) % (2 * n)) / double(n);
+      chirp[k] = std::polar(1.0, phase);
+    }
+    std::vector<cplx> b(m, cplx{});
+    b[0] = std::conj(chirp[0]);
+    for (size_t k = 1; k < n; ++k) {
+      b[k] = std::conj(chirp[k]);
+      b[m - k] = std::conj(chirp[k]);
+    }
+    radix2(b, m_twiddles, /*inv=*/false);
+    chirp_fft = std::move(b);
+  }
+
+  static void build_twiddles(size_t len, std::vector<cplx>& out) {
+    out.resize(len / 2);
+    for (size_t k = 0; k < len / 2; ++k) {
+      out[k] = std::polar(1.0, -2.0 * kPi * double(k) / double(len));
+    }
+  }
+
+  void transform(std::span<cplx> a, bool inv) const {
+    XG_ASSERT(a.size() == n);
+    if (n == 1) return;
+    if (is_pow2(n)) {
+      radix2(a, twiddles, inv);
+    } else {
+      bluestein(a, inv);
+    }
+    if (inv) {
+      const double scale = 1.0 / double(n);
+      for (auto& v : a) v *= scale;
+    }
+  }
+
+  void bluestein(std::span<cplx> a, bool inv) const {
+    // x[k] * chirp[k], zero-padded to m; convolve with conj-chirp; multiply
+    // by chirp again. Inverse transform = conjugate trick.
+    std::vector<cplx> t(m, cplx{});
+    for (size_t k = 0; k < n; ++k) {
+      const cplx xk = inv ? std::conj(a[k]) : a[k];
+      t[k] = xk * chirp[k];
+    }
+    radix2(t, m_twiddles, /*inv=*/false);
+    for (size_t k = 0; k < m; ++k) t[k] *= chirp_fft[k];
+    radix2(t, m_twiddles, /*inv=*/true);
+    const double scale = 1.0 / double(m);
+    for (size_t k = 0; k < n; ++k) {
+      cplx yk = t[k] * scale * chirp[k];
+      a[k] = inv ? std::conj(yk) : yk;
+    }
+  }
+};
+
+Plan::Plan(size_t n) : impl_(std::make_unique<Impl>(n)) {}
+Plan::~Plan() = default;
+Plan::Plan(Plan&&) noexcept = default;
+Plan& Plan::operator=(Plan&&) noexcept = default;
+
+size_t Plan::size() const { return impl_->n; }
+
+void Plan::forward(std::span<cplx> data) const { impl_->transform(data, false); }
+void Plan::inverse(std::span<cplx> data) const { impl_->transform(data, true); }
+
+void forward(std::span<cplx> data) { Plan(data.size()).forward(data); }
+void inverse(std::span<cplx> data) { Plan(data.size()).inverse(data); }
+
+std::vector<cplx> dft_reference(std::span<const cplx> x, bool inverse_transform) {
+  const size_t n = x.size();
+  std::vector<cplx> out(n, cplx{});
+  const double sign = inverse_transform ? 1.0 : -1.0;
+  for (size_t k = 0; k < n; ++k) {
+    cplx acc{};
+    for (size_t j = 0; j < n; ++j) {
+      const double phase = sign * 2.0 * kPi * double((j * k) % n) / double(n);
+      acc += x[j] * std::polar(1.0, phase);
+    }
+    out[k] = inverse_transform ? acc / double(n) : acc;
+  }
+  return out;
+}
+
+std::vector<cplx> circular_convolution(std::span<const cplx> a,
+                                       std::span<const cplx> b) {
+  XG_REQUIRE(a.size() == b.size(), "circular_convolution: length mismatch");
+  const size_t n = a.size();
+  Plan plan(n);
+  std::vector<cplx> fa(a.begin(), a.end());
+  std::vector<cplx> fb(b.begin(), b.end());
+  plan.forward(fa);
+  plan.forward(fb);
+  for (size_t k = 0; k < n; ++k) fa[k] *= fb[k];
+  plan.inverse(fa);
+  return fa;
+}
+
+}  // namespace xg::fft

@@ -1,0 +1,70 @@
+#include "gyro/geometry.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace xg::gyro {
+
+Geometry::Geometry(const Input& input)
+    : n_radial_(input.n_radial), n_theta_(input.n_theta), nt_(input.n_toroidal),
+      nc_(input.nc()), shear_(input.shear), q_safety_(input.q_safety),
+      rho_star_(input.rho_star), adiabatic_(input.adiabatic_electrons) {
+  // Radial spectral spacing from the box size; binormal spacing from the
+  // lowest finite toroidal mode n₀ = rho_star-scaled q/r factor.
+  dkx_ = 2.0 * std::numbers::pi / input.box_radial;
+  dky_ = 2.0 * std::numbers::pi * q_safety_ * rho_star_ / 0.5;  // r/a = 0.5
+  rho2_.reserve(input.species.size());
+  for (const auto& s : input.species) {
+    const auto& p = s.physics;
+    rho2_.push_back(p.mass * p.temperature / (p.charge * p.charge));
+    species_.push_back(p);
+  }
+}
+
+double Geometry::theta(int ic) const {
+  const int ith = itheta_of(ic);
+  return -std::numbers::pi +
+         2.0 * std::numbers::pi * static_cast<double>(ith) / n_theta_;
+}
+
+double Geometry::kx(int ic, int it) const {
+  // Centered radial mode numbers; shear twist couples kx to theta·ky.
+  const int ir = ir_of(ic);
+  const double p = static_cast<double>(ir - n_radial_ / 2);
+  return dkx_ * p + shear_ * theta(ic) * ky(it);
+}
+
+double Geometry::ky(int it) const { return dky_ * static_cast<double>(it); }
+
+double Geometry::kpar(int ic) const {
+  // 1/(qR) scale with a theta modulation (ballooning-style variation).
+  const double base = 1.0 / (q_safety_ * 3.0);  // R/a = 3
+  return base * (1.0 + 0.3 * std::cos(theta(ic)));
+}
+
+double Geometry::gyroaverage(const vgrid::VelocityGrid& grid, int iv, int ic,
+                             int it) const {
+  const int is = grid.species_of(iv);
+  const double x2 = grid.energy(grid.energy_of(iv));  // (v/v_th)² in e units
+  const double xi = grid.xi(grid.xi_of(iv));
+  const double b = 0.5 * kperp2(ic, it) * rho2_[is] * x2 * (1.0 - xi * xi);
+  return 1.0 / (1.0 + 0.5 * b);
+}
+
+double Geometry::field_denominator(int ic, int it) const {
+  double denom = 0.0;
+  for (size_t is = 0; is < species_.size(); ++is) {
+    const auto& s = species_[is];
+    const double b = kperp2(ic, it) * rho2_[is] * s.temperature;
+    const double gamma0 = 1.0 / (1.0 + b);
+    denom += s.charge * s.charge * s.density / s.temperature * (1.0 - gamma0);
+  }
+  // Adiabatic electron response (n_e/T_e = 1 in reference units) when
+  // enabled; otherwise a small floor keeps the solve well-posed at
+  // k_perp → 0.
+  return denom + (adiabatic_ ? 1.0 : 0.1);
+}
+
+}  // namespace xg::gyro

@@ -1,0 +1,65 @@
+// Flux-tube spectral geometry: wavenumbers, gyroaverage factors, and the
+// field-equation denominators.
+//
+// Configuration index ic = ir·n_theta + itheta (radial × poloidal);
+// toroidal index it selects the binormal mode. k_x twists with theta through
+// magnetic shear, so k_perp² — and through the gyro-diffusion term, cmat —
+// genuinely varies across configuration cells and toroidal modes. That
+// variation is why CGYRO must store one matrix per (ic, it) instead of one
+// matrix total.
+#pragma once
+
+#include <vector>
+
+#include "gyro/input.hpp"
+#include "vgrid/velocity_grid.hpp"
+
+namespace xg::gyro {
+
+class Geometry {
+ public:
+  explicit Geometry(const Input& input);
+
+  [[nodiscard]] int nc() const { return nc_; }
+  [[nodiscard]] int nt() const { return nt_; }
+
+  [[nodiscard]] int ir_of(int ic) const { return ic / n_theta_; }
+  [[nodiscard]] int itheta_of(int ic) const { return ic % n_theta_; }
+
+  /// Poloidal angle θ ∈ [−π, π) of a configuration cell.
+  [[nodiscard]] double theta(int ic) const;
+
+  /// Radial wavenumber (shear-twisted) and binormal wavenumber.
+  [[nodiscard]] double kx(int ic, int it) const;
+  [[nodiscard]] double ky(int it) const;
+
+  [[nodiscard]] double kperp2(int ic, int it) const {
+    const double x = kx(ic, it);
+    const double y = ky(it);
+    return x * x + y * y;
+  }
+
+  /// Parallel wavenumber model: k_par ∝ 1/(qR), modulated over theta.
+  [[nodiscard]] double kpar(int ic) const;
+
+  /// Padé gyroaverage ⟨J₀⟩ ≈ 1/(1 + b/2), b = k_perp²ρ_s²·x²(1−ξ²)/2.
+  [[nodiscard]] double gyroaverage(const vgrid::VelocityGrid& grid, int iv,
+                                   int ic, int it) const;
+
+  /// Field (quasineutrality) denominator Σ_s Z_s²·n_s/T_s·(1 − Γ₀(b_s)),
+  /// with the Padé Γ₀ = 1/(1+b). Strictly positive for k_perp > 0.
+  [[nodiscard]] double field_denominator(int ic, int it) const;
+
+  /// Thermal gyroradius² of species s (B = 1 units).
+  [[nodiscard]] double rho2(int is) const { return rho2_[is]; }
+
+ private:
+  int n_radial_, n_theta_, nt_, nc_;
+  double shear_, q_safety_, rho_star_;
+  bool adiabatic_ = false;
+  double dkx_, dky_;
+  std::vector<double> rho2_;
+  std::vector<vgrid::Species> species_;
+};
+
+}  // namespace xg::gyro

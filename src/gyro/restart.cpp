@@ -1,0 +1,116 @@
+#include "gyro/restart.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "gyro/simulation.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/hash.hpp"
+
+namespace xg::gyro {
+
+namespace {
+
+std::uint64_t hash_payload(std::span<const cplx> state) {
+  Hasher h;
+  h.span_c64(state);
+  return h.digest();
+}
+
+RestartHeader make_header(const Simulation& sim) {
+  RestartHeader hd;
+  hd.nv_loc = sim.nv_loc();
+  hd.nc = sim.input().nc();
+  hd.nt_loc = sim.nt_loc();
+  hd.pv = sim.decomposition().pv;
+  hd.pt = sim.decomposition().pt;
+  hd.sim_rank = sim.sim_rank();
+  hd.steps = sim.steps_taken();
+  hd.cmat_fingerprint = sim.input_cmat_fingerprint();
+  hd.payload_hash = hash_payload(sim.state_data());
+  return hd;
+}
+
+void check_compatible(const RestartHeader& hd, const Simulation& sim,
+                      const std::string& path) {
+  if (hd.magic != RestartHeader::kMagic) {
+    throw Error(strprintf("restart %s: bad magic (not a restart file)",
+                          path.c_str()));
+  }
+  if (hd.version != 1) {
+    throw Error(strprintf("restart %s: unsupported version %u", path.c_str(),
+                          hd.version));
+  }
+  const auto expect = make_header(sim);
+  if (hd.nv_loc != expect.nv_loc || hd.nc != expect.nc ||
+      hd.nt_loc != expect.nt_loc || hd.pv != expect.pv ||
+      hd.pt != expect.pt) {
+    throw Error(strprintf(
+        "restart %s: layout mismatch (file nv_loc=%d nc=%d nt_loc=%d pv=%d "
+        "pt=%d; simulation nv_loc=%d nc=%d nt_loc=%d pv=%d pt=%d) — restart "
+        "files are decomposition-specific, like CGYRO's",
+        path.c_str(), hd.nv_loc, hd.nc, hd.nt_loc, hd.pv, hd.pt,
+        expect.nv_loc, expect.nc, expect.nt_loc, expect.pv, expect.pt));
+  }
+  if (hd.sim_rank != expect.sim_rank) {
+    throw Error(strprintf("restart %s: written by sim rank %d, read by %d",
+                          path.c_str(), hd.sim_rank, expect.sim_rank));
+  }
+  if (hd.cmat_fingerprint != expect.cmat_fingerprint) {
+    throw Error(strprintf(
+        "restart %s: input cmat fingerprint mismatch — the checkpoint came "
+        "from a physically different configuration",
+        path.c_str()));
+  }
+}
+
+}  // namespace
+
+std::string restart_filename(int share_index, int sim_rank) {
+  return strprintf("restart.s%d.r%d", share_index, sim_rank);
+}
+
+void write_restart(const std::string& directory, const Simulation& sim) {
+  XG_REQUIRE(sim.mode() == Mode::kReal, "write_restart: real mode only");
+  const std::string path =
+      directory + "/" + restart_filename(sim.share_index(), sim.sim_rank());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error(strprintf("cannot open '%s' for writing", path.c_str()));
+  const RestartHeader hd = make_header(sim);
+  out.write(reinterpret_cast<const char*>(&hd), sizeof hd);
+  const auto state = sim.state_data();
+  out.write(reinterpret_cast<const char*>(state.data()),
+            static_cast<std::streamsize>(state.size_bytes()));
+  if (!out) throw Error(strprintf("short write to '%s'", path.c_str()));
+}
+
+void read_restart(const std::string& directory, Simulation& sim) {
+  XG_REQUIRE(sim.mode() == Mode::kReal, "read_restart: real mode only");
+  const std::string path =
+      directory + "/" + restart_filename(sim.share_index(), sim.sim_rank());
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error(strprintf("cannot open restart file '%s'", path.c_str()));
+  RestartHeader hd;
+  in.read(reinterpret_cast<char*>(&hd), sizeof hd);
+  if (!in) throw Error(strprintf("restart %s: truncated header", path.c_str()));
+  check_compatible(hd, sim, path);
+
+  auto state = sim.state_data_mutable();
+  std::vector<cplx> buf(state.size());
+  in.read(reinterpret_cast<char*>(buf.data()),
+          static_cast<std::streamsize>(state.size_bytes()));
+  if (!in || in.gcount() != static_cast<std::streamsize>(state.size_bytes())) {
+    throw Error(strprintf("restart %s: truncated payload", path.c_str()));
+  }
+  const std::uint64_t got = hash_payload(buf);
+  if (got != hd.payload_hash) {
+    throw Error(strprintf("restart %s: payload hash mismatch (corrupt file)",
+                          path.c_str()));
+  }
+  std::copy(buf.begin(), buf.end(), state.begin());
+  sim.set_steps_taken(static_cast<int>(hd.steps));
+}
+
+}  // namespace xg::gyro

@@ -1,0 +1,42 @@
+// Binary restart (checkpoint) files, CGYRO-style: one file per rank of a
+// simulation, written in the streaming layout. Long gyrokinetic campaigns
+// run as chains of restarted jobs — the paper's t = 81 measurement point is
+// deep into such a chain — so faithful restart semantics matter:
+// bit-identical continuation, layout validation, and corruption detection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xg::gyro {
+
+class Simulation;
+
+/// Fixed-size header preceding the state payload.
+struct RestartHeader {
+  static constexpr std::uint64_t kMagic = 0x5852475253543031ull;  // "XGRST01"
+  std::uint64_t magic = kMagic;
+  std::uint32_t version = 1;
+  std::int32_t nv_loc = 0;
+  std::int32_t nc = 0;
+  std::int32_t nt_loc = 0;
+  std::int32_t pv = 0;
+  std::int32_t pt = 0;
+  std::int32_t sim_rank = 0;
+  std::int64_t steps = 0;
+  std::uint64_t cmat_fingerprint = 0;  ///< input compatibility check
+  std::uint64_t payload_hash = 0;      ///< FNV-1a of the state bytes
+};
+
+/// File name for one rank's slice: "restart.s<share>.r<rank>".
+std::string restart_filename(int share_index, int sim_rank);
+
+/// Write this rank's state slice under `directory` (which must exist).
+/// Real mode only; collective-free (each rank writes its own file).
+void write_restart(const std::string& directory, const Simulation& sim);
+
+/// Load this rank's slice, validating layout, input compatibility and the
+/// payload hash. Throws xg::Error on any mismatch or corruption.
+void read_restart(const std::string& directory, Simulation& sim);
+
+}  // namespace xg::gyro

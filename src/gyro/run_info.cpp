@@ -1,0 +1,101 @@
+#include "gyro/run_info.hpp"
+
+#include <fstream>
+
+#include "cluster/memory.hpp"
+#include "gyro/geometry.hpp"
+#include "gyro/simulation.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace xg::gyro {
+
+std::string render_run_info(const Input& input, const Decomposition& d,
+                            int n_sims_sharing,
+                            const net::MachineSpec& machine) {
+  std::string out;
+  out += strprintf("# xgyro run info v1\n");
+  out += strprintf("tag          : %s\n", input.tag.c_str());
+  out += strprintf("grid         : nc=%d (n_radial=%d x n_theta=%d)  nv=%d "
+                   "(n_species=%d x n_energy=%d x n_xi=%d)  nt=%d  n_field=%d\n",
+                   input.nc(), input.n_radial, input.n_theta, input.nv(),
+                   input.n_species(), input.n_energy, input.n_xi, input.nt(),
+                   input.n_field);
+  out += strprintf("time step    : dt=%g, %d steps per reporting interval\n",
+                   input.dt, input.n_steps_per_report);
+  out += strprintf("collisions   : nu_ee=%g pitch=%d energy=%d FLR=%d "
+                   "conserve=%d xspecies=%d\n",
+                   input.collision.nu_ee, input.collision.pitch_scattering,
+                   input.collision.energy_relaxation,
+                   input.collision.gyro_diffusion,
+                   input.collision.conserve_moments,
+                   input.collision.cross_species_exchange);
+  out += strprintf("cmat         : fingerprint %016llx, shared by %d "
+                   "simulation(s)\n",
+                   static_cast<unsigned long long>(input.cmat_fingerprint()),
+                   n_sims_sharing);
+  out += strprintf("decomposition: %d ranks = pv %d x pt %d; nv_loc=%d "
+                   "nt_loc=%d nc_loc(coll)=%d\n",
+                   d.nranks(), d.pv, d.pt, input.nv() / d.pv,
+                   input.nt() / d.pt, input.nc() / (d.pv * n_sims_sharing));
+  out += strprintf("communicators: nv=%d  t=%d  coll=%d%s\n", d.pv, d.pt,
+                   d.pv * n_sims_sharing,
+                   n_sims_sharing > 1 ? " (ensemble-shared)" : " (= nv comm)");
+  out += strprintf("machine      : %s, %d nodes x %d ranks, %s/rank\n",
+                   machine.name.c_str(), machine.n_nodes,
+                   machine.ranks_per_node,
+                   human_bytes(machine.rank_memory_bytes).c_str());
+  const auto inv = Simulation::memory_inventory(input, d, n_sims_sharing);
+  const auto fit = cluster::check_fit(inv, machine);
+  out += strprintf("memory/rank  : %s of %s (%.0f%%) — %s\n",
+                   human_bytes(fit.required_bytes).c_str(),
+                   human_bytes(fit.available_bytes).c_str(),
+                   100.0 * fit.utilization, fit.fits ? "fits" : "DOES NOT FIT");
+  out += inv.table();
+  return out;
+}
+
+std::string render_grids(const Input& input) {
+  const Geometry geo(input);
+  const auto vg = input.make_velocity_grid();
+  std::string out = "# xgyro grids v1\n";
+  out += strprintf("# %d toroidal modes: n ky\n", input.nt());
+  for (int it = 0; it < input.nt(); ++it) {
+    out += strprintf("ky %d %.10e\n", it, geo.ky(it));
+  }
+  out += strprintf("# radial wavenumbers at theta=0, ky=0: p kx\n");
+  for (int ir = 0; ir < input.n_radial; ++ir) {
+    out += strprintf("kx %d %.10e\n", ir, geo.kx(ir * input.n_theta, 0));
+  }
+  out += strprintf("# %d energy nodes: i e w\n", input.n_energy);
+  for (int ie = 0; ie < input.n_energy; ++ie) {
+    out += strprintf("energy %d %.10e %.10e\n", ie, vg.energy(ie),
+                     vg.energy_weight(ie));
+  }
+  out += strprintf("# %d pitch nodes: i xi w\n", input.n_xi);
+  for (int ix = 0; ix < input.n_xi; ++ix) {
+    out += strprintf("xi %d %.10e %.10e\n", ix, vg.xi(ix), vg.xi_weight(ix));
+  }
+  return out;
+}
+
+namespace {
+void write_text(const std::string& path, const std::string& text) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw Error(strprintf("cannot open '%s' for writing", path.c_str()));
+  f << text;
+  if (!f) throw Error(strprintf("short write to '%s'", path.c_str()));
+}
+}  // namespace
+
+void write_run_info(const std::string& path, const Input& input,
+                    const Decomposition& d, int n_sims_sharing,
+                    const net::MachineSpec& machine) {
+  write_text(path, render_run_info(input, d, n_sims_sharing, machine));
+}
+
+void write_grids(const std::string& path, const Input& input) {
+  write_text(path, render_grids(input));
+}
+
+}  // namespace xg::gyro

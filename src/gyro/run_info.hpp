@@ -1,0 +1,31 @@
+// Run metadata artifacts, CGYRO-style: out.cgyro.info (dimensions,
+// decomposition, memory) and out.cgyro.grids (the discrete wavenumber and
+// velocity grids). CGYRO writes these at startup; downstream tooling and
+// humans read them to sanity-check a run before burning node-hours.
+#pragma once
+
+#include <string>
+
+#include "gyro/decomposition.hpp"
+#include "gyro/input.hpp"
+#include "simnet/machine.hpp"
+
+namespace xg::gyro {
+
+/// Render the out.cgyro.info-style run summary: grid sizes, per-rank
+/// decomposition, communicator sizes, and the memory inventory (with the
+/// cmat share highlighted, k = simulations sharing it).
+std::string render_run_info(const Input& input, const Decomposition& d,
+                            int n_sims_sharing, const net::MachineSpec& machine);
+
+/// Render the out.cgyro.grids-style listing: toroidal wavenumbers ky,
+/// radial wavenumber range, energy nodes/weights and pitch nodes.
+std::string render_grids(const Input& input);
+
+/// Write either artifact to a file; throws xg::Error on I/O failure.
+void write_run_info(const std::string& path, const Input& input,
+                    const Decomposition& d, int n_sims_sharing,
+                    const net::MachineSpec& machine);
+void write_grids(const std::string& path, const Input& input);
+
+}  // namespace xg::gyro

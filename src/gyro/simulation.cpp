@@ -1,0 +1,647 @@
+#include <cstring>
+#include "gyro/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fft/fft.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace xg::gyro {
+
+namespace {
+
+/// Deterministic, decomposition-independent initial value for one global
+/// (iv, ic, it) element.
+cplx init_value(std::uint64_t seed, int iv, int ic, int it, double amp) {
+  std::uint64_t s = Hasher().u64(seed).i64(iv).i64(ic).i64(it).digest();
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  const double re = static_cast<double>(a >> 11) * 0x1.0p-53 * 2.0 - 1.0;
+  const double im = static_cast<double>(b >> 11) * 0x1.0p-53 * 2.0 - 1.0;
+  return amp * cplx(re, im);
+}
+
+/// Order-independent per-element hash contribution.
+std::uint64_t element_hash(int iv, int ic, int it, cplx v) {
+  std::uint64_t bits_re, bits_im;
+  double re = v.real() == 0.0 ? 0.0 : v.real();
+  double im = v.imag() == 0.0 ? 0.0 : v.imag();
+  std::memcpy(&bits_re, &re, 8);
+  std::memcpy(&bits_im, &im, 8);
+  std::uint64_t s = Hasher().i64(iv).i64(ic).i64(it).digest() ^ bits_re ^
+                    (bits_im << 32 | bits_im >> 32);
+  return splitmix64(s);
+}
+
+}  // namespace
+
+Simulation::Simulation(Input input, Decomposition decomp, CommLayout comms,
+                       mpi::Proc& proc, Mode mode)
+    : input_(std::move(input)), decomp_(decomp), comms_(std::move(comms)),
+      proc_(&proc), mode_(mode), geometry_(input_) {
+  input_.validate();
+  decomp_.validate(input_, comms_.n_sims_sharing);
+  XG_REQUIRE(comms_.sim.size() == decomp_.nranks(),
+             "Simulation: sim communicator size != pv*pt");
+  XG_REQUIRE(comms_.nv.size() == decomp_.pv,
+             "Simulation: nv communicator size != pv");
+  XG_REQUIRE(comms_.t.size() == decomp_.pt,
+             "Simulation: t communicator size != pt");
+  XG_REQUIRE(comms_.coll.size() == decomp_.pv * comms_.n_sims_sharing,
+             "Simulation: coll communicator size != k*pv");
+  vgrid_ = std::make_unique<vgrid::VelocityGrid>(input_.make_velocity_grid());
+
+  coll_transpose_ = std::make_unique<tensor::EnsembleTransposer<cplx>>(
+      comms_.n_sims_sharing, decomp_.pv, input_.nc(), input_.nv(), nt_loc());
+  if (input_.nonlinear) {
+    nl_transpose_ = std::make_unique<tensor::EnsembleTransposer<cplx>>(
+        1, decomp_.pt, input_.nc(), input_.nt(), nv_loc());
+  }
+
+  iv_global_.resize(static_cast<size_t>(nv_loc()));
+  for (int ivl = 0; ivl < nv_loc(); ++ivl) {
+    iv_global_[ivl] = comms_.nv.rank() * nv_loc() + ivl;
+  }
+}
+
+int Simulation::it_global(int it_loc) const {
+  return comms_.t.rank() * nt_loc() + it_loc;
+}
+
+int Simulation::global_ic_of_coll_cell(int a) const {
+  return comms_.coll.rank() * nc_loc_coll() + a;
+}
+
+void Simulation::initialize() {
+  proc_->set_phase("init");
+
+  // Geometry / gyroaverage tables (built in device memory).
+  proc_->kernel(static_cast<double>(state_elems()) *
+                compute_model_.init_table_flops_per_elem);
+  if (mode_ == Mode::kReal) {
+    h_ = tensor::Tensor3Z(nv_loc(), input_.nc(), nt_loc());
+    acc_ = h_;
+    stage_ = h_;
+    k_ = h_;
+    if (input_.nonlinear) {
+      nl_ = h_;
+      nl_str_perm_ = tensor::Tensor3Z(nt_loc(), input_.nc(), nv_loc());
+      nl_layout_ = nl_transpose_->make_coll_tensors();
+      phi_full_t_.resize(static_cast<size_t>(input_.nc()) * input_.nt());
+    }
+    gyro_j_ = tensor::Tensor3<double>(nv_loc(), input_.nc(), nt_loc());
+    const size_t nfield = static_cast<size_t>(input_.nc()) * nt_loc();
+    field_stack_.assign(nfield * input_.n_field, cplx{});
+    u_.assign(nfield, cplx{});
+    denom_.assign(nfield, 0.0);
+    unorm_.assign(nfield, 0.0);
+    build_tables();
+  } else {
+    // Same collective (and host staging) as the real path's upwind-norm
+    // reduction in build_tables.
+    proc_->stage_for_comm(static_cast<std::uint64_t>(input_.nc()) * nt_loc() *
+                          sizeof(double));
+    comms_.nv.allreduce_virtual(
+        static_cast<std::uint64_t>(input_.nc()) * nt_loc() * sizeof(double));
+  }
+
+  build_cmat();
+
+  if (mode_ == Mode::kReal) apply_initial_condition();
+
+  coll_states_.clear();
+  if (mode_ == Mode::kReal) coll_states_ = coll_transpose_->make_coll_tensors();
+  coll_scratch_.assign(static_cast<size_t>(input_.nv()) * 2, cplx{});
+}
+
+void Simulation::build_tables() {
+  for (int ivl = 0; ivl < nv_loc(); ++ivl) {
+    const int iv = iv_global_[ivl];
+    for (int ic = 0; ic < input_.nc(); ++ic) {
+      for (int itl = 0; itl < nt_loc(); ++itl) {
+        gyro_j_(ivl, ic, itl) =
+            geometry_.gyroaverage(*vgrid_, iv, ic, it_global(itl));
+      }
+    }
+  }
+  for (int ic = 0; ic < input_.nc(); ++ic) {
+    for (int itl = 0; itl < nt_loc(); ++itl) {
+      const size_t idx = static_cast<size_t>(ic) * nt_loc() + itl;
+      denom_[idx] = geometry_.field_denominator(ic, it_global(itl));
+      double partial = 0.0;
+      for (int ivl = 0; ivl < nv_loc(); ++ivl) {
+        const int iv = iv_global_[ivl];
+        const double j = gyro_j_(ivl, ic, itl);
+        partial += vgrid_->weight(iv) * std::abs(vgrid_->v_parallel(iv)) * j * j;
+      }
+      unorm_[idx] = partial;
+    }
+  }
+  // Complete the upwind normalization across the velocity communicator.
+  proc_->stage_for_comm(unorm_.size() * sizeof(double));
+  comms_.nv.allreduce_sum(std::span<double>(unorm_));
+  for (auto& v : unorm_) v = std::max(v, 1e-12);
+}
+
+void Simulation::build_cmat() {
+  const int nv = input_.nv();
+  // cmat is constructed on the host (LU factorizations) and uploaded to the
+  // device once — the one big H2D transfer of a CGYRO run.
+  const double scattering_flops = 6.0 * static_cast<double>(nv) * nv * nv;
+  proc_->compute(scattering_flops +
+                 static_cast<double>(n_coll_cells()) *
+                     collision::CmatRecipe::build_flops_per_cell(nv));
+  proc_->stage_upload(static_cast<std::uint64_t>(nv) * nv * n_coll_cells() *
+                      sizeof(float));
+  if (mode_ == Mode::kModel) {
+    cmat_ = std::make_unique<collision::CollisionTensor>(nv, 0);
+    return;
+  }
+  collision::CmatRecipe recipe;
+  recipe.params = input_.collision;
+  recipe.dt = input_.dt;
+  const la::MatrixD scattering =
+      collision::build_scattering_operator(*vgrid_, recipe.params);
+  cmat_ = std::make_unique<collision::CollisionTensor>(nv, n_coll_cells());
+  for (int a = 0; a < nc_loc_coll(); ++a) {
+    const int ic = global_ic_of_coll_cell(a);
+    for (int itl = 0; itl < nt_loc(); ++itl) {
+      const double kperp2 = geometry_.kperp2(ic, it_global(itl));
+      cmat_->set_cell(a * nt_loc() + itl,
+                      recipe.build_cell(*vgrid_, scattering, kperp2));
+    }
+  }
+}
+
+void Simulation::apply_initial_condition() {
+  for (int ivl = 0; ivl < nv_loc(); ++ivl) {
+    const int iv = iv_global_[ivl];
+    for (int ic = 0; ic < input_.nc(); ++ic) {
+      for (int itl = 0; itl < nt_loc(); ++itl) {
+        h_(ivl, ic, itl) =
+            init_value(input_.seed, iv, ic, it_global(itl), input_.amp0);
+      }
+    }
+  }
+}
+
+void Simulation::field_solve(const tensor::Tensor3Z& h) {
+  proc_->set_phase("str");
+  const int nf = input_.n_field;
+  proc_->kernel(static_cast<double>(state_elems()) * nf *
+                compute_model_.field_partial_flops_per_elem);
+  const size_t cells = static_cast<size_t>(input_.nc()) * nt_loc();
+  if (mode_ == Mode::kReal) {
+    for (int f = 0; f < nf; ++f) {
+      cplx* slot = field_stack_.data() + static_cast<size_t>(f) * cells;
+      for (int ic = 0; ic < input_.nc(); ++ic) {
+        for (int itl = 0; itl < nt_loc(); ++itl) {
+          cplx acc{};
+          for (int ivl = 0; ivl < nv_loc(); ++ivl) {
+            const int iv = iv_global_[ivl];
+            const double z = vgrid_->species(vgrid_->species_of(iv)).charge;
+            // Field moment weights: φ ← 1, A∥ ← v∥, B∥ ← e (EM stand-ins).
+            const double mw = (f == 0)   ? 1.0
+                              : (f == 1) ? vgrid_->v_parallel(iv)
+                                         : vgrid_->energy(vgrid_->energy_of(iv));
+            acc += z * mw * vgrid_->weight(iv) * gyro_j_(ivl, ic, itl) *
+                   h(ivl, ic, itl);
+          }
+          slot[static_cast<size_t>(ic) * nt_loc() + itl] = acc;
+        }
+      }
+    }
+  }
+  proc_->set_phase("str_comm");
+  proc_->stage_for_comm(field_bytes() * nf);
+  if (mode_ == Mode::kReal) {
+    comms_.nv.allreduce_sum(std::span<cplx>(field_stack_));
+  } else {
+    comms_.nv.allreduce_virtual(field_bytes() * nf);
+  }
+  proc_->set_phase("str");
+  if (mode_ == Mode::kReal) {
+    for (size_t i = 0; i < cells; ++i) field_stack_[i] /= denom_[i];
+  }
+}
+
+void Simulation::upwind_solve(const tensor::Tensor3Z& h) {
+  proc_->set_phase("str");
+  proc_->kernel(static_cast<double>(state_elems()) *
+                compute_model_.field_partial_flops_per_elem);
+  if (mode_ == Mode::kReal) {
+    for (int ic = 0; ic < input_.nc(); ++ic) {
+      for (int itl = 0; itl < nt_loc(); ++itl) {
+        cplx acc{};
+        for (int ivl = 0; ivl < nv_loc(); ++ivl) {
+          const int iv = iv_global_[ivl];
+          acc += vgrid_->weight(iv) * std::abs(vgrid_->v_parallel(iv)) *
+                 gyro_j_(ivl, ic, itl) * h(ivl, ic, itl);
+        }
+        u_[static_cast<size_t>(ic) * nt_loc() + itl] = acc;
+      }
+    }
+  }
+  proc_->set_phase("str_comm");
+  proc_->stage_for_comm(field_bytes());
+  if (mode_ == Mode::kReal) {
+    comms_.nv.allreduce_sum(std::span<cplx>(u_));
+  } else {
+    comms_.nv.allreduce_virtual(field_bytes());
+  }
+  proc_->set_phase("str");
+  if (mode_ == Mode::kReal) {
+    for (size_t i = 0; i < u_.size(); ++i) u_[i] /= unorm_[i];
+  }
+}
+
+void Simulation::nonlinear_term(const tensor::Tensor3Z& h) {
+  const int nt = input_.nt();
+  const int nc_pt = input_.nc() / decomp_.pt;
+
+  // Gather the full toroidal extent of φ across the t communicator.
+  proc_->set_phase("nl_comm");
+  const std::uint64_t phi_bytes = field_bytes();
+  const std::uint64_t state_bytes = state_elems() * sizeof(cplx);
+  proc_->stage_for_comm(phi_bytes);
+  std::vector<cplx> gathered;
+  if (mode_ == Mode::kReal) {
+    gathered.resize(static_cast<size_t>(input_.nc()) * nt);
+    comms_.t.allgather(
+        std::span<const cplx>(field_stack_.data(),
+                              static_cast<size_t>(input_.nc()) * nt_loc()),
+        std::span<cplx>(gathered));
+    // gathered is blocked by source rank: block q holds φ(ic, q·nt_loc+itl).
+    for (int q = 0; q < decomp_.pt; ++q) {
+      const cplx* block =
+          gathered.data() + static_cast<size_t>(q) * input_.nc() * nt_loc();
+      for (int ic = 0; ic < input_.nc(); ++ic) {
+        for (int itl = 0; itl < nt_loc(); ++itl) {
+          phi_full_t_[static_cast<size_t>(ic) * nt + q * nt_loc() + itl] =
+              block[static_cast<size_t>(ic) * nt_loc() + itl];
+        }
+      }
+    }
+  } else {
+    comms_.t.allgather_virtual(phi_bytes);
+  }
+
+  // Permute h(ivl, ic, itl) → (itl, ic, ivl) and transpose to the nl layout
+  // (full toroidal dimension per rank).
+  if (mode_ == Mode::kReal) {
+    for (int ivl = 0; ivl < nv_loc(); ++ivl) {
+      for (int ic = 0; ic < input_.nc(); ++ic) {
+        for (int itl = 0; itl < nt_loc(); ++itl) {
+          nl_str_perm_(itl, ic, ivl) = h(ivl, ic, itl);
+        }
+      }
+    }
+    proc_->stage_for_comm(state_bytes);
+    nl_transpose_->to_coll(comms_.t, nl_str_perm_, nl_layout_);
+  } else {
+    proc_->stage_for_comm(state_bytes);
+    nl_transpose_->to_coll_virtual(comms_.t);
+  }
+
+  // Pseudo-spectral toroidal bracket, one circular convolution pair per
+  // (configuration cell, velocity point).
+  proc_->set_phase("nl");
+  proc_->kernel(static_cast<double>(state_elems()) *
+                (compute_model_.nl_flops_per_elem_base +
+                 compute_model_.nl_fft_flops_per_log *
+                     std::log2(static_cast<double>(std::max(2, nt)))));
+  if (mode_ == Mode::kReal) {
+    fft::Plan plan(static_cast<size_t>(nt));
+    std::vector<cplx> a(nt), b(nt), c(nt), d(nt);
+    auto& hn = nl_layout_[0];
+    for (int aa = 0; aa < nc_pt; ++aa) {
+      const int ic = comms_.t.rank() * nc_pt + aa;
+      for (int ivl = 0; ivl < nv_loc(); ++ivl) {
+        for (int t = 0; t < nt; ++t) {
+          const cplx iky(0.0, geometry_.ky(t));
+          const cplx ikx(0.0, geometry_.kx(ic, t));
+          const cplx ph = phi_full_t_[static_cast<size_t>(ic) * nt + t];
+          const cplx hh = hn(aa, t, ivl);
+          a[t] = iky * ph;
+          b[t] = ikx * hh;
+          c[t] = ikx * ph;
+          d[t] = iky * hh;
+        }
+        plan.forward(a);
+        plan.forward(b);
+        plan.forward(c);
+        plan.forward(d);
+        for (int t = 0; t < nt; ++t) a[t] = a[t] * b[t] - c[t] * d[t];
+        plan.inverse(a);
+        for (int t = 0; t < nt; ++t) hn(aa, t, ivl) = a[t];
+      }
+    }
+  }
+
+  // Back to the streaming layout.
+  proc_->set_phase("nl_comm");
+  proc_->stage_for_comm(state_bytes);
+  if (mode_ == Mode::kReal) {
+    nl_transpose_->to_str(comms_.t, nl_layout_, nl_str_perm_);
+    for (int ivl = 0; ivl < nv_loc(); ++ivl) {
+      for (int ic = 0; ic < input_.nc(); ++ic) {
+        for (int itl = 0; itl < nt_loc(); ++itl) {
+          nl_(ivl, ic, itl) = nl_str_perm_(itl, ic, ivl);
+        }
+      }
+    }
+  } else {
+    nl_transpose_->to_str_virtual(comms_.t);
+  }
+  proc_->set_phase("str");
+}
+
+void Simulation::compute_rhs(const tensor::Tensor3Z& h, tensor::Tensor3Z& rhs) {
+  proc_->set_phase("str");
+  proc_->kernel(static_cast<double>(state_elems()) *
+                compute_model_.rhs_flops_per_elem);
+  if (mode_ != Mode::kReal) return;
+  for (int ivl = 0; ivl < nv_loc(); ++ivl) {
+    const int iv = iv_global_[ivl];
+    const int is = vgrid_->species_of(iv);
+    const double e = vgrid_->energy(vgrid_->energy_of(iv));
+    const double xi = vgrid_->xi(vgrid_->xi_of(iv));
+    const double vpar = vgrid_->v_parallel(iv);
+    const double drive_coef =
+        input_.species[is].a_ln_n + input_.species[is].a_ln_t * (e - 1.5);
+    for (int ic = 0; ic < input_.nc(); ++ic) {
+      const double kpar = geometry_.kpar(ic);
+      for (int itl = 0; itl < nt_loc(); ++itl) {
+        const double ky = geometry_.ky(it_global(itl));
+        const size_t fidx = static_cast<size_t>(ic) * nt_loc() + itl;
+        const double omega =
+            kpar * vpar + 0.4 * ky * e * (0.5 + 0.5 * xi * xi);
+        const double j = gyro_j_(ivl, ic, itl);
+        const cplx hval = h(ivl, ic, itl);
+        cplx r = cplx(0.0, -omega) * hval +
+                 cplx(0.0, ky * j * drive_coef) * field_stack_[fidx] -
+                 input_.upwind * std::abs(kpar) *
+                     (std::abs(vpar) * hval - j * u_[fidx]);
+        if (input_.nonlinear) r += nl_(ivl, ic, itl);
+        rhs(ivl, ic, itl) = r;
+      }
+    }
+  }
+}
+
+void Simulation::rk4_step() {
+  const double dt = input_.dt;
+  auto stage_rhs = [&](const tensor::Tensor3Z& x, tensor::Tensor3Z& out) {
+    field_solve(x);
+    upwind_solve(x);
+    if (input_.nonlinear) nonlinear_term(x);
+    compute_rhs(x, out);
+  };
+  const bool real = (mode_ == Mode::kReal);
+  auto axpy_into = [&](tensor::Tensor3Z& dst, const tensor::Tensor3Z& base,
+                       const tensor::Tensor3Z& v, double coef) {
+    if (!real) return;
+    const auto b = base.data();
+    const auto vv = v.data();
+    auto dd = dst.data();
+    for (size_t i = 0; i < dd.size(); ++i) dd[i] = b[i] + coef * vv[i];
+  };
+  auto accum = [&](tensor::Tensor3Z& dst, const tensor::Tensor3Z& v, double coef) {
+    if (!real) return;
+    const auto vv = v.data();
+    auto dd = dst.data();
+    for (size_t i = 0; i < dd.size(); ++i) dd[i] += coef * vv[i];
+  };
+
+  stage_rhs(h_, k_);                      // k1
+  axpy_into(acc_, h_, k_, dt / 6.0);
+  axpy_into(stage_, h_, k_, dt / 2.0);
+  stage_rhs(stage_, k_);                  // k2
+  accum(acc_, k_, dt / 3.0);
+  axpy_into(stage_, h_, k_, dt / 2.0);
+  stage_rhs(stage_, k_);                  // k3
+  accum(acc_, k_, dt / 3.0);
+  axpy_into(stage_, h_, k_, dt);
+  stage_rhs(stage_, k_);                  // k4
+  accum(acc_, k_, dt / 6.0);
+  if (real) std::swap(h_, acc_);
+}
+
+void Simulation::apply_collisions_range(int a_lo, int a_hi) {
+  const int nv = input_.nv();
+  std::span<cplx> x(coll_scratch_.data(), nv);
+  std::span<cplx> y(coll_scratch_.data() + nv, nv);
+  for (int s = 0; s < comms_.n_sims_sharing; ++s) {
+    auto& state = coll_states_[s];
+    for (int a = a_lo; a < a_hi; ++a) {
+      for (int itl = 0; itl < nt_loc(); ++itl) {
+        for (int iv = 0; iv < nv; ++iv) x[iv] = state(a, iv, itl);
+        cmat_->apply(a * nt_loc() + itl, x, y);
+        for (int iv = 0; iv < nv; ++iv) state(a, iv, itl) = y[iv];
+      }
+    }
+  }
+}
+
+void Simulation::collision_step() {
+  proc_->set_phase("coll_comm");
+  const std::uint64_t state_bytes = state_elems() * sizeof(cplx);
+  proc_->stage_for_comm(state_bytes);
+
+  const int chunks = coll_transpose_->clamp_chunks(input_.coll_pipeline_chunks);
+  const double nv2_bytes =
+      static_cast<double>(input_.nv()) * input_.nv() * sizeof(float);
+  if (chunks > 1) {
+    // Pipelined: per-chunk collision kernels run while later chunks of the
+    // transpose are still in flight (CGYRO-style overlap).
+    const int a_per_chunk = nc_loc_coll() / chunks;
+    const double chunk_cells = static_cast<double>(a_per_chunk) * nt_loc() *
+                               comms_.n_sims_sharing;
+    auto work = [&](int c) {
+      proc_->set_phase("coll");
+      proc_->kernel(chunk_cells * cmat_->apply_flops(),
+                    chunk_cells * nv2_bytes);
+      if (mode_ == Mode::kReal) {
+        apply_collisions_range(c * a_per_chunk, (c + 1) * a_per_chunk);
+      }
+      proc_->set_phase("coll_comm");
+    };
+    if (mode_ == Mode::kReal) {
+      coll_transpose_->to_coll_pipelined(comms_.coll, h_, coll_states_, chunks,
+                                         work);
+    } else {
+      coll_transpose_->to_coll_pipelined_virtual(comms_.coll, chunks, work);
+    }
+  } else {
+    if (mode_ == Mode::kReal) {
+      coll_transpose_->to_coll(comms_.coll, h_, coll_states_);
+    } else {
+      coll_transpose_->to_coll_virtual(comms_.coll);
+    }
+    proc_->set_phase("coll");
+    const double cells =
+        static_cast<double>(n_coll_cells()) * comms_.n_sims_sharing;
+    proc_->kernel(cells * cmat_->apply_flops(), cells * nv2_bytes);
+    if (mode_ == Mode::kReal) apply_collisions_range(0, nc_loc_coll());
+  }
+
+  proc_->set_phase("coll_comm");
+  proc_->stage_for_comm(state_bytes);
+  if (mode_ == Mode::kReal) {
+    coll_transpose_->to_str(comms_.coll, coll_states_, h_);
+  } else {
+    coll_transpose_->to_str_virtual(comms_.coll);
+  }
+  proc_->set_phase("str");
+}
+
+void Simulation::step() {
+  rk4_step();
+  collision_step();
+  ++steps_;
+}
+
+Diagnostics Simulation::advance_report_interval() {
+  for (int s = 0; s < input_.n_steps_per_report; ++s) step();
+  return diagnostics();
+}
+
+Diagnostics Simulation::diagnostics() {
+  Diagnostics d;
+  d.steps = steps_;
+  d.time = steps_ * input_.dt;
+  field_solve(h_);
+  proc_->set_phase("report");
+  if (mode_ == Mode::kReal) {
+    // Count each (ic, it) cell once: φ is replicated across the nv comm.
+    double sums[3] = {0.0, 0.0, 0.0};
+    if (comms_.nv.rank() == 0) {
+      for (int ic = 0; ic < input_.nc(); ++ic) {
+        for (int itl = 0; itl < nt_loc(); ++itl) {
+          const double p2 =
+              std::norm(field_stack_[static_cast<size_t>(ic) * nt_loc() + itl]);
+          sums[0] += p2;
+          sums[1] += geometry_.ky(it_global(itl)) * p2;
+        }
+      }
+    }
+    // Free energy: every rank owns a disjoint slice of h.
+    for (int ivl = 0; ivl < nv_loc(); ++ivl) {
+      const double w = vgrid_->weight(iv_global_[ivl]);
+      for (int ic = 0; ic < input_.nc(); ++ic) {
+        for (int itl = 0; itl < nt_loc(); ++itl) {
+          sums[2] += w * std::norm(h_(ivl, ic, itl));
+        }
+      }
+    }
+    comms_.sim.allreduce_sum(std::span<double>(sums, 3));
+    d.phi_rms = std::sqrt(sums[0] / (static_cast<double>(input_.nc()) * input_.nt()));
+    d.flux_proxy = sums[1];
+    d.free_energy = sums[2];
+  } else {
+    comms_.sim.allreduce_virtual(3 * sizeof(double));
+  }
+  proc_->set_phase("str");
+  return d;
+}
+
+std::vector<double> Simulation::phi_spectrum() {
+  XG_REQUIRE(mode_ == Mode::kReal, "phi_spectrum requires real mode");
+  field_solve(h_);
+  proc_->set_phase("report");
+  std::vector<double> spectrum(static_cast<size_t>(input_.nt()), 0.0);
+  // φ is replicated across the nv communicator; count each cell once.
+  if (comms_.nv.rank() == 0) {
+    for (int ic = 0; ic < input_.nc(); ++ic) {
+      for (int itl = 0; itl < nt_loc(); ++itl) {
+        spectrum[it_global(itl)] +=
+            std::norm(field_stack_[static_cast<size_t>(ic) * nt_loc() + itl]);
+      }
+    }
+  }
+  comms_.sim.allreduce_sum(std::span<double>(spectrum));
+  proc_->set_phase("str");
+  return spectrum;
+}
+
+std::uint64_t Simulation::state_hash() {
+  XG_REQUIRE(mode_ == Mode::kReal, "state_hash requires real mode");
+  std::uint64_t local = 0;
+  for (int ivl = 0; ivl < nv_loc(); ++ivl) {
+    const int iv = iv_global_[ivl];
+    for (int ic = 0; ic < input_.nc(); ++ic) {
+      for (int itl = 0; itl < nt_loc(); ++itl) {
+        local += element_hash(iv, ic, it_global(itl), h_(ivl, ic, itl));
+      }
+    }
+  }
+  std::uint64_t buf[1] = {local};
+  comms_.sim.allreduce(std::span<std::uint64_t>(buf, 1),
+                       [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  return buf[0];
+}
+
+cluster::MemoryInventory Simulation::memory_inventory() const {
+  return memory_inventory(input_, decomp_, comms_.n_sims_sharing);
+}
+
+cluster::MemoryInventory Simulation::memory_inventory(const Input& input,
+                                                      const Decomposition& d,
+                                                      int k) {
+  const double nv_loc = static_cast<double>(input.nv()) / d.pv;
+  const double nt_loc = static_cast<double>(input.nt()) / d.pt;
+  const double state = nv_loc * input.nc() * nt_loc * sizeof(cplx);
+  const double field = static_cast<double>(input.nc()) * nt_loc;
+
+  cluster::MemoryInventory inv;
+  inv.add("h_state", state, "distribution function, str layout");
+  inv.add("rk_workspace", 3 * state, "RK4 stage/accumulator buffers");
+  inv.add("gyroavg_table", state / 2, "gyroaverage factors (fp64 real)");
+  inv.add("fields", field * (16.0 * input.n_field + 16 + 8 + 8),
+          "field stack, upwind, denominators");
+  inv.add("transpose_staging", 2 * state, "AllToAll pack/unpack");
+  inv.add("coll_state", state, "collision-layout state (all shared sims)");
+  if (input.nonlinear) {
+    inv.add("nl_workspace", 2 * state + field * input.nt() / nt_loc * 16,
+            "bracket buffers + gathered phi");
+  }
+  const double cells =
+      static_cast<double>(input.nc()) / (d.pv * k) * nt_loc;
+  inv.add("cmat",
+          static_cast<double>(input.nv()) * input.nv() * cells * sizeof(float),
+          k > 1 ? "collisional constant tensor (ensemble-shared)"
+                : "collisional constant tensor");
+  inv.add("runtime_fixed", 64e6, "solver runtime, grids, comm buffers");
+  return inv;
+}
+
+std::string format_timing(const mpi::RunResult& result,
+                          const std::vector<std::string>& phases) {
+  std::string out = strprintf("%-12s %12s %12s %12s\n", "phase", "comm_max",
+                              "compute_max", "total_max");
+  double tot_comm = 0, tot_compute = 0;
+  for (const auto& phase : phases) {
+    double comm = 0, compute = 0, total = 0;
+    for (const auto& r : result.ranks) {
+      const auto it = r.phases.find(phase);
+      if (it == r.phases.end()) continue;
+      comm = std::max(comm, it->second.comm_s);
+      compute = std::max(compute, it->second.compute_s);
+      total = std::max(total, it->second.comm_s + it->second.compute_s);
+    }
+    tot_comm += comm;
+    tot_compute += compute;
+    out += strprintf("%-12s %12.4f %12.4f %12.4f\n", phase.c_str(), comm,
+                     compute, total);
+  }
+  out += strprintf("%-12s %12.4f %12.4f %12.4f\n", "SUM", tot_comm, tot_compute,
+                   tot_comm + tot_compute);
+  out += strprintf("%-12s %38.4f\n", "MAKESPAN", result.makespan_s);
+  return out;
+}
+
+}  // namespace xg::gyro

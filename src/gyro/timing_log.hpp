@@ -1,0 +1,52 @@
+// CGYRO-style timing logs (out.cgyro.timing / out.xgyro.timing).
+//
+// CGYRO appends one row of per-phase seconds per reporting step to a plain
+// text file; the paper's Fig. 2 numbers were read off exactly such logs
+// (reference [5] of the paper is the published log archive). We write and
+// parse the same kind of artifact so campaign results survive as files, not
+// just process output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simmpi/stats.hpp"
+
+namespace xg::gyro {
+
+struct TimingRow {
+  std::string phase;
+  double comm_s = 0.0;     ///< max over ranks of communication time
+  double compute_s = 0.0;  ///< max over ranks of compute time
+  double total_s = 0.0;    ///< max over ranks of comm+compute
+};
+
+/// Extract per-phase rows (max over ranks, the bulk-synchronous convention)
+/// from a finished run, in the given phase order. Unknown phases yield
+/// all-zero rows so logs keep a fixed schema.
+std::vector<TimingRow> timing_rows(const mpi::RunResult& result,
+                                   const std::vector<std::string>& phases);
+
+/// Serialize rows to the log text format:
+///   # xgyro timing v1
+///   # phase comm compute total
+///   str_comm 1.234e-02 0.000e+00 1.234e-02
+///   ...
+///   # makespan 4.56e+00
+std::string render_timing_log(const std::vector<TimingRow>& rows,
+                              double makespan_s);
+
+/// Write render_timing_log output to a file. Throws xg::Error on I/O error.
+void write_timing_log(const std::string& path,
+                      const std::vector<TimingRow>& rows, double makespan_s);
+
+/// Parse the format produced by render_timing_log. `makespan_out` may be
+/// null. Throws xg::InputError on malformed input.
+std::vector<TimingRow> parse_timing_log(const std::string& text,
+                                        double* makespan_out = nullptr);
+
+/// Load and parse a timing log file.
+std::vector<TimingRow> load_timing_log(const std::string& path,
+                                       double* makespan_out = nullptr);
+
+}  // namespace xg::gyro

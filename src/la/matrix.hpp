@@ -1,0 +1,135 @@
+// Dense row-major matrix and BLAS-2/3 kernels.
+//
+// This is the substrate for the collision-operator constant tensor (cmat):
+// CGYRO's implicit collision step amounts to one dense nv×nv mat-vec per
+// (configuration, toroidal) cell, applied to complex state with a *real*
+// constant matrix. We therefore provide real matrices, complex vectors, and
+// mixed real-matrix × complex-vector kernels.
+#pragma once
+
+#include <algorithm>
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace xg::la {
+
+using cplx = std::complex<double>;
+
+/// Dense row-major matrix. Value-semantic; allocation is explicit via the
+/// (rows, cols) constructor. Indexing is bounds-checked only via XG_ASSERT
+/// in debug-style paths; hot kernels use raw spans.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, fill) {
+    XG_ASSERT(rows >= 0 && cols >= 0);
+  }
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] size_t size() const { return data_.size(); }
+
+  T& operator()(int i, int j) {
+    return data_[static_cast<size_t>(i) * cols_ + j];
+  }
+  const T& operator()(int i, int j) const {
+    return data_[static_cast<size_t>(i) * cols_ + j];
+  }
+
+  [[nodiscard]] std::span<T> row(int i) {
+    return {data_.data() + static_cast<size_t>(i) * cols_,
+            static_cast<size_t>(cols_)};
+  }
+  [[nodiscard]] std::span<const T> row(int i) const {
+    return {data_.data() + static_cast<size_t>(i) * cols_,
+            static_cast<size_t>(cols_)};
+  }
+
+  [[nodiscard]] std::span<T> data() { return data_; }
+  [[nodiscard]] std::span<const T> data() const { return data_; }
+
+  static Matrix identity(int n) {
+    Matrix m(n, n);
+    for (int i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatrixD = Matrix<double>;
+using MatrixZ = Matrix<cplx>;
+
+/// y = alpha * A x + beta * y  (generic scalar combination).
+template <typename TA, typename TX, typename TY>
+void gemv(const Matrix<TA>& a, std::span<const TX> x, std::span<TY> y,
+          TY alpha = TY{1}, TY beta = TY{0}) {
+  XG_ASSERT(static_cast<size_t>(a.cols()) == x.size());
+  XG_ASSERT(static_cast<size_t>(a.rows()) == y.size());
+  for (int i = 0; i < a.rows(); ++i) {
+    const auto row = a.row(i);
+    TY acc{};
+    for (int j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
+    y[i] = alpha * acc + beta * y[i];
+  }
+}
+
+/// C = A * B (no accumulation). Blocked for cache friendliness on the
+/// mid-size (≤ a few hundred) matrices cmat construction uses.
+template <typename T>
+Matrix<T> gemm(const Matrix<T>& a, const Matrix<T>& b) {
+  XG_ASSERT(a.cols() == b.rows());
+  Matrix<T> c(a.rows(), b.cols());
+  constexpr int kBlock = 48;
+  for (int ii = 0; ii < a.rows(); ii += kBlock) {
+    const int imax = std::min(ii + kBlock, a.rows());
+    for (int kk = 0; kk < a.cols(); kk += kBlock) {
+      const int kmax = std::min(kk + kBlock, a.cols());
+      for (int i = ii; i < imax; ++i) {
+        auto crow = c.row(i);
+        const auto arow = a.row(i);
+        for (int k = kk; k < kmax; ++k) {
+          const T aik = arow[k];
+          const auto brow = b.row(k);
+          for (int j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+        }
+      }
+    }
+  }
+  return c;
+}
+
+/// Frobenius norm.
+template <typename T>
+double frobenius_norm(const Matrix<T>& a) {
+  double sum = 0.0;
+  for (const auto& v : a.data()) sum += std::norm(cplx(v));
+  return std::sqrt(sum);
+}
+
+/// max |a_ij - b_ij|
+template <typename T>
+double max_abs_diff(const Matrix<T>& a, const Matrix<T>& b) {
+  XG_ASSERT(a.rows() == b.rows() && a.cols() == b.cols());
+  double m = 0.0;
+  const auto da = a.data();
+  const auto db = b.data();
+  for (size_t i = 0; i < da.size(); ++i) {
+    m = std::max(m, std::abs(cplx(da[i]) - cplx(db[i])));
+  }
+  return m;
+}
+
+}  // namespace xg::la

@@ -1,0 +1,433 @@
+#include "simmpi/comm.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "util/format.hpp"
+#include "util/hash.hpp"
+
+namespace xg::mpi {
+
+namespace {
+
+/// Largest power of two <= n (n >= 1).
+int pow2_floor(int n) {
+  int p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+/// Balanced range partition: chunk c of n elements over P chunks.
+size_t chunk_lo(size_t n, int nchunks, int c) {
+  return n * static_cast<size_t>(c) / static_cast<size_t>(nchunks);
+}
+
+/// Max number of communicator members placed on any single node.
+int compute_nic_sharers(const net::Placement& place, const std::vector<int>& members) {
+  std::map<int, int> per_node;
+  int best = 1;
+  for (const int r : members) {
+    const int c = ++per_node[place.node_of(r)];
+    if (c > best) best = c;
+  }
+  return best;
+}
+
+}  // namespace
+
+void Comm::send_bytes(int dst, int tag, const void* data, std::uint64_t bytes) {
+  XG_ASSERT_MSG(valid(), "send on an invalid communicator");
+  if (dst < 0 || dst >= size()) {
+    throw MpiUsageError(strprintf("send: destination %d out of range [0,%d)",
+                                  dst, size()));
+  }
+  XG_ASSERT_MSG(dst != myrank_, "send to self is not supported");
+  proc_->p2p_send(group_->members[dst], group_->context, tag, data, bytes,
+                  group_->nic_sharers);
+}
+
+void Comm::recv_bytes(int src, int tag, void* data, std::uint64_t bytes) {
+  XG_ASSERT_MSG(valid(), "recv on an invalid communicator");
+  if (src < 0 || src >= size()) {
+    throw MpiUsageError(strprintf("recv: source %d out of range [0,%d)", src,
+                                  size()));
+  }
+  XG_ASSERT_MSG(src != myrank_, "recv from self is not supported");
+  proc_->p2p_recv(group_->members[src], group_->context, tag, data, bytes);
+}
+
+Request Comm::isend_bytes(int dst, int tag, const void* data,
+                          std::uint64_t bytes) {
+  XG_ASSERT_MSG(valid(), "isend on an invalid communicator");
+  if (dst < 0 || dst >= size()) {
+    throw MpiUsageError(strprintf("isend: destination %d out of range [0,%d)",
+                                  dst, size()));
+  }
+  XG_ASSERT_MSG(dst != myrank_, "isend to self is not supported");
+  Request r;
+  r.kind_ = Request::Kind::kSend;
+  r.send_complete_at_ = proc_->p2p_isend(group_->members[dst], group_->context,
+                                         tag, data, bytes, group_->nic_sharers);
+  return r;
+}
+
+Request Comm::irecv_bytes(int src, int tag, void* data, std::uint64_t bytes) {
+  XG_ASSERT_MSG(valid(), "irecv on an invalid communicator");
+  if (src < 0 || src >= size()) {
+    throw MpiUsageError(strprintf("irecv: source %d out of range [0,%d)", src,
+                                  size()));
+  }
+  XG_ASSERT_MSG(src != myrank_, "irecv from self is not supported");
+  Request r;
+  r.kind_ = Request::Kind::kRecv;
+  r.src_ = src;
+  r.tag_ = tag;
+  r.data_ = data;
+  r.bytes_ = bytes;
+  return r;
+}
+
+void Comm::wait(Request& request) {
+  switch (request.kind_) {
+    case Request::Kind::kNone:
+      break;
+    case Request::Kind::kSend:
+      proc_->complete_send(request.send_complete_at_);
+      break;
+    case Request::Kind::kRecv:
+      recv_bytes(request.src_, request.tag_, request.data_, request.bytes_);
+      break;
+  }
+  request = Request();
+}
+
+void Comm::waitall(std::span<Request> requests) {
+  for (auto& r : requests) wait(r);
+}
+
+void Comm::barrier() {
+  const double t0 = proc_->now();
+  const int tag = internal_tag();
+  const int p = size();
+  // Dissemination barrier: ceil(log2 P) rounds of zero-byte messages.
+  for (int k = 1; k < p; k <<= 1) {
+    const int dst = (myrank_ + k) % p;
+    const int src = (myrank_ - k % p + p) % p;
+    send_virtual(0, dst, tag);
+    recv_virtual(0, src, tag);
+  }
+  trace_collective(TraceEvent::Kind::kBarrier, 0, t0);
+}
+
+void Comm::allreduce_virtual(std::uint64_t bytes, AllReduceAlg alg) {
+  const double t0 = proc_->now();
+  detail::VirtualCollBuf buf(bytes);
+  detail::allreduce_impl(*this, buf, alg);
+  trace_collective(TraceEvent::Kind::kAllReduce, bytes, t0);
+}
+
+void Comm::reduce_virtual(std::uint64_t bytes, int root) {
+  const double t0 = proc_->now();
+  detail::VirtualCollBuf buf(bytes);
+  detail::reduce_impl(*this, buf, root);
+  trace_collective(TraceEvent::Kind::kReduce, bytes, t0);
+}
+
+void Comm::bcast_virtual(std::uint64_t bytes, int root) {
+  const double t0 = proc_->now();
+  detail::VirtualCollBuf buf(bytes);
+  detail::bcast_impl(*this, buf, root);
+  trace_collective(TraceEvent::Kind::kBcast, bytes, t0);
+}
+
+void Comm::alltoall_virtual(std::uint64_t bytes_per_pair) {
+  const double t0 = proc_->now();
+  detail::VirtualBlockBuf buf(bytes_per_pair);
+  detail::alltoall_impl(*this, buf);
+  trace_collective(TraceEvent::Kind::kAllToAll, bytes_per_pair, t0);
+}
+
+void Comm::allgather_virtual(std::uint64_t bytes_per_rank) {
+  const double t0 = proc_->now();
+  detail::VirtualBlockBuf buf(bytes_per_rank);
+  detail::allgather_impl(*this, buf);
+  trace_collective(TraceEvent::Kind::kAllGather, bytes_per_rank, t0);
+}
+
+void Comm::reduce_scatter_virtual(std::uint64_t bytes_per_block) {
+  const double t0 = proc_->now();
+  if (size() > 1) {
+    detail::VirtualCollBuf buf(bytes_per_block * size());
+    detail::ring_reduce_scatter_impl(*this, buf, internal_tag());
+  }
+  trace_collective(TraceEvent::Kind::kReduceScatter, bytes_per_block, t0);
+}
+
+void Comm::scan_virtual(std::uint64_t bytes) {
+  const double t0 = proc_->now();
+  detail::VirtualCollBuf buf(bytes);
+  detail::scan_impl(*this, buf);
+  trace_collective(TraceEvent::Kind::kScan, bytes, t0);
+}
+
+Comm Comm::split(int color, int key, std::string label,
+                 bool exclusive_network) const {
+  XG_REQUIRE(color >= 0, "split: color must be >= 0 (no MPI_UNDEFINED here)");
+  // Exchange (color, key, parent rank) across the parent communicator.
+  struct Entry {
+    int color, key, parent_rank;
+  };
+  const Entry mine{color, key, myrank_};
+  std::vector<Entry> all(static_cast<size_t>(size()));
+  // allgather over Entry as raw bytes (POD).
+  {
+    // const_cast-free typed spans over POD entries
+    std::span<const Entry> mine_span(&mine, 1);
+    std::span<Entry> all_span(all);
+    const_cast<Comm*>(this)->allgather(mine_span, all_span);
+  }
+  std::vector<Entry> group;
+  for (const auto& e : all) {
+    if (e.color == color) group.push_back(e);
+  }
+  std::sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.key, a.parent_rank) < std::tie(b.key, b.parent_rank);
+  });
+
+  auto g = std::make_shared<detail::Group>();
+  Hasher h;
+  h.u64(group_->context).u64(group_->next_split).i64(color);
+  g->context = h.digest();
+  group_->next_split += 1;
+  g->label = label.empty()
+                 ? strprintf("%s/split%llu.c%d", group_->label.c_str(),
+                             static_cast<unsigned long long>(group_->next_split - 1),
+                             color)
+                 : std::move(label);
+  int new_rank = -1;
+  g->members.reserve(group.size());
+  for (size_t i = 0; i < group.size(); ++i) {
+    g->members.push_back(group_->members[group[i].parent_rank]);
+    if (group[i].parent_rank == myrank_) new_rank = static_cast<int>(i);
+  }
+  XG_ASSERT(new_rank >= 0);
+  g->nic_sharers = exclusive_network
+                       ? compute_nic_sharers(proc_->placement(), g->members)
+                       : -1;
+  return Comm(proc_, std::move(g), new_rank);
+}
+
+Comm Comm::make_world(Proc& proc) {
+  auto g = std::make_shared<detail::Group>();
+  g->context = Hasher().str("xgyro.world").digest();
+  g->label = "world";
+  g->members.resize(static_cast<size_t>(proc.world_size()));
+  for (int r = 0; r < proc.world_size(); ++r) g->members[r] = r;
+  return Comm(&proc, std::move(g), proc.world_rank());
+}
+
+void Comm::trace_collective(TraceEvent::Kind kind, std::uint64_t payload_bytes,
+                            double t_start) const {
+  if (myrank_ != 0 || !proc_->tracing()) return;
+  TraceEvent e;
+  e.kind = kind;
+  e.comm_context = group_->context;
+  e.comm_label = group_->label;
+  e.participants = size();
+  e.payload_bytes = payload_bytes;
+  e.world_rank = proc_->world_rank();
+  e.t_start = t_start;
+  e.t_end = proc_->now();
+  e.phase = proc_->phase();
+  proc_->record_trace(std::move(e));
+}
+
+namespace detail {
+
+namespace {
+
+/// Recursive-doubling allreduce with the standard non-power-of-two fold.
+void allreduce_recursive_doubling(Comm& c, CollBuf& buf, int tag) {
+  const int p = c.size();
+  const int r = c.rank();
+  const size_t n = buf.count();
+  const int p2 = pow2_floor(p);
+  const int rem = p - p2;
+
+  // Fold the ranks beyond the largest power of two into their even partner.
+  if (r < 2 * rem) {
+    if (r % 2 == 1) {
+      buf.send_range(c, r - 1, tag, 0, n);
+    } else {
+      buf.recv_reduce(c, r + 1, tag, 0, n, /*partner_lower=*/false);
+    }
+  }
+  const int newrank = (r < 2 * rem) ? ((r % 2 == 0) ? r / 2 : -1) : r - rem;
+  if (newrank >= 0) {
+    for (int mask = 1; mask < p2; mask <<= 1) {
+      const int partner_new = newrank ^ mask;
+      const int partner =
+          (partner_new < rem) ? partner_new * 2 : partner_new + rem;
+      buf.send_range(c, partner, tag, 0, n);
+      buf.recv_reduce(c, partner, tag, 0, n, /*partner_lower=*/partner < r);
+    }
+  }
+  // Hand the result back to the folded odd ranks.
+  if (r < 2 * rem) {
+    if (r % 2 == 0) {
+      buf.send_range(c, r + 1, tag, 0, n);
+    } else {
+      buf.recv_replace(c, r - 1, tag, 0, n);
+    }
+  }
+}
+
+/// Ring allreduce: reduce-scatter followed by ring allgather. Optimal
+/// bandwidth (2·(P−1)/P · bytes per rank) for large payloads.
+void allreduce_ring(Comm& c, CollBuf& buf, int tag) {
+  const int p = c.size();
+  const int r = c.rank();
+  const size_t n = buf.count();
+  const int right = (r + 1) % p;
+  const int left = (r - 1 + p) % p;
+
+  detail::ring_reduce_scatter_impl(c, buf, tag);
+  // Allgather the reduced chunks around the ring.
+  for (int step = 0; step < p - 1; ++step) {
+    const int send_chunk = (r + 1 - step + 2 * p) % p;
+    const int recv_chunk = (r - step + 2 * p) % p;
+    buf.send_range(c, right, tag, chunk_lo(n, p, send_chunk),
+                   chunk_lo(n, p, send_chunk + 1));
+    buf.recv_replace(c, left, tag, chunk_lo(n, p, recv_chunk),
+                     chunk_lo(n, p, recv_chunk + 1));
+  }
+}
+
+}  // namespace
+
+void ring_reduce_scatter_impl(Comm& c, CollBuf& buf, int tag) {
+  const int p = c.size();
+  const int r = c.rank();
+  const size_t n = buf.count();
+  const int right = (r + 1) % p;
+  const int left = (r - 1 + p) % p;
+  // After P-1 steps, rank r owns chunk (r+1)%p fully reduced.
+  for (int step = 0; step < p - 1; ++step) {
+    const int send_chunk = (r - step + 2 * p) % p;
+    const int recv_chunk = (r - step - 1 + 2 * p) % p;
+    buf.send_range(c, right, tag, chunk_lo(n, p, send_chunk),
+                   chunk_lo(n, p, send_chunk + 1));
+    buf.recv_reduce(c, left, tag, chunk_lo(n, p, recv_chunk),
+                    chunk_lo(n, p, recv_chunk + 1), /*partner_lower=*/true);
+  }
+}
+
+void scan_impl(Comm& c, CollBuf& buf) {
+  const int tag = c.internal_tag();
+  const int p = c.size();
+  const int r = c.rank();
+  const size_t n = buf.count();
+  if (r > 0) buf.recv_reduce(c, r - 1, tag, 0, n, /*partner_lower=*/true);
+  if (r < p - 1) buf.send_range(c, r + 1, tag, 0, n);
+}
+
+void allreduce_impl(Comm& c, CollBuf& buf, AllReduceAlg alg) {
+  const int tag = c.internal_tag();
+  if (c.size() == 1) return;
+  if (alg == AllReduceAlg::kAuto) {
+    // Same crossover idea as MPICH: latency-bound small payloads use
+    // recursive doubling; bandwidth-bound large payloads use the ring.
+    constexpr std::uint64_t kRingThresholdBytes = 64 * 1024;
+    alg = (buf.total_bytes() >= kRingThresholdBytes && c.size() > 2)
+              ? AllReduceAlg::kRing
+              : AllReduceAlg::kRecursiveDoubling;
+  }
+  if (alg == AllReduceAlg::kRing) {
+    allreduce_ring(c, buf, tag);
+  } else {
+    allreduce_recursive_doubling(c, buf, tag);
+  }
+}
+
+void reduce_impl(Comm& c, CollBuf& buf, int root) {
+  const int tag = c.internal_tag();
+  const int p = c.size();
+  if (p == 1) return;
+  const size_t n = buf.count();
+  const int relative = (c.rank() - root + p) % p;
+  // Binomial tree, leaves send first.
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if (relative & mask) {
+      const int dst = ((relative & ~mask) + root) % p;
+      buf.send_range(c, dst, tag, 0, n);
+      break;
+    }
+    const int src_rel = relative | mask;
+    if (src_rel < p) {
+      const int src = (src_rel + root) % p;
+      // The subtree rooted at a higher relative rank folds in from the right.
+      buf.recv_reduce(c, src, tag, 0, n, /*partner_lower=*/false);
+    }
+  }
+}
+
+void bcast_impl(Comm& c, CollBuf& buf, int root) {
+  const int tag = c.internal_tag();
+  const int p = c.size();
+  if (p == 1) return;
+  const size_t n = buf.count();
+  const int relative = (c.rank() - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (relative & mask) {
+      const int src = ((relative - mask) + root) % p;
+      buf.recv_replace(c, src, tag, 0, n);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < p) {
+      const int dst = ((relative + mask) + root) % p;
+      buf.send_range(c, dst, tag, 0, n);
+    }
+    mask >>= 1;
+  }
+}
+
+void alltoall_impl(Comm& c, BlockBuf& buf) {
+  const int tag = c.internal_tag();
+  const int p = c.size();
+  const int r = c.rank();
+  buf.copy_in_to_out(r, r);
+  // Pairwise exchange ("spread" schedule): at step s, send to r+s, receive
+  // from r-s. Eager sends make the simultaneous exchange deadlock-free.
+  for (int step = 1; step < p; ++step) {
+    const int dst = (r + step) % p;
+    const int src = (r - step + p) % p;
+    buf.send_in(c, dst, dst, tag);
+    buf.recv_out(c, src, src, tag);
+  }
+}
+
+void allgather_impl(Comm& c, BlockBuf& buf) {
+  const int tag = c.internal_tag();
+  const int p = c.size();
+  const int r = c.rank();
+  buf.copy_in_to_out(0, r);
+  const int right = (r + 1) % p;
+  const int left = (r - 1 + p) % p;
+  // Ring: forward the newest block each step.
+  for (int step = 0; step < p - 1; ++step) {
+    const int send_block = (r - step + 2 * p) % p;
+    const int recv_block = (r - step - 1 + 2 * p) % p;
+    buf.send_out(c, send_block, right, tag);
+    buf.recv_out(c, recv_block, left, tag);
+  }
+}
+
+}  // namespace detail
+
+}  // namespace xg::mpi

@@ -1,0 +1,482 @@
+// Communicators and collective operations for the simulated MPI runtime.
+//
+// Collectives are implemented with the textbook algorithms real MPI
+// libraries use (binomial trees, recursive doubling, ring reduce-scatter,
+// pairwise exchange), built on the eager p2p layer. Their cost therefore
+// *emerges* from the message schedule — in particular, AllReduce cost grows
+// with the number of participating processes, which is exactly the effect
+// the XGYRO paper exploits by shrinking the str-phase communicator.
+//
+// Every collective has a typed form (moves real data) and a `_virtual` form
+// (moves byte counts only). Both follow the identical message schedule, so
+// paper-scale model runs time exactly what small real runs execute.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "simmpi/runtime.hpp"
+#include "util/error.hpp"
+
+namespace xg::mpi {
+
+class Comm;
+
+/// AllReduce algorithm selection. kAuto picks recursive doubling for small
+/// payloads and ring (reduce-scatter + allgather) for large ones, like a
+/// real MPI library would.
+enum class AllReduceAlg { kAuto, kRecursiveDoubling, kRing };
+
+namespace detail {
+
+struct Group {
+  std::uint64_t context = 0;
+  std::string label;
+  std::vector<int> members;    ///< world ranks indexed by local rank
+  std::uint64_t next_seq = 1;  ///< collective sequence (consistent across
+                               ///< members because collective calls are
+                               ///< ordered identically on every member)
+  std::uint64_t next_split = 1;
+  /// NIC-sharing factor for this communicator's traffic. -1 = conservative
+  /// default (all ranks of the node contend — correct for bulk-synchronous
+  /// phases where sibling communicators run concurrently). A communicator
+  /// created with exclusive_network=true instead uses its own max members
+  /// per node, modelling a communicator that runs alone on the machine.
+  int nic_sharers = -1;
+};
+
+/// Type-erased element buffer used by reduce-style collectives.
+class CollBuf {
+ public:
+  virtual ~CollBuf() = default;
+  [[nodiscard]] virtual size_t count() const = 0;
+  [[nodiscard]] virtual std::uint64_t elem_bytes() const = 0;
+  virtual void send_range(Comm& c, int dst, int tag, size_t lo, size_t hi) = 0;
+  virtual void recv_replace(Comm& c, int src, int tag, size_t lo, size_t hi) = 0;
+  /// Receive [lo,hi) and fold into the local buffer. `partner_lower` fixes
+  /// the operand order so floating-point results are rank-order stable.
+  virtual void recv_reduce(Comm& c, int src, int tag, size_t lo, size_t hi,
+                           bool partner_lower) = 0;
+  [[nodiscard]] std::uint64_t total_bytes() const { return count() * elem_bytes(); }
+};
+
+/// Type-erased uniform-block buffer used by alltoall/allgather.
+class BlockBuf {
+ public:
+  virtual ~BlockBuf() = default;
+  virtual void send_in(Comm& c, int block, int dst, int tag) = 0;
+  virtual void send_out(Comm& c, int block, int dst, int tag) = 0;
+  virtual void recv_out(Comm& c, int block, int src, int tag) = 0;
+  virtual void copy_in_to_out(int in_block, int out_block) = 0;
+  [[nodiscard]] virtual std::uint64_t block_bytes() const = 0;
+};
+
+void allreduce_impl(Comm& c, CollBuf& buf, AllReduceAlg alg);
+void reduce_impl(Comm& c, CollBuf& buf, int root);
+void bcast_impl(Comm& c, CollBuf& buf, int root);
+void alltoall_impl(Comm& c, BlockBuf& buf);
+void allgather_impl(Comm& c, BlockBuf& buf);
+/// Ring reduce-scatter: after return, rank r holds the fully reduced chunk
+/// (r+1) mod size in its buffer (chunk_lo partition).
+void ring_reduce_scatter_impl(Comm& c, CollBuf& buf, int tag);
+void scan_impl(Comm& c, CollBuf& buf);
+
+}  // namespace detail
+
+/// Handle to a nonblocking operation; complete it with Comm::wait. Default
+/// constructed = empty (wait is a no-op). Value-semantic and cheap.
+class Request {
+ public:
+  Request() = default;
+  [[nodiscard]] bool valid() const { return kind_ != Kind::kNone; }
+
+ private:
+  friend class Comm;
+  enum class Kind { kNone, kSend, kRecv };
+  Kind kind_ = Kind::kNone;
+  double send_complete_at_ = 0.0;  // send only
+  int src_ = -1;                   // recv only (local rank)
+  int tag_ = 0;
+  void* data_ = nullptr;
+  std::uint64_t bytes_ = 0;
+};
+
+class Comm {
+ public:
+  Comm() = default;
+
+  [[nodiscard]] bool valid() const { return group_ != nullptr; }
+  [[nodiscard]] int rank() const { return myrank_; }
+  [[nodiscard]] int size() const { return static_cast<int>(group_->members.size()); }
+  [[nodiscard]] std::uint64_t context() const { return group_->context; }
+  [[nodiscard]] const std::string& label() const { return group_->label; }
+  [[nodiscard]] const std::vector<int>& members() const { return group_->members; }
+  [[nodiscard]] int world_rank_of(int local) const { return group_->members[local]; }
+  [[nodiscard]] Proc& proc() const { return *proc_; }
+
+  // --- point to point (local ranks; user tags must be >= 0) ---------------
+
+  void send_bytes(int dst, int tag, const void* data, std::uint64_t bytes);
+  void recv_bytes(int src, int tag, void* data, std::uint64_t bytes);
+
+  template <typename T>
+  void send(std::span<const T> data, int dst, int tag) {
+    send_bytes(dst, tag, data.data(), data.size_bytes());
+  }
+  template <typename T>
+  void recv(std::span<T> data, int src, int tag) {
+    recv_bytes(src, tag, data.data(), data.size_bytes());
+  }
+  void send_virtual(std::uint64_t bytes, int dst, int tag) {
+    send_bytes(dst, tag, nullptr, bytes);
+  }
+  void recv_virtual(std::uint64_t bytes, int src, int tag) {
+    recv_bytes(src, tag, nullptr, bytes);
+  }
+
+  // --- nonblocking p2p ------------------------------------------------------
+  // isend charges only the CPU-side overhead now; the injection runs on the
+  // rank's NIC timeline, so compute performed before wait() overlaps with
+  // the transfer — the mechanism behind CGYRO-style comm/compute overlap.
+  // irecv records the match; wait() blocks until the message arrives.
+
+  Request isend_bytes(int dst, int tag, const void* data, std::uint64_t bytes);
+  Request irecv_bytes(int src, int tag, void* data, std::uint64_t bytes);
+  template <typename T>
+  Request isend(std::span<const T> data, int dst, int tag) {
+    return isend_bytes(dst, tag, data.data(), data.size_bytes());
+  }
+  template <typename T>
+  Request irecv(std::span<T> data, int src, int tag) {
+    return irecv_bytes(src, tag, data.data(), data.size_bytes());
+  }
+  Request isend_virtual(std::uint64_t bytes, int dst, int tag) {
+    return isend_bytes(dst, tag, nullptr, bytes);
+  }
+  Request irecv_virtual(std::uint64_t bytes, int src, int tag) {
+    return irecv_bytes(src, tag, nullptr, bytes);
+  }
+
+  /// Complete one request (no-op for an empty one); clears it.
+  void wait(Request& request);
+  /// Complete all requests, in order.
+  void waitall(std::span<Request> requests);
+
+  // --- collectives ---------------------------------------------------------
+
+  void barrier();
+
+  template <typename T, typename Op>
+  void allreduce(std::span<T> data, Op op, AllReduceAlg alg = AllReduceAlg::kAuto);
+  template <typename T>
+  void allreduce_sum(std::span<T> data, AllReduceAlg alg = AllReduceAlg::kAuto) {
+    allreduce(data, [](T a, T b) { return a + b; }, alg);
+  }
+  void allreduce_virtual(std::uint64_t bytes, AllReduceAlg alg = AllReduceAlg::kAuto);
+
+  template <typename T, typename Op>
+  void reduce(std::span<T> data, Op op, int root);
+  void reduce_virtual(std::uint64_t bytes, int root);
+
+  template <typename T>
+  void bcast(std::span<T> data, int root);
+  void bcast_virtual(std::uint64_t bytes, int root);
+
+  /// MPI_Alltoall: `send.size() == recv.size() == count_per_rank * size()`.
+  template <typename T>
+  void alltoall(std::span<const T> send_data, std::span<T> recv_data);
+  void alltoall_virtual(std::uint64_t bytes_per_pair);
+
+  /// MPI_Allgather: `all.size() == mine.size() * size()`.
+  template <typename T>
+  void allgather(std::span<const T> mine, std::span<T> all);
+  void allgather_virtual(std::uint64_t bytes_per_rank);
+
+  /// MPI_Reduce_scatter_block: `full.size() == count * size()`; rank r ends
+  /// with the element-wise reduction of everyone's block r in `mine`
+  /// (`mine.size() == count`). Ring algorithm — bandwidth-optimal, the
+  /// building block of the large-payload AllReduce.
+  template <typename T, typename Op>
+  void reduce_scatter_block(std::span<const T> full, std::span<T> mine, Op op);
+  void reduce_scatter_virtual(std::uint64_t bytes_per_block);
+
+  /// MPI_Scan (inclusive prefix reduction in rank order): rank r ends with
+  /// op(block_0, ..., block_r). Linear chain algorithm.
+  template <typename T, typename Op>
+  void scan(std::span<T> data, Op op);
+  void scan_virtual(std::uint64_t bytes);
+
+  /// MPI_Gather / MPI_Scatter (linear algorithms). Non-root ranks may pass
+  /// an empty `all` span.
+  template <typename T>
+  void gather(std::span<const T> mine, std::span<T> all, int root);
+  template <typename T>
+  void scatter(std::span<const T> all, std::span<T> mine, int root);
+
+  // --- construction --------------------------------------------------------
+
+  /// Collective: partition members by `color` (>= 0); order within a new
+  /// communicator by (key, parent rank). Mirrors MPI_Comm_split.
+  /// `exclusive_network`: declare that this communicator's collectives run
+  /// with no sibling traffic on the same nodes, so sparse placements get the
+  /// per-rank NIC attach bandwidth instead of the full-node fair share.
+  /// Leave false (the default) for communicators used in bulk-synchronous
+  /// phases where every co-located rank communicates concurrently.
+  [[nodiscard]] Comm split(int color, int key, std::string label = "",
+                           bool exclusive_network = false) const;
+
+  static Comm make_world(Proc& proc);
+
+  // --- internals used by the collective impls -----------------------------
+
+  [[nodiscard]] int internal_tag() { return -static_cast<int>(group_->next_seq++ % 1000000000) - 1; }
+
+  void trace_collective(TraceEvent::Kind kind, std::uint64_t payload_bytes,
+                        double t_start) const;
+
+ private:
+  Comm(Proc* proc, std::shared_ptr<detail::Group> group, int myrank)
+      : proc_(proc), group_(std::move(group)), myrank_(myrank) {}
+
+  Proc* proc_ = nullptr;
+  std::shared_ptr<detail::Group> group_;
+  int myrank_ = -1;
+};
+
+namespace detail {
+
+template <typename T, typename Op>
+class TypedCollBuf final : public CollBuf {
+ public:
+  TypedCollBuf(std::span<T> buf, Op op) : buf_(buf), op_(op) {}
+
+  [[nodiscard]] size_t count() const override { return buf_.size(); }
+  [[nodiscard]] std::uint64_t elem_bytes() const override { return sizeof(T); }
+
+  void send_range(Comm& c, int dst, int tag, size_t lo, size_t hi) override {
+    c.send_bytes(dst, tag, buf_.data() + lo, (hi - lo) * sizeof(T));
+  }
+  void recv_replace(Comm& c, int src, int tag, size_t lo, size_t hi) override {
+    c.recv_bytes(src, tag, buf_.data() + lo, (hi - lo) * sizeof(T));
+  }
+  void recv_reduce(Comm& c, int src, int tag, size_t lo, size_t hi,
+                   bool partner_lower) override {
+    scratch_.resize(hi - lo);
+    c.recv_bytes(src, tag, scratch_.data(), (hi - lo) * sizeof(T));
+    for (size_t i = 0; i < hi - lo; ++i) {
+      buf_[lo + i] = partner_lower ? op_(scratch_[i], buf_[lo + i])
+                                   : op_(buf_[lo + i], scratch_[i]);
+    }
+  }
+
+ private:
+  std::span<T> buf_;
+  Op op_;
+  std::vector<T> scratch_;
+};
+
+class VirtualCollBuf final : public CollBuf {
+ public:
+  explicit VirtualCollBuf(std::uint64_t bytes) : bytes_(bytes) {}
+  [[nodiscard]] size_t count() const override { return bytes_; }
+  [[nodiscard]] std::uint64_t elem_bytes() const override { return 1; }
+  void send_range(Comm& c, int dst, int tag, size_t lo, size_t hi) override {
+    c.send_virtual(hi - lo, dst, tag);
+  }
+  void recv_replace(Comm& c, int src, int tag, size_t lo, size_t hi) override {
+    c.recv_virtual(hi - lo, src, tag);
+  }
+  void recv_reduce(Comm& c, int src, int tag, size_t lo, size_t hi, bool) override {
+    c.recv_virtual(hi - lo, src, tag);
+  }
+
+ private:
+  std::uint64_t bytes_;
+};
+
+template <typename T>
+class TypedBlockBuf final : public BlockBuf {
+ public:
+  /// `in` may alias nothing in `out`; `count` elements per block.
+  TypedBlockBuf(std::span<const T> in, std::span<T> out, size_t count)
+      : in_(in), out_(out), count_(count) {}
+
+  void send_in(Comm& c, int block, int dst, int tag) override {
+    c.send_bytes(dst, tag, in_.data() + block * count_, count_ * sizeof(T));
+  }
+  void send_out(Comm& c, int block, int dst, int tag) override {
+    c.send_bytes(dst, tag, out_.data() + block * count_, count_ * sizeof(T));
+  }
+  void recv_out(Comm& c, int block, int src, int tag) override {
+    c.recv_bytes(src, tag, out_.data() + block * count_, count_ * sizeof(T));
+  }
+  void copy_in_to_out(int in_block, int out_block) override {
+    std::memcpy(out_.data() + out_block * count_, in_.data() + in_block * count_,
+                count_ * sizeof(T));
+  }
+  [[nodiscard]] std::uint64_t block_bytes() const override {
+    return count_ * sizeof(T);
+  }
+
+ private:
+  std::span<const T> in_;
+  std::span<T> out_;
+  size_t count_;
+};
+
+class VirtualBlockBuf final : public BlockBuf {
+ public:
+  explicit VirtualBlockBuf(std::uint64_t bytes_per_block) : bytes_(bytes_per_block) {}
+  void send_in(Comm& c, int, int dst, int tag) override {
+    c.send_virtual(bytes_, dst, tag);
+  }
+  void send_out(Comm& c, int, int dst, int tag) override {
+    c.send_virtual(bytes_, dst, tag);
+  }
+  void recv_out(Comm& c, int, int src, int tag) override {
+    c.recv_virtual(bytes_, src, tag);
+  }
+  void copy_in_to_out(int, int) override {}
+  [[nodiscard]] std::uint64_t block_bytes() const override { return bytes_; }
+
+ private:
+  std::uint64_t bytes_;
+};
+
+}  // namespace detail
+
+// --- template method definitions -------------------------------------------
+
+template <typename T, typename Op>
+void Comm::allreduce(std::span<T> data, Op op, AllReduceAlg alg) {
+  const double t0 = proc_->now();
+  detail::TypedCollBuf<T, Op> buf(data, op);
+  detail::allreduce_impl(*this, buf, alg);
+  trace_collective(TraceEvent::Kind::kAllReduce, data.size_bytes(), t0);
+}
+
+template <typename T, typename Op>
+void Comm::reduce(std::span<T> data, Op op, int root) {
+  const double t0 = proc_->now();
+  detail::TypedCollBuf<T, Op> buf(data, op);
+  detail::reduce_impl(*this, buf, root);
+  trace_collective(TraceEvent::Kind::kReduce, data.size_bytes(), t0);
+}
+
+template <typename T>
+void Comm::bcast(std::span<T> data, int root) {
+  const double t0 = proc_->now();
+  // Op unused by bcast; supply a no-op combiner.
+  auto nop = [](T a, T) { return a; };
+  detail::TypedCollBuf<T, decltype(nop)> buf(data, nop);
+  detail::bcast_impl(*this, buf, root);
+  trace_collective(TraceEvent::Kind::kBcast, data.size_bytes(), t0);
+}
+
+template <typename T>
+void Comm::alltoall(std::span<const T> send_data, std::span<T> recv_data) {
+  XG_REQUIRE(send_data.size() == recv_data.size(),
+             "alltoall: send/recv size mismatch");
+  XG_REQUIRE(send_data.size() % size() == 0,
+             "alltoall: payload not divisible by communicator size");
+  const double t0 = proc_->now();
+  const size_t count = send_data.size() / size();
+  detail::TypedBlockBuf<T> buf(send_data, recv_data, count);
+  detail::alltoall_impl(*this, buf);
+  trace_collective(TraceEvent::Kind::kAllToAll, count * sizeof(T), t0);
+}
+
+template <typename T>
+void Comm::allgather(std::span<const T> mine, std::span<T> all) {
+  XG_REQUIRE(all.size() == mine.size() * static_cast<size_t>(size()),
+             "allgather: output must be size() blocks");
+  const double t0 = proc_->now();
+  detail::TypedBlockBuf<T> buf(mine, all, mine.size());
+  detail::allgather_impl(*this, buf);
+  trace_collective(TraceEvent::Kind::kAllGather, mine.size_bytes(), t0);
+}
+
+template <typename T, typename Op>
+void Comm::reduce_scatter_block(std::span<const T> full, std::span<T> mine,
+                                Op op) {
+  const int p = size();
+  XG_REQUIRE(full.size() == mine.size() * static_cast<size_t>(p),
+             "reduce_scatter_block: full must be size() blocks");
+  const double t0 = proc_->now();
+  const size_t count = mine.size();
+  if (p == 1) {
+    std::copy(full.begin(), full.end(), mine.begin());
+    trace_collective(TraceEvent::Kind::kReduceScatter, count * sizeof(T), t0);
+    return;
+  }
+  // Stage blocks shifted by +1 so the ring's natural owner — rank r ends
+  // with physical chunk (r+1) mod p — corresponds to logical block r.
+  std::vector<T> scratch(full.size());
+  for (int j = 0; j < p; ++j) {
+    std::copy(full.begin() + static_cast<size_t>(j) * count,
+              full.begin() + static_cast<size_t>(j + 1) * count,
+              scratch.begin() + (static_cast<size_t>((j + 1) % p)) * count);
+  }
+  detail::TypedCollBuf<T, Op> buf(std::span<T>(scratch), op);
+  detail::ring_reduce_scatter_impl(*this, buf, internal_tag());
+  const size_t own = static_cast<size_t>((rank() + 1) % p) * count;
+  std::copy(scratch.begin() + own, scratch.begin() + own + count, mine.begin());
+  trace_collective(TraceEvent::Kind::kReduceScatter, count * sizeof(T), t0);
+}
+
+template <typename T, typename Op>
+void Comm::scan(std::span<T> data, Op op) {
+  const double t0 = proc_->now();
+  detail::TypedCollBuf<T, Op> buf(data, op);
+  detail::scan_impl(*this, buf);
+  trace_collective(TraceEvent::Kind::kScan, data.size_bytes(), t0);
+}
+
+template <typename T>
+void Comm::gather(std::span<const T> mine, std::span<T> all, int root) {
+  const double t0 = proc_->now();
+  const int tag = internal_tag();
+  if (myrank_ == root) {
+    XG_REQUIRE(all.size() == mine.size() * static_cast<size_t>(size()),
+               "gather: root output must be size() blocks");
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) {
+        std::memcpy(all.data() + static_cast<size_t>(r) * mine.size(),
+                    mine.data(), mine.size_bytes());
+      } else {
+        recv_bytes(r, tag, all.data() + static_cast<size_t>(r) * mine.size(),
+                   mine.size_bytes());
+      }
+    }
+  } else {
+    send(mine, root, tag);
+  }
+  trace_collective(TraceEvent::Kind::kGather, mine.size_bytes(), t0);
+}
+
+template <typename T>
+void Comm::scatter(std::span<const T> all, std::span<T> mine, int root) {
+  const double t0 = proc_->now();
+  const int tag = internal_tag();
+  if (myrank_ == root) {
+    XG_REQUIRE(all.size() == mine.size() * static_cast<size_t>(size()),
+               "scatter: root input must be size() blocks");
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) {
+        std::memcpy(mine.data(), all.data() + static_cast<size_t>(r) * mine.size(),
+                    mine.size_bytes());
+      } else {
+        send_bytes(r, tag, all.data() + static_cast<size_t>(r) * mine.size(),
+                   mine.size_bytes());
+      }
+    }
+  } else {
+    recv(mine, root, tag);
+  }
+  trace_collective(TraceEvent::Kind::kScatter, mine.size_bytes(), t0);
+}
+
+}  // namespace xg::mpi

@@ -1,0 +1,43 @@
+#include "simmpi/message.hpp"
+
+#include "util/error.hpp"
+
+namespace xg::mpi {
+
+void Mailbox::deliver(Message msg) {
+  {
+    const std::scoped_lock lock(mu_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::take(std::uint64_t context, int src_world, int tag) {
+  std::unique_lock lock(mu_);
+  while (true) {
+    if (aborted_) throw Error("simmpi: run aborted while waiting for a message");
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->context == context && it->src_world == src_world && it->tag == tag) {
+        Message msg = std::move(*it);
+        queue_.erase(it);
+        return msg;
+      }
+    }
+    cv_.wait(lock);
+  }
+}
+
+void Mailbox::abort() {
+  {
+    const std::scoped_lock lock(mu_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t Mailbox::pending() const {
+  const std::scoped_lock lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace xg::mpi

@@ -1,0 +1,51 @@
+// Message and per-rank mailbox for the simulated MPI runtime.
+//
+// Delivery model: eager buffered send. The sender never blocks; it deposits
+// the message (with a virtual arrival timestamp) into the receiver's mailbox.
+// A receive blocks the *OS thread* until a matching message exists, then
+// advances the receiver's *virtual clock* to max(local, arrival). Virtual
+// time is therefore independent of real thread scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace xg::mpi {
+
+struct Message {
+  std::uint64_t context = 0;  ///< communicator context id
+  int src_world = -1;         ///< sender's world rank
+  int tag = 0;
+  double arrival_s = 0.0;        ///< virtual time the message reaches dst
+  std::uint64_t bytes = 0;       ///< logical payload size
+  std::vector<std::byte> data;   ///< empty for virtual payloads
+  bool is_virtual = false;
+};
+
+/// One mailbox per world rank. Matching is (context, src, tag), FIFO within
+/// a channel — the order messages were sent on that channel.
+class Mailbox {
+ public:
+  void deliver(Message msg);
+
+  /// Block until a matching message arrives (or the run aborts), remove and
+  /// return it. Throws xg::Error if the run was aborted.
+  Message take(std::uint64_t context, int src_world, int tag);
+
+  /// Wake all blocked takers with an abort indication.
+  void abort();
+
+  /// Number of undelivered messages (used by shutdown sanity checks).
+  [[nodiscard]] size_t pending() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool aborted_ = false;
+};
+
+}  // namespace xg::mpi

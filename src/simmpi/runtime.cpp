@@ -1,0 +1,224 @@
+#include "simmpi/runtime.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "simmpi/comm.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace xg::mpi {
+
+int Proc::world_size() const { return rt_->nranks_; }
+
+const net::Placement& Proc::placement() const { return rt_->placement_; }
+
+void Proc::advance(double seconds) {
+  XG_ASSERT_MSG(seconds >= 0.0, "cannot advance virtual time backwards");
+  clock_ += seconds;
+  bucket().compute_s += seconds;
+}
+
+void Proc::compute(double flops, double bytes) {
+  const double dt = rt_->placement_.compute_time(flops, bytes);
+  clock_ += dt;
+  bucket().compute_s += dt;
+}
+
+void Proc::kernel(double flops, double bytes) {
+  const auto& spec = rt_->placement_.spec();
+  if (spec.has_gpu) {
+    clock_ += spec.kernel_launch_s;
+    bucket().compute_s += spec.kernel_launch_s;
+  }
+  compute(flops, bytes);
+}
+
+void Proc::stage_for_comm(std::uint64_t bytes) {
+  const auto& spec = rt_->placement_.spec();
+  if (!spec.has_gpu || spec.gpu_aware_mpi || spec.h2d_bw_Bps <= 0.0) return;
+  const double dt = 2.0 * static_cast<double>(bytes) / spec.h2d_bw_Bps;
+  clock_ += dt;
+  bucket().comm_s += dt;
+}
+
+void Proc::stage_upload(std::uint64_t bytes) {
+  const auto& spec = rt_->placement_.spec();
+  if (!spec.has_gpu || spec.h2d_bw_Bps <= 0.0) return;
+  const double dt = static_cast<double>(bytes) / spec.h2d_bw_Bps;
+  clock_ += dt;
+  bucket().compute_s += dt;
+}
+
+void Proc::set_phase(std::string name) { phase_ = std::move(name); }
+
+Comm Proc::world() { return Comm::make_world(*this); }
+
+void Proc::p2p_send(int dst_world, std::uint64_t context, int tag,
+                    const void* data, std::uint64_t bytes, int nic_sharers) {
+  // A blocking send is a nonblocking send completed immediately. When no
+  // nonblocking sends are outstanding (NIC idle), this reduces exactly to
+  // the classic charge of send_overhead + bytes/bandwidth.
+  complete_send(p2p_isend(dst_world, context, tag, data, bytes, nic_sharers));
+}
+
+double Proc::p2p_isend(int dst_world, std::uint64_t context, int tag,
+                       const void* data, std::uint64_t bytes, int nic_sharers) {
+  XG_ASSERT_MSG(dst_world >= 0 && dst_world < rt_->nranks_, "send: bad rank");
+  const auto& place = rt_->placement_;
+  // CPU side: only the software overhead.
+  clock_ += place.spec().send_overhead_s;
+  auto& b = bucket();
+  b.comm_s += place.spec().send_overhead_s;
+  b.bytes_sent += bytes;
+  b.msgs_sent += 1;
+  if (rt_->opts_.enable_traffic) b.bytes_to[dst_world] += bytes;
+  // NIC side: serialize this injection after any outstanding ones.
+  const double inj = place.injection_time(rank_, dst_world, bytes, nic_sharers) -
+                     place.spec().send_overhead_s;
+  const double start = std::max(clock_, nic_free_);
+  const double complete_at = start + inj;
+  nic_free_ = complete_at;
+
+  Message m;
+  m.context = context;
+  m.src_world = rank_;
+  m.tag = tag;
+  m.arrival_s = complete_at + place.wire_latency(rank_, dst_world);
+  m.bytes = bytes;
+  m.is_virtual = (data == nullptr);
+  if (data != nullptr && bytes > 0) {
+    m.data.resize(bytes);
+    std::memcpy(m.data.data(), data, bytes);
+  }
+  rt_->mailboxes_[dst_world]->deliver(std::move(m));
+  return complete_at;
+}
+
+void Proc::complete_send(double complete_at_s) {
+  if (complete_at_s > clock_) {
+    bucket().comm_s += complete_at_s - clock_;
+    clock_ = complete_at_s;
+  }
+}
+
+void Proc::p2p_recv(int src_world, std::uint64_t context, int tag, void* data,
+                    std::uint64_t bytes) {
+  XG_ASSERT_MSG(src_world >= 0 && src_world < rt_->nranks_, "recv: bad rank");
+  const double t0 = clock_;
+  Message m = rt_->mailboxes_[rank_]->take(context, src_world, tag);
+  if (m.bytes != bytes) {
+    throw MpiUsageError(strprintf(
+        "recv: payload mismatch on rank %d from %d tag %d: expected %llu "
+        "bytes, got %llu",
+        rank_, src_world, tag, static_cast<unsigned long long>(bytes),
+        static_cast<unsigned long long>(m.bytes)));
+  }
+  if (data != nullptr) {
+    if (m.is_virtual) {
+      throw MpiUsageError(
+          "recv: virtual payload delivered to a real receive (mixed modes)");
+    }
+    if (bytes > 0) std::memcpy(data, m.data.data(), bytes);
+  }
+  clock_ = std::max(clock_, m.arrival_s) + rt_->placement_.recv_overhead();
+  bucket().comm_s += clock_ - t0;
+}
+
+void Proc::record_trace(TraceEvent event) {
+  if (!rt_->opts_.enable_trace) return;
+  const std::scoped_lock lock(rt_->trace_mu_);
+  rt_->trace_.push_back(std::move(event));
+}
+
+bool Proc::tracing() const { return rt_->opts_.enable_trace; }
+
+Runtime::Runtime(net::MachineSpec spec, int nranks, RuntimeOptions opts)
+    : spec_(std::move(spec)), placement_(spec_), opts_(opts), nranks_(nranks) {
+  XG_REQUIRE(nranks >= 1, "Runtime: need at least one rank");
+  XG_REQUIRE(nranks <= spec_.total_ranks(),
+             strprintf("Runtime: %d ranks exceed machine capacity %d", nranks,
+                       spec_.total_ranks()));
+  XG_REQUIRE(nranks <= 4096, "Runtime: rank count cap (4096) exceeded");
+  mailboxes_.reserve(nranks_);
+  for (int r = 0; r < nranks_; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+RunResult Runtime::run(const std::function<void(Proc&)>& body) {
+  aborted_.store(false);
+  first_error_ = nullptr;
+  trace_.clear();
+
+  std::vector<Proc> procs(static_cast<size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    procs[r].rt_ = this;
+    procs[r].rank_ = r;
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([this, &body, &procs, r] {
+      try {
+        body(procs[r]);
+      } catch (...) {
+        {
+          const std::scoped_lock lock(err_mu_);
+          if (!first_error_) first_error_ = std::current_exception();
+        }
+        aborted_.store(true);
+        for (auto& mb : mailboxes_) mb->abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error_) std::rethrow_exception(first_error_);
+
+  RunResult result;
+  result.ranks.reserve(static_cast<size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    ProcStats ps;
+    ps.world_rank = r;
+    ps.final_time_s = procs[r].clock_;
+    ps.phases = std::move(procs[r].stats_);
+    result.makespan_s = std::max(result.makespan_s, ps.final_time_s);
+    result.ranks.push_back(std::move(ps));
+  }
+  {
+    const std::scoped_lock lock(trace_mu_);
+    result.trace = std::move(trace_);
+    std::sort(result.trace.begin(), result.trace.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                if (a.t_start != b.t_start) return a.t_start < b.t_start;
+                return a.world_rank < b.world_rank;
+              });
+  }
+  return result;
+}
+
+RunResult run_simulation(const net::MachineSpec& spec, int nranks,
+                         const std::function<void(Proc&)>& body,
+                         RuntimeOptions opts) {
+  return Runtime(spec, nranks, opts).run(body);
+}
+
+const char* trace_kind_name(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kBarrier: return "Barrier";
+    case TraceEvent::Kind::kBcast: return "Bcast";
+    case TraceEvent::Kind::kReduce: return "Reduce";
+    case TraceEvent::Kind::kAllReduce: return "AllReduce";
+    case TraceEvent::Kind::kAllGather: return "AllGather";
+    case TraceEvent::Kind::kAllToAll: return "AllToAll";
+    case TraceEvent::Kind::kGather: return "Gather";
+    case TraceEvent::Kind::kScatter: return "Scatter";
+    case TraceEvent::Kind::kReduceScatter: return "ReduceScatter";
+    case TraceEvent::Kind::kScan: return "Scan";
+  }
+  return "?";
+}
+
+}  // namespace xg::mpi

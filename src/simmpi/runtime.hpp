@@ -1,0 +1,152 @@
+// Simulated MPI runtime: spawns one OS thread per rank, gives each a
+// virtual clock driven by the simnet cost model, and collects per-rank
+// statistics. Real data moves between ranks (small test/physics grids), or
+// "virtual payloads" carrying only byte counts (paper-scale model runs) —
+// both follow the identical message schedule.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simmpi/message.hpp"
+#include "simmpi/stats.hpp"
+#include "simnet/machine.hpp"
+
+namespace xg::mpi {
+
+class Comm;
+class Runtime;
+
+/// Per-rank execution context handed to the user body. All methods are
+/// called only from that rank's own thread.
+class Proc {
+ public:
+  [[nodiscard]] int world_rank() const { return rank_; }
+  [[nodiscard]] int world_size() const;
+
+  /// Current virtual time (seconds since job start).
+  [[nodiscard]] double now() const { return clock_; }
+
+  /// Charge raw virtual time (setup costs, I/O stand-ins).
+  void advance(double seconds);
+
+  /// Charge compute work: max(flops-bound, memory-bound) per the machine's
+  /// effective rates. Accounted as compute time in the current phase.
+  void compute(double flops, double bytes = 0.0);
+
+  /// Charge one accelerator kernel: launch overhead (if the machine has a
+  /// GPU) plus the compute charge. On CPU-only machines identical to
+  /// compute().
+  void kernel(double flops, double bytes = 0.0);
+
+  /// Charge the host-staging cost of communicating `bytes` of device-
+  /// resident data when the MPI library is NOT GPU-aware: D2H before the
+  /// send plus H2D after the receive (2× bytes over the host link).
+  /// No-op on CPU machines or with GPU-aware MPI. Accounted as comm time.
+  void stage_for_comm(std::uint64_t bytes);
+
+  /// One-direction upload (H2D), e.g. the initial cmat transfer. Accounted
+  /// as compute time in the current phase. No-op without a GPU.
+  void stage_upload(std::uint64_t bytes);
+
+  /// Name the current accounting phase ("str_comm", "coll", ...). Subsequent
+  /// communication and compute charges accrue to this bucket.
+  void set_phase(std::string name);
+  [[nodiscard]] const std::string& phase() const { return phase_; }
+
+  /// Communicator spanning all ranks in the job.
+  [[nodiscard]] Comm world();
+
+  [[nodiscard]] const net::Placement& placement() const;
+
+  // --- internals used by Comm (not for user code) -------------------------
+
+  /// Eager send: charges injection time to this rank, deposits the message
+  /// with its virtual arrival timestamp into dst's mailbox. `data == nullptr`
+  /// marks a virtual payload. `nic_sharers` is the number of co-located
+  /// ranks contending for the node NIC (communicator-derived; -1 = worst
+  /// case, all ranks on the node).
+  void p2p_send(int dst_world, std::uint64_t context, int tag, const void* data,
+                std::uint64_t bytes, int nic_sharers = -1);
+
+  /// Blocking receive; advances the virtual clock to the message arrival.
+  /// `data == nullptr` accepts only virtual payloads.
+  void p2p_recv(int src_world, std::uint64_t context, int tag, void* data,
+                std::uint64_t bytes);
+
+  /// Nonblocking send: the CPU is charged only the send overhead; the
+  /// injection is scheduled on this rank's NIC timeline (serialized with
+  /// other outstanding sends). Returns the virtual time at which the send
+  /// completes locally (i.e. when a Wait on it would return).
+  double p2p_isend(int dst_world, std::uint64_t context, int tag,
+                   const void* data, std::uint64_t bytes, int nic_sharers = -1);
+
+  /// Complete a nonblocking send: advance the clock to its local completion.
+  void complete_send(double complete_at_s);
+
+  void record_trace(TraceEvent event);
+  [[nodiscard]] bool tracing() const;
+
+ private:
+  friend class Runtime;
+
+  PhaseStats& bucket() { return stats_[phase_]; }
+
+  Runtime* rt_ = nullptr;
+  int rank_ = -1;
+  double clock_ = 0.0;
+  double nic_free_ = 0.0;  ///< when this rank's injection engine frees up
+  std::string phase_ = "default";
+  std::map<std::string, PhaseStats> stats_;
+};
+
+struct RuntimeOptions {
+  bool enable_trace = false;    ///< record TraceEvents for collectives
+  bool enable_traffic = false;  ///< record per-destination byte counters
+};
+
+/// Owns mailboxes and rank threads for one simulated job.
+class Runtime {
+ public:
+  /// `nranks` may be smaller than the machine's total rank slots (partial
+  /// allocation) but never larger.
+  Runtime(net::MachineSpec spec, int nranks, RuntimeOptions opts = {});
+
+  /// Execute `body` on every rank (one OS thread each); returns per-rank
+  /// stats and the trace. Rethrows the first rank exception, if any.
+  RunResult run(const std::function<void(Proc&)>& body);
+
+  [[nodiscard]] int nranks() const { return nranks_; }
+  [[nodiscard]] const net::Placement& placement() const { return placement_; }
+
+ private:
+  friend class Proc;
+  friend class Comm;
+
+  net::MachineSpec spec_;
+  net::Placement placement_;
+  RuntimeOptions opts_;
+  int nranks_ = 0;
+
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  std::mutex trace_mu_;
+  std::vector<TraceEvent> trace_;
+
+  std::atomic<bool> aborted_{false};
+  std::mutex err_mu_;
+  std::exception_ptr first_error_;
+};
+
+/// Convenience wrapper: build a Runtime and run one job.
+RunResult run_simulation(const net::MachineSpec& spec, int nranks,
+                         const std::function<void(Proc&)>& body,
+                         RuntimeOptions opts = {});
+
+}  // namespace xg::mpi

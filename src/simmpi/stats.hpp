@@ -1,0 +1,115 @@
+// Accounting structures produced by a simulated run: per-rank virtual-time
+// breakdowns by phase, byte counters, and an optional trace of collective
+// operations (used to reproduce the paper's Fig. 1 / Fig. 3 communication
+// logic diagrams).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xg::mpi {
+
+/// Virtual-time and traffic totals for one named phase on one rank.
+struct PhaseStats {
+  double comm_s = 0.0;     ///< time spent blocked in p2p/collective calls
+  double compute_s = 0.0;  ///< time charged via Proc::compute
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t msgs_sent = 0;
+  /// Per-destination byte counters (world rank → bytes). Only populated
+  /// when RuntimeOptions::enable_traffic is set; see simmpi/traffic.hpp.
+  std::map<int, std::uint64_t> bytes_to;
+
+  PhaseStats& operator+=(const PhaseStats& o) {
+    comm_s += o.comm_s;
+    compute_s += o.compute_s;
+    bytes_sent += o.bytes_sent;
+    msgs_sent += o.msgs_sent;
+    for (const auto& [dst, b] : o.bytes_to) bytes_to[dst] += b;
+    return *this;
+  }
+};
+
+/// Full accounting for one rank.
+struct ProcStats {
+  int world_rank = -1;
+  double final_time_s = 0.0;
+  std::map<std::string, PhaseStats> phases;
+
+  [[nodiscard]] PhaseStats total() const {
+    PhaseStats t;
+    for (const auto& [name, p] : phases) t += p;
+    return t;
+  }
+};
+
+/// One collective operation as observed by the lowest-local-rank member.
+/// `participants` is the communicator size — the quantity the paper's
+/// optimization reduces for the str-phase AllReduce.
+struct TraceEvent {
+  enum class Kind {
+    kBarrier,
+    kBcast,
+    kReduce,
+    kAllReduce,
+    kAllGather,
+    kAllToAll,
+    kGather,
+    kScatter,
+    kReduceScatter,
+    kScan,
+  };
+  Kind kind{};
+  std::uint64_t comm_context = 0;
+  std::string comm_label;
+  int participants = 0;
+  std::uint64_t payload_bytes = 0;  ///< per-rank logical payload
+  int world_rank = -1;              ///< reporting rank (local rank 0)
+  double t_start = 0.0;
+  double t_end = 0.0;
+  std::string phase;
+};
+
+const char* trace_kind_name(TraceEvent::Kind kind);
+
+/// Result of Runtime::run.
+struct RunResult {
+  double makespan_s = 0.0;  ///< max over ranks of final virtual time
+  std::vector<ProcStats> ranks;
+  std::vector<TraceEvent> trace;  ///< empty unless tracing was enabled
+
+  /// Sum of a phase across ranks (diagnostics).
+  [[nodiscard]] PhaseStats phase_total(const std::string& phase) const {
+    PhaseStats t;
+    for (const auto& r : ranks) {
+      if (const auto it = r.phases.find(phase); it != r.phases.end()) t += it->second;
+    }
+    return t;
+  }
+
+  /// Max over ranks of a phase's (comm + compute) time — the usual way a
+  /// bulk-synchronous code reports per-phase cost.
+  [[nodiscard]] double phase_max_time(const std::string& phase) const {
+    double m = 0.0;
+    for (const auto& r : ranks) {
+      if (const auto it = r.phases.find(phase); it != r.phases.end()) {
+        const double t = it->second.comm_s + it->second.compute_s;
+        if (t > m) m = t;
+      }
+    }
+    return m;
+  }
+
+  [[nodiscard]] double phase_max_comm(const std::string& phase) const {
+    double m = 0.0;
+    for (const auto& r : ranks) {
+      if (const auto it = r.phases.find(phase); it != r.phases.end()) {
+        if (it->second.comm_s > m) m = it->second.comm_s;
+      }
+    }
+    return m;
+  }
+};
+
+}  // namespace xg::mpi

@@ -1,0 +1,79 @@
+#include "simmpi/traffic.hpp"
+
+#include "util/format.hpp"
+
+namespace xg::mpi {
+
+namespace {
+
+void accumulate(TrafficSummary& t, const net::Placement& place, int src_rank,
+                const PhaseStats& stats) {
+  const int src_node = place.node_of(src_rank);
+  for (const auto& [dst_rank, bytes] : stats.bytes_to) {
+    const int dst_node = place.node_of(dst_rank);
+    if (src_node == dst_node) {
+      t.intra_bytes += bytes;
+    } else {
+      t.inter_bytes += bytes;
+    }
+    t.node_matrix[static_cast<size_t>(src_node) * t.n_nodes + dst_node] += bytes;
+  }
+}
+
+TrafficSummary make_empty(const net::Placement& place) {
+  TrafficSummary t;
+  t.n_nodes = place.spec().n_nodes;
+  t.node_matrix.assign(static_cast<size_t>(t.n_nodes) * t.n_nodes, 0);
+  return t;
+}
+
+}  // namespace
+
+TrafficSummary summarize_traffic(const RunResult& result,
+                                 const net::Placement& placement) {
+  TrafficSummary t = make_empty(placement);
+  for (const auto& rank : result.ranks) {
+    for (const auto& [phase, stats] : rank.phases) {
+      accumulate(t, placement, rank.world_rank, stats);
+    }
+  }
+  return t;
+}
+
+TrafficSummary summarize_traffic_phase(const RunResult& result,
+                                       const net::Placement& placement,
+                                       const std::string& phase) {
+  TrafficSummary t = make_empty(placement);
+  for (const auto& rank : result.ranks) {
+    const auto it = rank.phases.find(phase);
+    if (it == rank.phases.end()) continue;
+    accumulate(t, placement, rank.world_rank, it->second);
+  }
+  return t;
+}
+
+std::string render_node_matrix(const TrafficSummary& summary) {
+  std::string out = strprintf("%8s", "node");
+  for (int d = 0; d < summary.n_nodes; ++d) out += strprintf(" %10d", d);
+  out += '\n';
+  for (int s = 0; s < summary.n_nodes; ++s) {
+    out += strprintf("%8d", s);
+    for (int d = 0; d < summary.n_nodes; ++d) {
+      out += strprintf(
+          " %10s",
+          human_bytes(static_cast<double>(
+                          summary.node_matrix[static_cast<size_t>(s) *
+                                                  summary.n_nodes +
+                                              d]))
+              .c_str());
+    }
+    out += '\n';
+  }
+  out += strprintf("intra-node total %s, inter-node total %s (%.1f%% inter)\n",
+                   human_bytes(static_cast<double>(summary.intra_bytes)).c_str(),
+                   human_bytes(static_cast<double>(summary.inter_bytes)).c_str(),
+                   100.0 * summary.inter_fraction());
+  return out;
+}
+
+}  // namespace xg::mpi

@@ -1,0 +1,48 @@
+// Traffic-matrix analysis: who sent how many bytes to whom, aggregated to
+// nodes and to the intra-/inter-node split.
+//
+// The XGYRO communicator re-arrangement does not reduce total bytes much —
+// it *relocates* them: the str-phase AllReduce traffic moves from
+// inter-node links onto intra-node fabric. This module makes that visible
+// from a finished run (enable RuntimeOptions::enable_traffic).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simmpi/stats.hpp"
+#include "simnet/machine.hpp"
+
+namespace xg::mpi {
+
+struct TrafficSummary {
+  std::uint64_t intra_bytes = 0;  ///< messages within a node
+  std::uint64_t inter_bytes = 0;  ///< messages crossing nodes
+  /// node_matrix[src_node * n_nodes + dst_node] = bytes
+  std::vector<std::uint64_t> node_matrix;
+  int n_nodes = 0;
+
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return intra_bytes + inter_bytes;
+  }
+  [[nodiscard]] double inter_fraction() const {
+    const auto t = total_bytes();
+    return t == 0 ? 0.0 : static_cast<double>(inter_bytes) / static_cast<double>(t);
+  }
+};
+
+/// Aggregate a run's per-rank destination counters (requires the run to
+/// have been executed with RuntimeOptions::enable_traffic).
+TrafficSummary summarize_traffic(const RunResult& result,
+                                 const net::Placement& placement);
+
+/// Same, restricted to one accounting phase ("str_comm", ...).
+TrafficSummary summarize_traffic_phase(const RunResult& result,
+                                       const net::Placement& placement,
+                                       const std::string& phase);
+
+/// Human-readable node-to-node byte matrix.
+std::string render_node_matrix(const TrafficSummary& summary);
+
+}  // namespace xg::mpi

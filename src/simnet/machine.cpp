@@ -1,0 +1,49 @@
+#include "simnet/machine.hpp"
+
+#include "util/error.hpp"
+
+namespace xg::net {
+
+MachineSpec frontier_like(int n_nodes) {
+  XG_REQUIRE(n_nodes >= 1, "frontier_like: need at least one node");
+  MachineSpec m;
+  m.name = "frontier-like";
+  m.n_nodes = n_nodes;
+  m.ranks_per_node = 8;       // one rank per MI250X GCD
+  m.intra_latency_s = 2.0e-6;
+  m.inter_latency_s = 8.0e-6;
+  m.intra_bw_Bps = 50.0e9;    // Infinity-Fabric-class
+  m.inter_bw_Bps = 12.5e9;    // 4×25 GB/s NICs shared by 8 ranks
+  m.rank_nic_bw_Bps = 25.0e9; // per-GCD attach limit when the node is quiet
+  m.send_overhead_s = 1.0e-6;
+  m.recv_overhead_s = 1.0e-6;
+  m.flops_per_s = 2.0e12;     // effective application rate per GCD
+  m.mem_bw_Bps = 1.0e12;      // effective HBM stream per GCD
+  m.rank_memory_bytes = 64.0e9;
+  m.has_gpu = true;           // one GCD per rank
+  m.kernel_launch_s = 4.0e-6;
+  m.h2d_bw_Bps = 36.0e9;      // CPU↔GCD Infinity Fabric share
+  m.gpu_aware_mpi = true;     // Cray MPICH on Frontier is GPU-aware
+  return m;
+}
+
+MachineSpec testbox(int n_nodes, int ranks_per_node) {
+  XG_REQUIRE(n_nodes >= 1 && ranks_per_node >= 1,
+             "testbox: need at least one node and one rank per node");
+  MachineSpec m;
+  m.name = "testbox";
+  m.n_nodes = n_nodes;
+  m.ranks_per_node = ranks_per_node;
+  m.intra_latency_s = 1.0e-5;
+  m.inter_latency_s = 1.0e-4;
+  m.intra_bw_Bps = 1.0e9;
+  m.inter_bw_Bps = 1.0e8;
+  m.send_overhead_s = 1.0e-6;
+  m.recv_overhead_s = 1.0e-6;
+  m.flops_per_s = 1.0e9;
+  m.mem_bw_Bps = 1.0e10;
+  m.rank_memory_bytes = 4.0e9;
+  return m;
+}
+
+}  // namespace xg::net

@@ -1,0 +1,82 @@
+// Dense rank-3 tensor, row-major. The gyrokinetic state is carried as
+// (dim0, dim1, dim2) complex tensors whose role depends on the phase layout:
+//   streaming  : h(nv_loc, nc,     nt_loc)   — full configuration dim
+//   collision  : h(nc_loc, nv,     nt_loc)   — full velocity dim
+// (see DESIGN.md §1 and the paper's Fig. 1).
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace xg::tensor {
+
+template <typename T>
+class Tensor3 {
+ public:
+  Tensor3() = default;
+  Tensor3(int n0, int n1, int n2, T fill = T{})
+      : n0_(n0), n1_(n1), n2_(n2),
+        data_(static_cast<size_t>(n0) * n1 * n2, fill) {
+    XG_ASSERT(n0 >= 0 && n1 >= 0 && n2 >= 0);
+  }
+
+  [[nodiscard]] int n0() const { return n0_; }
+  [[nodiscard]] int n1() const { return n1_; }
+  [[nodiscard]] int n2() const { return n2_; }
+  [[nodiscard]] size_t size() const { return data_.size(); }
+  [[nodiscard]] size_t size_bytes() const { return data_.size() * sizeof(T); }
+
+  T& operator()(int i, int j, int k) {
+    return data_[(static_cast<size_t>(i) * n1_ + j) * n2_ + k];
+  }
+  const T& operator()(int i, int j, int k) const {
+    return data_[(static_cast<size_t>(i) * n1_ + j) * n2_ + k];
+  }
+
+  /// Contiguous inner-most row at (i, j): length n2.
+  [[nodiscard]] std::span<T> inner(int i, int j) {
+    return {data_.data() + (static_cast<size_t>(i) * n1_ + j) * n2_,
+            static_cast<size_t>(n2_)};
+  }
+  [[nodiscard]] std::span<const T> inner(int i, int j) const {
+    return {data_.data() + (static_cast<size_t>(i) * n1_ + j) * n2_,
+            static_cast<size_t>(n2_)};
+  }
+
+  [[nodiscard]] std::span<T> data() { return data_; }
+  [[nodiscard]] std::span<const T> data() const { return data_; }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  friend bool operator==(const Tensor3& a, const Tensor3& b) {
+    return a.n0_ == b.n0_ && a.n1_ == b.n1_ && a.n2_ == b.n2_ &&
+           a.data_ == b.data_;
+  }
+
+ private:
+  int n0_ = 0, n1_ = 0, n2_ = 0;
+  std::vector<T> data_;
+};
+
+using Tensor3Z = Tensor3<std::complex<double>>;
+using Tensor3D = Tensor3<double>;
+
+/// max |a - b| over all entries (test helper).
+template <typename T>
+double max_abs_diff(const Tensor3<T>& a, const Tensor3<T>& b) {
+  XG_ASSERT(a.n0() == b.n0() && a.n1() == b.n1() && a.n2() == b.n2());
+  double m = 0.0;
+  const auto da = a.data();
+  const auto db = b.data();
+  for (size_t i = 0; i < da.size(); ++i) {
+    const double d = std::abs(std::complex<double>(da[i]) -
+                              std::complex<double>(db[i]));
+    if (d > m) m = d;
+  }
+  return m;
+}
+
+}  // namespace xg::tensor

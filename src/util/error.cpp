@@ -1,0 +1,16 @@
+#include "util/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xg::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "xgyro assertion failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg.empty() ? "" : " — ", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace xg::detail

@@ -1,0 +1,64 @@
+// Error handling primitives used across the xgyro codebase.
+//
+// Policy (per C++ Core Guidelines E.2/E.14): throw xg::Error for runtime
+// failures that a caller could plausibly handle (bad input files, infeasible
+// decompositions); use XG_ASSERT for programming errors that indicate a bug.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace xg {
+
+/// Base exception for all xgyro runtime failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an input file or parameter set is malformed.
+class InputError : public Error {
+ public:
+  explicit InputError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a requested decomposition/placement cannot be satisfied
+/// (e.g. nv not divisible by the velocity-communicator size, or a rank
+/// grid that does not fit in node memory).
+class DecompositionError : public Error {
+ public:
+  explicit DecompositionError(const std::string& what) : Error(what) {}
+};
+
+/// Raised on misuse of the simulated MPI layer (rank out of range,
+/// mismatched collective payloads, ...). These mirror what a real MPI
+/// library would abort on.
+class MpiUsageError : public Error {
+ public:
+  explicit MpiUsageError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace xg
+
+/// Fatal invariant check: always on, aborts via std::terminate after logging.
+#define XG_ASSERT(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) ::xg::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define XG_ASSERT_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::xg::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));     \
+  } while (false)
+
+/// Recoverable precondition on user-controlled input: throws xg::Error.
+#define XG_REQUIRE(expr, msg)                       \
+  do {                                              \
+    if (!(expr)) throw ::xg::Error(msg);            \
+  } while (false)

@@ -1,0 +1,60 @@
+// CGYRO-style key=value input file parser.
+//
+// Grammar (one entry per line):
+//   KEY=value        # trailing comment
+//   # full-line comment
+// Keys are case-insensitive and stored upper-cased, matching CGYRO's
+// input.cgyro convention. Later assignments override earlier ones.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xg {
+
+class KeyValueFile {
+ public:
+  KeyValueFile() = default;
+
+  /// Parse from file on disk. Throws xg::InputError on malformed lines.
+  static KeyValueFile load(const std::string& path);
+
+  /// Parse from an in-memory string (used heavily by tests).
+  static KeyValueFile parse(std::string_view text,
+                            std::string_view origin = "<string>");
+
+  [[nodiscard]] bool has(std::string_view key) const;
+
+  /// Typed getters; the non-optional forms throw InputError when missing.
+  [[nodiscard]] long get_int(std::string_view key) const;
+  [[nodiscard]] double get_real(std::string_view key) const;
+  [[nodiscard]] bool get_bool(std::string_view key) const;
+  [[nodiscard]] std::string get_string(std::string_view key) const;
+
+  [[nodiscard]] long get_int_or(std::string_view key, long fallback) const;
+  [[nodiscard]] double get_real_or(std::string_view key, double fallback) const;
+  [[nodiscard]] bool get_bool_or(std::string_view key, bool fallback) const;
+  [[nodiscard]] std::string get_string_or(std::string_view key,
+                                          std::string fallback) const;
+
+  void set(std::string_view key, std::string_view value);
+
+  /// All keys, sorted (deterministic iteration for hashing/serialization).
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  /// Serialize back to "KEY=value" lines, sorted by key.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] size_t size() const { return entries_.size(); }
+
+ private:
+  [[nodiscard]] const std::string& raw(std::string_view key) const;
+
+  std::map<std::string, std::string> entries_;
+  std::string origin_ = "<empty>";
+};
+
+}  // namespace xg

@@ -1,0 +1,39 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace xg {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  const std::scoped_lock lock(g_mutex);
+  std::fprintf(stderr, "[xgyro %s] %s\n", level_name(level), message.c_str());
+}
+
+void log_debug(const std::string& m) { log(LogLevel::kDebug, m); }
+void log_info(const std::string& m) { log(LogLevel::kInfo, m); }
+void log_warn(const std::string& m) { log(LogLevel::kWarn, m); }
+void log_error(const std::string& m) { log(LogLevel::kError, m); }
+
+}  // namespace xg

@@ -1,0 +1,22 @@
+// Tiny leveled logger. Thread-safe (one mutex around the write); quiet by
+// default so test output stays clean. Level is process-global.
+#pragma once
+
+#include <string>
+
+namespace xg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Write one line at `level` (no-op if below the global threshold).
+void log(LogLevel level, const std::string& message);
+
+void log_debug(const std::string& message);
+void log_info(const std::string& message);
+void log_warn(const std::string& message);
+void log_error(const std::string& message);
+
+}  // namespace xg

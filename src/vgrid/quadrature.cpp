@@ -1,0 +1,97 @@
+#include "vgrid/quadrature.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace xg::vgrid {
+
+double legendre(int n, double x) {
+  XG_ASSERT(n >= 0);
+  if (n == 0) return 1.0;
+  if (n == 1) return x;
+  double pkm1 = 1.0;
+  double pk = x;
+  for (int k = 2; k <= n; ++k) {
+    const double pkp1 = ((2 * k - 1) * x * pk - (k - 1) * pkm1) / k;
+    pkm1 = pk;
+    pk = pkp1;
+  }
+  return pk;
+}
+
+double legendre_derivative(int n, double x) {
+  XG_ASSERT(n >= 0);
+  if (n == 0) return 0.0;
+  // (1-x²) P'_n = n (P_{n-1} - x P_n)
+  const double denom = 1.0 - x * x;
+  if (std::abs(denom) < 1e-12) {
+    // endpoint limit: P'_n(±1) = ±^{n+1} n(n+1)/2
+    const double sign = (x > 0) ? 1.0 : ((n % 2 == 0) ? -1.0 : 1.0);
+    return sign * 0.5 * n * (n + 1);
+  }
+  return n * (legendre(n - 1, x) - x * legendre(n, x)) / denom;
+}
+
+QuadratureRule gauss_legendre(int n) {
+  XG_REQUIRE(n >= 1, "gauss_legendre: need n >= 1");
+  QuadratureRule rule;
+  rule.nodes.resize(n);
+  rule.weights.resize(n);
+  const int half = (n + 1) / 2;
+  for (int i = 0; i < half; ++i) {
+    // Chebyshev-based initial guess for the i-th root (descending order).
+    double x = std::cos(std::numbers::pi * (i + 0.75) / (n + 0.5));
+    for (int iter = 0; iter < 100; ++iter) {
+      const double f = legendre(n, x);
+      const double fp = legendre_derivative(n, x);
+      const double dx = f / fp;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    const double fp = legendre_derivative(n, x);
+    const double w = 2.0 / ((1.0 - x * x) * fp * fp);
+    rule.nodes[i] = -x;          // ascending order
+    rule.nodes[n - 1 - i] = x;
+    rule.weights[i] = w;
+    rule.weights[n - 1 - i] = w;
+  }
+  if (n % 2 == 1) {
+    rule.nodes[n / 2] = 0.0;
+    const double fp = legendre_derivative(n, 0.0);
+    rule.weights[n / 2] = 2.0 / (fp * fp);
+  }
+  return rule;
+}
+
+QuadratureRule gauss_legendre(int n, double a, double b) {
+  QuadratureRule rule = gauss_legendre(n);
+  const double mid = 0.5 * (a + b);
+  const double half = 0.5 * (b - a);
+  for (int i = 0; i < n; ++i) {
+    rule.nodes[i] = mid + half * rule.nodes[i];
+    rule.weights[i] *= half;
+  }
+  return rule;
+}
+
+QuadratureRule energy_grid(int n, double e_max) {
+  XG_REQUIRE(n >= 1 && e_max > 0.0, "energy_grid: need n >= 1 and e_max > 0");
+  // Substitute e = s², de = 2s ds, s in (0, √e_max): the integrand
+  // (2/√π) √e e^{-e} de becomes (4/√π) s² e^{-s²} ds — smooth, so plain
+  // Gauss–Legendre in s converges spectrally.
+  const QuadratureRule base = gauss_legendre(n, 0.0, std::sqrt(e_max));
+  QuadratureRule rule;
+  rule.nodes.resize(n);
+  rule.weights.resize(n);
+  const double c = 4.0 / std::sqrt(std::numbers::pi);
+  for (int i = 0; i < n; ++i) {
+    const double s = base.nodes[i];
+    rule.nodes[i] = s * s;
+    rule.weights[i] = c * s * s * std::exp(-s * s) * base.weights[i];
+  }
+  return rule;
+}
+
+}  // namespace xg::vgrid

@@ -1,0 +1,37 @@
+// Orthogonal polynomials and Gaussian quadrature for velocity space.
+//
+// CGYRO discretizes velocity space pseudo-spectrally: pitch angle ξ on a
+// Gauss–Legendre grid (so Legendre projections used by the collision
+// operator are exact) and energy on a mapped Gauss grid weighted by the
+// Maxwellian. We reproduce both.
+#pragma once
+
+#include <vector>
+
+namespace xg::vgrid {
+
+/// Legendre polynomial P_n(x) by the stable three-term recurrence.
+double legendre(int n, double x);
+
+/// Derivative P'_n(x).
+double legendre_derivative(int n, double x);
+
+struct QuadratureRule {
+  std::vector<double> nodes;
+  std::vector<double> weights;
+};
+
+/// n-point Gauss–Legendre rule on [-1, 1]. Nodes found by Newton iteration
+/// from the Chebyshev initial guess; accurate to ~1e-15 for n ≤ 512.
+QuadratureRule gauss_legendre(int n);
+
+/// n-point Gauss–Legendre rule mapped to [a, b].
+QuadratureRule gauss_legendre(int n, double a, double b);
+
+/// Energy quadrature: nodes e_k in (0, e_max) with weights containing the
+/// Maxwellian measure (2/√π)·√e·exp(−e) de, normalized so Σw = erf-truncated
+/// mass ≈ 1. Built from Gauss–Legendre on a √e mapping, which clusters nodes
+/// at low energy where the Maxwellian lives.
+QuadratureRule energy_grid(int n, double e_max);
+
+}  // namespace xg::vgrid

@@ -1,0 +1,86 @@
+#include "vgrid/velocity_grid.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace xg::vgrid {
+
+VelocityGrid::VelocityGrid(const VelocityGridSpec& spec,
+                           std::vector<Species> species)
+    : spec_(spec), species_(std::move(species)) {
+  XG_REQUIRE(spec_.n_species >= 1 && spec_.n_energy >= 1 && spec_.n_xi >= 1,
+             "VelocityGrid: all dimensions must be >= 1");
+  XG_REQUIRE(static_cast<int>(species_.size()) == spec_.n_species,
+             strprintf("VelocityGrid: %d species params for n_species=%d",
+                       int(species_.size()), spec_.n_species));
+  energy_ = energy_grid(spec_.n_energy, spec_.e_max);
+  xi_ = gauss_legendre(spec_.n_xi);
+
+  // Normalize the per-species (energy × pitch) weight to unit total so the
+  // discrete Maxwellian has exactly unit density regardless of e_max/n.
+  double total = 0.0;
+  for (int ie = 0; ie < spec_.n_energy; ++ie) {
+    for (int ix = 0; ix < spec_.n_xi; ++ix) {
+      total += energy_.weights[ie] * 0.5 * xi_.weights[ix];
+    }
+  }
+  XG_ASSERT(total > 0.0);
+  weight_.resize(static_cast<size_t>(nv()));
+  for (int is = 0; is < spec_.n_species; ++is) {
+    for (int ie = 0; ie < spec_.n_energy; ++ie) {
+      for (int ix = 0; ix < spec_.n_xi; ++ix) {
+        weight_[iv(is, ie, ix)] =
+            energy_.weights[ie] * 0.5 * xi_.weights[ix] / total;
+      }
+    }
+  }
+}
+
+double VelocityGrid::speed(int is, int ie) const {
+  const auto& sp = species_[is];
+  return std::sqrt(2.0 * energy_.nodes[ie] * sp.temperature / sp.mass);
+}
+
+double VelocityGrid::v_parallel(int iv_flat) const {
+  return speed(species_of(iv_flat), energy_of(iv_flat)) * xi(xi_of(iv_flat));
+}
+
+double VelocityGrid::moment_density(std::span<const double> f, int is) const {
+  XG_ASSERT(f.size() == static_cast<size_t>(nv()));
+  double acc = 0.0;
+  for (int ie = 0; ie < spec_.n_energy; ++ie) {
+    for (int ix = 0; ix < spec_.n_xi; ++ix) {
+      const int i = iv(is, ie, ix);
+      acc += weight_[i] * f[i];
+    }
+  }
+  return acc;
+}
+
+double VelocityGrid::moment_v_parallel(std::span<const double> f, int is) const {
+  XG_ASSERT(f.size() == static_cast<size_t>(nv()));
+  double acc = 0.0;
+  for (int ie = 0; ie < spec_.n_energy; ++ie) {
+    for (int ix = 0; ix < spec_.n_xi; ++ix) {
+      const int i = iv(is, ie, ix);
+      acc += weight_[i] * v_parallel(i) * f[i];
+    }
+  }
+  return acc;
+}
+
+double VelocityGrid::moment_energy(std::span<const double> f, int is) const {
+  XG_ASSERT(f.size() == static_cast<size_t>(nv()));
+  double acc = 0.0;
+  for (int ie = 0; ie < spec_.n_energy; ++ie) {
+    for (int ix = 0; ix < spec_.n_xi; ++ix) {
+      const int i = iv(is, ie, ix);
+      acc += weight_[i] * energy_.nodes[ie] * f[i];
+    }
+  }
+  return acc;
+}
+
+}  // namespace xg::vgrid

@@ -1,0 +1,84 @@
+// The discrete velocity space shared by the collision operator and the
+// gyrokinetic solver.
+//
+// A point in velocity space is (species, energy node, pitch-angle node);
+// CGYRO flattens these into a single index iv with nv = n_species × n_energy
+// × n_xi. The flat iv dimension is what gets split across the velocity
+// communicator in the streaming phase and kept whole in the collision phase
+// — i.e. it is the first two dimensions of cmat(nv, nv, nc, nt).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "vgrid/quadrature.hpp"
+
+namespace xg::vgrid {
+
+struct Species {
+  double charge = 1.0;   ///< Z, in units of e
+  double mass = 1.0;     ///< in units of the reference (deuterium) mass
+  double density = 1.0;  ///< n_s / n_ref
+  double temperature = 1.0;  ///< T_s / T_ref
+};
+
+struct VelocityGridSpec {
+  int n_species = 1;
+  int n_energy = 8;
+  int n_xi = 16;
+  double e_max = 8.0;  ///< energy-grid cutoff (units of T)
+};
+
+class VelocityGrid {
+ public:
+  VelocityGrid(const VelocityGridSpec& spec, std::vector<Species> species);
+
+  [[nodiscard]] int n_species() const { return spec_.n_species; }
+  [[nodiscard]] int n_energy() const { return spec_.n_energy; }
+  [[nodiscard]] int n_xi() const { return spec_.n_xi; }
+  [[nodiscard]] int nv() const {
+    return spec_.n_species * spec_.n_energy * spec_.n_xi;
+  }
+
+  /// Flat index for (species is, energy ie, pitch ix); CGYRO iv ordering.
+  [[nodiscard]] int iv(int is, int ie, int ix) const {
+    return (is * spec_.n_energy + ie) * spec_.n_xi + ix;
+  }
+  [[nodiscard]] int species_of(int iv) const {
+    return iv / (spec_.n_energy * spec_.n_xi);
+  }
+  [[nodiscard]] int energy_of(int iv) const {
+    return (iv / spec_.n_xi) % spec_.n_energy;
+  }
+  [[nodiscard]] int xi_of(int iv) const { return iv % spec_.n_xi; }
+
+  [[nodiscard]] const Species& species(int is) const { return species_[is]; }
+  [[nodiscard]] double energy(int ie) const { return energy_.nodes[ie]; }
+  [[nodiscard]] double energy_weight(int ie) const { return energy_.weights[ie]; }
+  [[nodiscard]] double xi(int ix) const { return xi_.nodes[ix]; }
+  [[nodiscard]] double xi_weight(int ix) const { return xi_.weights[ix]; }
+
+  /// Speed v/v_th,s at energy node ie: v = √(2e)·√(T_s/m_s) in thermal units.
+  [[nodiscard]] double speed(int is, int ie) const;
+  /// Parallel velocity v_par = v·ξ for flat index iv.
+  [[nodiscard]] double v_parallel(int iv) const;
+
+  /// Combined quadrature weight for flat iv: w_e(ie)·w_ξ(ix)/2, normalized
+  /// so that Σ_{ie,ix} w = 1 for each species (∫ f_M d³v = 1).
+  [[nodiscard]] double weight(int iv) const { return weight_[iv]; }
+
+  /// Velocity-space moment Σ_iv w(iv)·phase(iv)·f(iv) over one species block.
+  /// `f` spans the full nv range; only species `is` contributes.
+  [[nodiscard]] double moment_density(std::span<const double> f, int is) const;
+  [[nodiscard]] double moment_v_parallel(std::span<const double> f, int is) const;
+  [[nodiscard]] double moment_energy(std::span<const double> f, int is) const;
+
+ private:
+  VelocityGridSpec spec_;
+  std::vector<Species> species_;
+  QuadratureRule energy_;
+  QuadratureRule xi_;
+  std::vector<double> weight_;
+};
+
+}  // namespace xg::vgrid

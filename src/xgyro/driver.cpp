@@ -1,0 +1,66 @@
+#include "xgyro/driver.hpp"
+
+#include "util/error.hpp"
+
+namespace xg::xgyro {
+
+const std::vector<std::string>& solver_phases() {
+  static const std::vector<std::string> kPhases{
+      "str", "str_comm", "nl", "nl_comm", "coll", "coll_comm", "report"};
+  return kPhases;
+}
+
+mpi::RunResult run_cgyro_job(const gyro::Input& input,
+                             const net::MachineSpec& machine, int nranks,
+                             const JobOptions& options) {
+  const auto decomp = gyro::Decomposition::choose(input, nranks);
+  mpi::RuntimeOptions ropts;
+  ropts.enable_trace = options.enable_trace;
+  ropts.enable_traffic = options.enable_traffic;
+  return mpi::run_simulation(
+      machine, nranks,
+      [&](mpi::Proc& proc) {
+        auto layout = gyro::make_cgyro_layout(proc.world(), decomp);
+        gyro::Simulation sim(input, decomp, std::move(layout), proc,
+                             options.mode);
+        sim.initialize();
+        for (int i = 0; i < options.n_report_intervals; ++i) {
+          sim.advance_report_interval();
+        }
+      },
+      ropts);
+}
+
+mpi::RunResult run_xgyro_job(const EnsembleInput& ensemble,
+                             const net::MachineSpec& machine,
+                             int ranks_per_sim, const JobOptions& options) {
+  const auto decomp = gyro::Decomposition::choose(
+      ensemble.members.front(), ranks_per_sim, ensemble.n_sims());
+  mpi::RuntimeOptions ropts;
+  ropts.enable_trace = options.enable_trace;
+  ropts.enable_traffic = options.enable_traffic;
+  return mpi::run_simulation(
+      machine, ensemble.n_sims() * ranks_per_sim,
+      [&](mpi::Proc& proc) {
+        EnsembleDriver driver(ensemble, decomp, proc, options.mode);
+        driver.initialize();
+        for (int i = 0; i < options.n_report_intervals; ++i) {
+          driver.advance_report_interval();
+        }
+      },
+      ropts);
+}
+
+double report_step_seconds(const mpi::RunResult& result) {
+  double total = 0.0;
+  for (const auto& phase : solver_phases()) {
+    total += result.phase_max_time(phase);
+  }
+  return total;
+}
+
+double phase_seconds(const mpi::RunResult& result, const std::string& phase) {
+  return result.phase_max_time(phase);
+}
+
+}  // namespace xg::xgyro

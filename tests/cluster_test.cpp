@@ -1,0 +1,90 @@
+// Memory-inventory and feasibility tests.
+#include <gtest/gtest.h>
+
+#include "cluster/memory.hpp"
+#include "simnet/machine.hpp"
+#include "util/error.hpp"
+
+namespace xg::cluster {
+namespace {
+
+TEST(Inventory, TotalsAndLookup) {
+  MemoryInventory inv;
+  inv.add("cmat", 10.0e9);
+  inv.add("state", 0.5e9);
+  inv.add("fields", 0.5e9);
+  EXPECT_DOUBLE_EQ(inv.total_bytes(), 11.0e9);
+  EXPECT_DOUBLE_EQ(inv.bytes_of("cmat"), 10.0e9);
+  EXPECT_DOUBLE_EQ(inv.bytes_of("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(inv.total_excluding("cmat"), 1.0e9);
+}
+
+TEST(Inventory, DuplicateNamesAccumulate) {
+  MemoryInventory inv;
+  inv.add("state", 1.0);
+  inv.add("state", 2.0);
+  EXPECT_DOUBLE_EQ(inv.bytes_of("state"), 3.0);
+}
+
+TEST(Inventory, NegativeBytesThrow) {
+  MemoryInventory inv;
+  EXPECT_THROW(inv.add("x", -1.0), Error);
+}
+
+TEST(Inventory, TableListsLargestFirst) {
+  MemoryInventory inv;
+  inv.add("small", 1024);
+  inv.add("big", 1024.0 * 1024.0, "dominates");
+  const auto t = inv.table();
+  EXPECT_NE(t.find("big"), std::string::npos);
+  EXPECT_NE(t.find("dominates"), std::string::npos);
+  EXPECT_LT(t.find("big"), t.find("small"));
+  EXPECT_NE(t.find("TOTAL"), std::string::npos);
+}
+
+TEST(Feasibility, FitAndUtilization) {
+  MemoryInventory inv;
+  inv.add("cmat", 32.0e9);
+  const auto spec = net::frontier_like(1);  // 64 GB per rank
+  const auto f = check_fit(inv, spec);
+  EXPECT_TRUE(f.fits);
+  EXPECT_NEAR(f.utilization, 0.5, 1e-12);
+
+  inv.add("more", 40.0e9);
+  const auto f2 = check_fit(inv, spec);
+  EXPECT_FALSE(f2.fits);
+  EXPECT_GT(f2.utilization, 1.0);
+}
+
+TEST(Feasibility, MinFeasibleNodesFindsKnee) {
+  // Synthetic problem: a 1 TiB constant tensor split across all ranks plus
+  // 1 GiB of per-rank fixed buffers; 8 ranks/node at 64 GB each.
+  const double tensor = 1024.0e9;
+  const double fixed = 1.0e9;
+  const auto spec_at = [](int n) { return net::frontier_like(n); };
+  const auto inv_at = [&](int n) {
+    MemoryInventory inv;
+    inv.add("cmat", tensor / (n * 8));
+    inv.add("fixed", fixed);
+    return inv;
+  };
+  const int n = min_feasible_nodes(64, spec_at, inv_at);
+  // need cmat/rank <= 63 GB -> ranks >= 1024/63 = 16.25 -> 17 ranks -> 3 nodes
+  ASSERT_GT(n, 0);
+  EXPECT_EQ(n, 3);
+  // And n-1 nodes must NOT fit.
+  EXPECT_FALSE(check_fit(inv_at(n - 1), spec_at(n - 1)).fits);
+}
+
+TEST(Feasibility, ReturnsMinusOneWhenNothingFits) {
+  const auto spec_at = [](int n) { return net::frontier_like(n); };
+  const auto inv_at = [](int) {
+    MemoryInventory inv;
+    inv.add("huge", 1.0e15);
+    return inv;
+  };
+  EXPECT_EQ(min_feasible_nodes(8, spec_at, inv_at), -1);
+}
+
+}  // namespace
+}  // namespace xg::cluster

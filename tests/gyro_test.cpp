@@ -1,0 +1,462 @@
+// Solver tests: input parsing and the cmat-relevant parameter partition,
+// geometry, decomposition choice, physics sanity, decomposition-independent
+// state evolution, and real↔model timing equivalence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gyro/decomposition.hpp"
+#include "gyro/geometry.hpp"
+#include "gyro/input.hpp"
+#include "gyro/simulation.hpp"
+#include "simnet/machine.hpp"
+#include "xgyro/driver.hpp"
+
+namespace xg::gyro {
+namespace {
+
+TEST(Input, KeyValueRoundTrip) {
+  Input in = Input::small_test(2);
+  in.species[0].a_ln_t = 2.25;
+  in.collision.nu_ee = 0.07;
+  in.seed = 99;
+  const Input back = Input::from_keyvalue(in.to_keyvalue());
+  EXPECT_EQ(back.n_radial, in.n_radial);
+  EXPECT_EQ(back.n_species(), 2);
+  EXPECT_DOUBLE_EQ(back.species[0].a_ln_t, 2.25);
+  EXPECT_DOUBLE_EQ(back.collision.nu_ee, 0.07);
+  EXPECT_EQ(back.seed, 99u);
+  EXPECT_EQ(back.cmat_fingerprint(), in.cmat_fingerprint());
+}
+
+TEST(Input, SweepSafeParametersDoNotTouchCmatFingerprint) {
+  const Input base = Input::small_test(2);
+  Input sweep = base;
+  sweep.species[0].a_ln_n = 5.0;  // drive
+  sweep.species[1].a_ln_t = 0.5;  // drive
+  sweep.amp0 = 0.1;
+  sweep.seed = 12345;
+  sweep.nonlinear = true;
+  sweep.upwind = 0.2;
+  sweep.n_steps_per_report = 50;
+  sweep.tag = "variant";
+  EXPECT_EQ(sweep.cmat_fingerprint(), base.cmat_fingerprint());
+  EXPECT_TRUE(cmat_compatible(base, sweep));
+}
+
+TEST(Input, CmatRelevantParametersChangeFingerprint) {
+  const Input base = Input::small_test(2);
+  const auto fp = base.cmat_fingerprint();
+  {
+    Input v = base;
+    v.collision.nu_ee *= 1.001;
+    EXPECT_NE(v.cmat_fingerprint(), fp) << "nu_ee";
+  }
+  {
+    Input v = base;
+    v.dt *= 2;
+    EXPECT_NE(v.cmat_fingerprint(), fp) << "dt";
+  }
+  {
+    Input v = base;
+    v.shear = 0.8;
+    EXPECT_NE(v.cmat_fingerprint(), fp) << "shear";
+  }
+  {
+    Input v = base;
+    v.species[1].physics.temperature = 1.1;
+    EXPECT_NE(v.cmat_fingerprint(), fp) << "species temperature";
+  }
+  {
+    Input v = base;
+    v.n_xi *= 2;
+    EXPECT_NE(v.cmat_fingerprint(), fp) << "n_xi";
+  }
+  {
+    Input v = base;
+    v.collision.cross_species_exchange = true;
+    EXPECT_NE(v.cmat_fingerprint(), fp) << "cross_species_exchange";
+  }
+  {
+    Input v = base;
+    v.n_field = 3;
+    EXPECT_NE(v.cmat_fingerprint(), fp) << "n_field";
+  }
+}
+
+std::pair<std::uint64_t, Diagnostics> run_real(const Input& in, int nranks,
+                                               int n_intervals);
+
+TEST(Input, DiffClassifiesChanges) {
+  Input a = Input::small_test(2);
+  Input b = a;
+  b.collision.nu_ee = 0.5;       // cmat-relevant
+  b.species[0].a_ln_t = 9.0;     // sweep-safe
+  b.seed = 42;                   // sweep-safe
+  const auto diffs = diff_inputs(a, b);
+  ASSERT_EQ(diffs.size(), 3u);
+  int relevant = 0, safe = 0;
+  for (const auto& d : diffs) {
+    if (d.key == "NU_EE") {
+      EXPECT_TRUE(d.cmat_relevant);
+      ++relevant;
+    } else {
+      EXPECT_FALSE(d.cmat_relevant) << d.key;
+      ++safe;
+    }
+  }
+  EXPECT_EQ(relevant, 1);
+  EXPECT_EQ(safe, 2);
+  const auto text = render_diff(diffs);
+  EXPECT_NE(text.find("NU_EE"), std::string::npos);
+  EXPECT_NE(text.find("BLOCKS sharing"), std::string::npos);
+  EXPECT_TRUE(diff_inputs(a, a).empty());
+}
+
+TEST(Input, DiffClassificationConsistentWithFingerprint) {
+  // Meta-property: for EVERY serialized key, perturbing that key alone must
+  // change the fingerprint iff is_cmat_relevant_key says so. Catches drift
+  // between cmat_fingerprint() and the classification table.
+  const Input base = Input::small_test(2);
+  const auto kv = base.to_keyvalue();
+  for (const auto& key : kv.keys()) {
+    if (key == "TAG") continue;  // non-numeric
+    auto mutated = kv;
+    const double old_val = mutated.get_real(key);
+    mutated.set(key, strprintf("%.17g", old_val == 0.0 ? 1.0 : old_val * 2));
+    Input variant;
+    try {
+      variant = Input::from_keyvalue(mutated);
+    } catch (const Error&) {
+      continue;  // mutation made the input invalid — fine, skip
+    }
+    const bool fp_changed =
+        variant.cmat_fingerprint() != base.cmat_fingerprint();
+    // N_SPECIES doubling changes the species list shape; treat separately.
+    if (key == "N_SPECIES") {
+      EXPECT_TRUE(fp_changed);
+      continue;
+    }
+    EXPECT_EQ(fp_changed, is_cmat_relevant_key(key)) << "key=" << key;
+  }
+}
+
+TEST(Input, ValidateRejectsBadValues) {
+  Input in = Input::small_test();
+  in.dt = -1;
+  EXPECT_THROW(in.validate(), Error);
+  in = Input::small_test();
+  in.species.clear();
+  EXPECT_THROW(in.validate(), Error);
+  in = Input::small_test();
+  in.species[0].physics.mass = 0.0;
+  EXPECT_THROW(in.validate(), Error);
+}
+
+TEST(Input, PresetsAreValid) {
+  EXPECT_NO_THROW(Input::small_test(1).validate());
+  EXPECT_NO_THROW(Input::small_test(3).validate());
+  const Input nl = Input::nl03c_like();
+  EXPECT_NO_THROW(nl.validate());
+  EXPECT_EQ(nl.nv(), 576);
+  EXPECT_EQ(nl.nc(), 1024 * 32);
+  EXPECT_TRUE(nl.nonlinear);
+}
+
+TEST(Geometry, WavenumbersVaryAcrossCellsAndModes) {
+  const Input in = Input::small_test();
+  const Geometry g(in);
+  EXPECT_DOUBLE_EQ(g.ky(0), 0.0);
+  EXPECT_GT(g.ky(2), g.ky(1));
+  // shear twist: same radial mode, different theta → different kx at ky>0
+  const int ic_a = 2 * in.n_theta + 0;
+  const int ic_b = 2 * in.n_theta + 1;
+  EXPECT_NE(g.kx(ic_a, 2), g.kx(ic_b, 2));
+  // kperp² must vary with both ic and it (this is why cmat is per-cell)
+  EXPECT_NE(g.kperp2(ic_a, 1), g.kperp2(ic_b, 1));
+  EXPECT_NE(g.kperp2(ic_a, 1), g.kperp2(ic_a, 2));
+}
+
+TEST(Geometry, GyroaverageBounded) {
+  const Input in = Input::small_test(2);
+  const Geometry g(in);
+  const auto vg = in.make_velocity_grid();
+  for (int iv = 0; iv < vg.nv(); iv += 3) {
+    for (int ic = 0; ic < in.nc(); ic += 5) {
+      for (int it = 0; it < in.nt(); ++it) {
+        const double j = g.gyroaverage(vg, iv, ic, it);
+        EXPECT_GT(j, 0.0);
+        EXPECT_LE(j, 1.0);
+      }
+    }
+  }
+}
+
+TEST(Geometry, AdiabaticElectronsRaiseFieldDenominator) {
+  Input in = Input::small_test(1);
+  const Geometry kinetic(in);
+  in.adiabatic_electrons = true;
+  const Geometry adiabatic(in);
+  for (int ic = 0; ic < in.nc(); ic += 3) {
+    for (int it = 0; it < in.nt(); ++it) {
+      EXPECT_NEAR(adiabatic.field_denominator(ic, it),
+                  kinetic.field_denominator(ic, it) + 0.9, 1e-12);
+    }
+  }
+}
+
+TEST(Input, AdiabaticElectronsAreSweepSafe) {
+  // The option changes the physics (field solve) but not the collision
+  // operator, so two members differing only in it may share cmat.
+  const Input base = Input::small_test(1);
+  Input ae = base;
+  ae.adiabatic_electrons = true;
+  EXPECT_EQ(ae.cmat_fingerprint(), base.cmat_fingerprint());
+  const auto diffs = diff_inputs(base, ae);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_EQ(diffs[0].key, "ADIABATIC_ELEC");
+  EXPECT_FALSE(diffs[0].cmat_relevant);
+  // ...and it genuinely changes the evolution.
+  EXPECT_NE(run_real(ae, 1, 1).first, run_real(base, 1, 1).first);
+}
+
+TEST(Geometry, FieldDenominatorPositive) {
+  const Input in = Input::small_test(2);
+  const Geometry g(in);
+  for (int ic = 0; ic < in.nc(); ++ic) {
+    for (int it = 0; it < in.nt(); ++it) {
+      EXPECT_GT(g.field_denominator(ic, it), 0.0);
+    }
+  }
+}
+
+TEST(Decomposition, ChoosePrefersLargePt) {
+  const Input in = Input::small_test();  // nt=4, nv=16, nc=16
+  const auto d = Decomposition::choose(in, 8);
+  EXPECT_EQ(d.pt, 4);
+  EXPECT_EQ(d.pv, 2);
+  EXPECT_NO_THROW(d.validate(in));
+}
+
+TEST(Decomposition, ValidateRejectsIndivisible) {
+  const Input in = Input::small_test();  // nv=16
+  Decomposition d{3, 1};                 // nv % 3 != 0
+  EXPECT_THROW(d.validate(in), Error);
+  Decomposition d2{2, 3};  // nt=4 % 3 != 0
+  EXPECT_THROW(d2.validate(in), Error);
+}
+
+TEST(Decomposition, ChooseThrowsWhenImpossible) {
+  const Input in = Input::small_test();
+  EXPECT_THROW(Decomposition::choose(in, 7), DecompositionError);
+}
+
+/// Run a CGYRO simulation in real mode and return (hash, diagnostics).
+std::pair<std::uint64_t, Diagnostics> run_real(const Input& in, int nranks,
+                                               int n_intervals = 1) {
+  std::uint64_t hash = 0;
+  Diagnostics diag;
+  const auto d = Decomposition::choose(in, nranks);
+  mpi::run_simulation(net::testbox(1, nranks), nranks, [&](mpi::Proc& p) {
+    auto layout = make_cgyro_layout(p.world(), d);
+    Simulation sim(in, d, std::move(layout), p, Mode::kReal);
+    sim.initialize();
+    Diagnostics local;
+    for (int i = 0; i < n_intervals; ++i) local = sim.advance_report_interval();
+    const auto h = sim.state_hash();
+    if (p.world_rank() == 0) {
+      hash = h;
+      diag = local;
+    }
+  });
+  return {hash, diag};
+}
+
+TEST(Simulation, RunsAndStaysFinite) {
+  const auto [hash, diag] = run_real(Input::small_test(2), 1);
+  EXPECT_EQ(diag.steps, 5);
+  EXPECT_TRUE(std::isfinite(diag.phi_rms));
+  EXPECT_GT(diag.phi_rms, 0.0);
+  EXPECT_NE(hash, 0u);
+}
+
+TEST(Simulation, DeterministicAcrossRuns) {
+  const Input in = Input::small_test(2);
+  const auto a = run_real(in, 2);
+  const auto b = run_real(in, 2);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_DOUBLE_EQ(a.second.phi_rms, b.second.phi_rms);
+}
+
+TEST(Simulation, SeedChangesEvolution) {
+  Input in = Input::small_test(2);
+  const auto a = run_real(in, 1);
+  in.seed = 2;
+  const auto b = run_real(in, 1);
+  EXPECT_NE(a.first, b.first);
+}
+
+TEST(Simulation, StateHashIndependentOfToroidalSplit) {
+  // Splitting the toroidal dimension moves whole cells between ranks without
+  // reordering any floating-point sum, so runs with the same pv must be
+  // bit-identical across pt (1, 2, 4 ranks all have pv = 1 here).
+  const Input in = Input::small_test(2);  // nv=32, nc=16, nt=4
+  const auto ref = run_real(in, 1);
+  for (const int p : {2, 4}) {
+    const auto got = run_real(in, p);
+    EXPECT_EQ(got.first, ref.first) << "nranks=" << p;
+    EXPECT_DOUBLE_EQ(got.second.phi_rms, ref.second.phi_rms) << "nranks=" << p;
+  }
+}
+
+TEST(Simulation, VelocitySplitAgreesToRoundoff) {
+  // Splitting nv changes the summation order inside the field AllReduce
+  // (true of real CGYRO as well), so across different pv we require
+  // agreement to accumulated roundoff, not bitwise.
+  const Input in = Input::small_test(2);
+  const auto ref = run_real(in, 4);   // pv=1, pt=4
+  const auto got = run_real(in, 8);   // pv=2, pt=4
+  EXPECT_NE(got.first, 0u);
+  EXPECT_NEAR(got.second.phi_rms, ref.second.phi_rms,
+              1e-9 * std::abs(ref.second.phi_rms));
+  EXPECT_NEAR(got.second.flux_proxy, ref.second.flux_proxy,
+              1e-9 * std::abs(ref.second.flux_proxy) + 1e-15);
+}
+
+TEST(Simulation, NonlinearRunDecompositionIndependent) {
+  Input in = Input::small_test(1);
+  in.nonlinear = true;
+  in.amp0 = 1e-2;
+  const auto ref = run_real(in, 1);
+  for (const int p : {2, 4}) {
+    const auto got = run_real(in, p);
+    EXPECT_EQ(got.first, ref.first) << "nranks=" << p;
+  }
+  // and the bracket actually does something: linear run differs
+  Input lin = in;
+  lin.nonlinear = false;
+  EXPECT_NE(run_real(lin, 1).first, ref.first);
+}
+
+TEST(Simulation, PipelinedCollisionTransposeIsBitIdentical) {
+  // The overlap knob must change timing only, never values.
+  Input in = Input::small_test(2);
+  const auto plain = run_real(in, 4);
+  in.coll_pipeline_chunks = 4;
+  const auto piped = run_real(in, 4);
+  EXPECT_EQ(piped.first, plain.first);
+  EXPECT_DOUBLE_EQ(piped.second.phi_rms, plain.second.phi_rms);
+  // and stays sweep-safe
+  EXPECT_EQ(in.cmat_fingerprint(), Input::small_test(2).cmat_fingerprint());
+}
+
+TEST(Simulation, PipelinedCollisionRealModelTimingAgree) {
+  Input in = Input::small_test(2);
+  in.coll_pipeline_chunks = 2;
+  xgyro::JobOptions real_opts;
+  real_opts.mode = Mode::kReal;
+  xgyro::JobOptions model_opts;
+  model_opts.mode = Mode::kModel;
+  const auto machine = net::testbox(1, 8);
+  const auto real = xgyro::run_cgyro_job(in, machine, 8, real_opts);
+  const auto model = xgyro::run_cgyro_job(in, machine, 8, model_opts);
+  EXPECT_NEAR(real.makespan_s, model.makespan_s, 1e-12);
+}
+
+TEST(Simulation, CollisionsDampUndrivenTurbulence) {
+  // With drives off, collisional + upwind dissipation must shrink phi.
+  Input in = Input::small_test(2);
+  for (auto& s : in.species) {
+    s.a_ln_n = 0.0;
+    s.a_ln_t = 0.0;
+  }
+  in.collision.nu_ee = 1.0;
+  in.n_steps_per_report = 3;
+  double rms0 = 0, rms1 = 0;
+  const auto d = Decomposition::choose(in, 1);
+  mpi::run_simulation(net::testbox(1, 1), 1, [&](mpi::Proc& p) {
+    auto layout = make_cgyro_layout(p.world(), d);
+    Simulation sim(in, d, std::move(layout), p, Mode::kReal);
+    sim.initialize();
+    rms0 = sim.diagnostics().phi_rms;
+    for (int i = 0; i < 4; ++i) sim.advance_report_interval();
+    rms1 = sim.diagnostics().phi_rms;
+  });
+  EXPECT_LT(rms1, rms0);
+}
+
+TEST(Simulation, MemoryInventoryCmatFormula) {
+  const Input in = Input::small_test(2);  // nv=32, nc=16, nt=4
+  const Decomposition d{2, 2};
+  const auto inv = Simulation::memory_inventory(in, d, 1);
+  // cells per rank = nc/pv * nt/pt = 8*2 = 16; cmat = 32²·16·4 bytes
+  EXPECT_DOUBLE_EQ(inv.bytes_of("cmat"), 32.0 * 32 * 16 * 4);
+  // sharing across k=4 sims divides the cmat slice by 4 (nc 16 % (4*2)=0)
+  const auto inv4 = Simulation::memory_inventory(in, d, 4);
+  EXPECT_DOUBLE_EQ(inv4.bytes_of("cmat"), inv.bytes_of("cmat") / 4);
+  // ...and leaves every other buffer unchanged
+  EXPECT_DOUBLE_EQ(inv4.total_excluding("cmat"), inv.total_excluding("cmat"));
+}
+
+TEST(Simulation, Nl03cCmatDominatesOtherBuffers) {
+  // Paper §1: "cmat is 10x the size of all the other memory buffers
+  // combined" for nl03c. Check the nl03c-like preset at the paper's
+  // decomposition (256 ranks = pv 16 × pt 16).
+  const Input in = Input::nl03c_like();
+  const Decomposition d{16, 16};
+  const auto inv = Simulation::memory_inventory(in, d, 1);
+  const double ratio = inv.bytes_of("cmat") / inv.total_excluding("cmat");
+  EXPECT_GT(ratio, 8.0);
+  EXPECT_LT(ratio, 20.0);
+}
+
+TEST(Simulation, RealAndModelModesAgreeOnVirtualTime) {
+  // The model path must follow the identical message/compute schedule as
+  // the real path — same makespan to machine precision.
+  const Input in = Input::small_test(2);
+  for (const int nranks : {1, 2, 4}) {
+    xgyro::JobOptions real_opts;
+    real_opts.mode = Mode::kReal;
+    xgyro::JobOptions model_opts;
+    model_opts.mode = Mode::kModel;
+    const auto machine = net::testbox(1, nranks);
+    const auto real = xgyro::run_cgyro_job(in, machine, nranks, real_opts);
+    const auto model = xgyro::run_cgyro_job(in, machine, nranks, model_opts);
+    EXPECT_NEAR(real.makespan_s, model.makespan_s, 1e-12) << "nranks=" << nranks;
+    for (size_t r = 0; r < real.ranks.size(); ++r) {
+      EXPECT_NEAR(real.ranks[r].final_time_s, model.ranks[r].final_time_s, 1e-12);
+    }
+  }
+}
+
+TEST(Simulation, NonlinearRealModelTimingAgree) {
+  Input in = Input::small_test(1);
+  in.nonlinear = true;
+  xgyro::JobOptions real_opts;
+  real_opts.mode = Mode::kReal;
+  xgyro::JobOptions model_opts;
+  model_opts.mode = Mode::kModel;
+  const auto machine = net::testbox(1, 4);
+  const auto real = xgyro::run_cgyro_job(in, machine, 4, real_opts);
+  const auto model = xgyro::run_cgyro_job(in, machine, 4, model_opts);
+  EXPECT_NEAR(real.makespan_s, model.makespan_s, 1e-12);
+}
+
+TEST(Simulation, PhaseBreakdownCoversAllSolverPhases) {
+  const Input in = Input::small_test(2);
+  xgyro::JobOptions opts;
+  opts.mode = Mode::kModel;
+  // 8 ranks → pt=4, pv=2: both the nv and coll communicators are real.
+  const auto res = xgyro::run_cgyro_job(in, net::testbox(1, 8), 8, opts);
+  EXPECT_GT(res.phase_max_time("str"), 0.0);
+  EXPECT_GT(res.phase_max_comm("str_comm"), 0.0);
+  EXPECT_GT(res.phase_max_time("coll"), 0.0);
+  EXPECT_GT(res.phase_max_comm("coll_comm"), 0.0);
+  EXPECT_GT(res.phase_max_time("init"), 0.0);
+  const auto timing = format_timing(res, xgyro::solver_phases());
+  EXPECT_NE(timing.find("str_comm"), std::string::npos);
+  EXPECT_NE(timing.find("MAKESPAN"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xg::gyro

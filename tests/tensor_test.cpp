@@ -1,0 +1,235 @@
+// Tensor and distributed-transpose tests. The EnsembleTransposer is the
+// structural heart of the XGYRO optimization: k=1 is CGYRO's str↔coll
+// transpose, k>1 is the ensemble-wide variant of the paper's Fig. 3.
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "simmpi/comm.hpp"
+#include "simmpi/runtime.hpp"
+#include "simnet/machine.hpp"
+#include "tensor/dist_transpose.hpp"
+#include "tensor/tensor.hpp"
+#include "util/error.hpp"
+
+namespace xg::tensor {
+namespace {
+
+using cplx = std::complex<double>;
+
+TEST(Tensor3, IndexingAndInnerRows) {
+  Tensor3D t(2, 3, 4);
+  t(1, 2, 3) = 7.5;
+  t(0, 0, 0) = 1.0;
+  EXPECT_DOUBLE_EQ(t.data()[0], 1.0);
+  EXPECT_DOUBLE_EQ(t.data()[t.size() - 1], 7.5);
+  auto row = t.inner(1, 2);
+  EXPECT_DOUBLE_EQ(row[3], 7.5);
+  EXPECT_EQ(row.size(), 4u);
+}
+
+TEST(Tensor3, FillAndEquality) {
+  Tensor3D a(2, 2, 2), b(2, 2, 2);
+  a.fill(3.0);
+  b.fill(3.0);
+  EXPECT_EQ(a, b);
+  b(1, 1, 1) = 4.0;
+  EXPECT_FALSE(a == b);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 1.0);
+}
+
+/// Deterministic marker: identifies (sim, iv, ic, it) uniquely.
+cplx marker(int sim, int iv, int ic, int it) {
+  return {sim * 1.0e6 + iv * 1.0e3 + ic, it + 0.25};
+}
+
+struct TransposeCase {
+  int k;        // simulations
+  int pv;       // nv-split per simulation
+  int nc, nv, inner;
+};
+
+class TransposeP : public ::testing::TestWithParam<TransposeCase> {};
+
+TEST_P(TransposeP, ToCollDeliversCorrectCellsAndRoundTrips) {
+  const auto c = GetParam();
+  const int q = c.k * c.pv;
+  const int nv_loc = c.nv / c.pv;
+  const int nc_loc = c.nc / q;
+
+  mpi::run_simulation(net::testbox(1, q), q, [&](mpi::Proc& p) {
+    auto coll_comm = p.world();  // already simulation-major by construction
+    const int my = p.world_rank();
+    const int sim = my / c.pv;
+    const int pv_rank = my % c.pv;
+
+    EnsembleTransposer<cplx> tr(c.k, c.pv, c.nc, c.nv, c.inner);
+    EXPECT_EQ(tr.nc_loc(), nc_loc);
+    EXPECT_EQ(tr.nv_loc(), nv_loc);
+
+    // Fill my str tensor: I own simulation `sim`, velocity rows
+    // [pv_rank*nv_loc, ...), all of nc.
+    auto str_state = tr.make_str_tensor();
+    for (int bl = 0; bl < nv_loc; ++bl) {
+      for (int ic = 0; ic < c.nc; ++ic) {
+        for (int it = 0; it < c.inner; ++it) {
+          str_state(bl, ic, it) = marker(sim, pv_rank * nv_loc + bl, ic, it);
+        }
+      }
+    }
+
+    auto coll_state = tr.make_coll_tensors();
+    tr.to_coll(coll_comm, str_state, coll_state);
+
+    // After the transpose I own nc cells [my*nc_loc, ...) for EVERY sim,
+    // with the full velocity dimension.
+    const int a0 = my * nc_loc;
+    for (int s = 0; s < c.k; ++s) {
+      for (int a = 0; a < nc_loc; ++a) {
+        for (int iv = 0; iv < c.nv; ++iv) {
+          for (int it = 0; it < c.inner; ++it) {
+            EXPECT_EQ(coll_state[s](a, iv, it), marker(s, iv, a0 + a, it))
+                << "sim=" << s << " a=" << a << " iv=" << iv;
+          }
+        }
+      }
+    }
+
+    // Round trip must restore the original str layout exactly.
+    auto str_back = tr.make_str_tensor();
+    tr.to_str(coll_comm, coll_state, str_back);
+    EXPECT_EQ(str_back, str_state);
+  });
+}
+
+TEST_P(TransposeP, VirtualTimingMatchesReal) {
+  const auto c = GetParam();
+  const int q = c.k * c.pv;
+  const auto spec = net::testbox(1, q);
+
+  auto real = mpi::run_simulation(spec, q, [&](mpi::Proc& p) {
+    auto comm = p.world();
+    EnsembleTransposer<cplx> tr(c.k, c.pv, c.nc, c.nv, c.inner);
+    auto s = tr.make_str_tensor();
+    auto cl = tr.make_coll_tensors();
+    tr.to_coll(comm, s, cl);
+    tr.to_str(comm, cl, s);
+  });
+  auto virt = mpi::run_simulation(spec, q, [&](mpi::Proc& p) {
+    auto comm = p.world();
+    EnsembleTransposer<cplx> tr(c.k, c.pv, c.nc, c.nv, c.inner);
+    tr.to_coll_virtual(comm);
+    tr.to_str_virtual(comm);
+  });
+  for (size_t i = 0; i < real.ranks.size(); ++i) {
+    EXPECT_NEAR(real.ranks[i].final_time_s, virt.ranks[i].final_time_s, 1e-15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TransposeP,
+    ::testing::Values(TransposeCase{1, 1, 4, 4, 2},    // trivial single rank
+                      TransposeCase{1, 2, 8, 6, 2},    // CGYRO-style
+                      TransposeCase{1, 4, 16, 8, 3},   // CGYRO, wider
+                      TransposeCase{2, 2, 16, 6, 2},   // small ensemble
+                      TransposeCase{4, 2, 32, 8, 2},   // paper-style k=4
+                      TransposeCase{8, 1, 16, 4, 2},   // k=8, pv=1
+                      TransposeCase{3, 2, 12, 4, 1})); // non-pow2 ensemble
+
+TEST_P(TransposeP, PipelinedMatchesPlainAndCallsWorkInOrder) {
+  const auto c = GetParam();
+  const int q = c.k * c.pv;
+  mpi::run_simulation(net::testbox(1, q), q, [&](mpi::Proc& p) {
+    auto comm = p.world();
+    const int my = p.world_rank();
+    const int sim = my / c.pv;
+    const int pv_rank = my % c.pv;
+    EnsembleTransposer<cplx> tr(c.k, c.pv, c.nc, c.nv, c.inner);
+    auto str_state = tr.make_str_tensor();
+    for (int bl = 0; bl < tr.nv_loc(); ++bl) {
+      for (int ic = 0; ic < c.nc; ++ic) {
+        for (int it = 0; it < c.inner; ++it) {
+          str_state(bl, ic, it) = marker(sim, pv_rank * tr.nv_loc() + bl, ic, it);
+        }
+      }
+    }
+    auto plain = tr.make_coll_tensors();
+    tr.to_coll(comm, str_state, plain);
+
+    const int chunks = tr.clamp_chunks(4);
+    auto piped = tr.make_coll_tensors();
+    std::vector<int> order;
+    tr.to_coll_pipelined(comm, str_state, piped, chunks,
+                         [&](int chunk) { order.push_back(chunk); });
+    ASSERT_EQ(static_cast<int>(order.size()), chunks);
+    for (int i = 0; i < chunks; ++i) EXPECT_EQ(order[i], i);
+    for (int s = 0; s < c.k; ++s) EXPECT_EQ(piped[s], plain[s]) << "sim " << s;
+  });
+}
+
+TEST_P(TransposeP, PipelinedVirtualMatchesRealTiming) {
+  const auto c = GetParam();
+  const int q = c.k * c.pv;
+  const auto spec = net::testbox(1, q);
+  const int chunks =
+      EnsembleTransposer<cplx>(c.k, c.pv, c.nc, c.nv, c.inner).clamp_chunks(3);
+  auto real = mpi::run_simulation(spec, q, [&](mpi::Proc& p) {
+    auto comm = p.world();
+    EnsembleTransposer<cplx> tr(c.k, c.pv, c.nc, c.nv, c.inner);
+    auto s = tr.make_str_tensor();
+    auto cl = tr.make_coll_tensors();
+    tr.to_coll_pipelined(comm, s, cl, chunks, [&](int) { p.compute(1e6); });
+  });
+  auto virt = mpi::run_simulation(spec, q, [&](mpi::Proc& p) {
+    auto comm = p.world();
+    EnsembleTransposer<cplx> tr(c.k, c.pv, c.nc, c.nv, c.inner);
+    tr.to_coll_pipelined_virtual(comm, chunks, [&](int) { p.compute(1e6); });
+  });
+  for (size_t i = 0; i < real.ranks.size(); ++i) {
+    EXPECT_NEAR(real.ranks[i].final_time_s, virt.ranks[i].final_time_s, 1e-15);
+  }
+}
+
+TEST(Transposer, ClampChunksFindsDivisors) {
+  EnsembleTransposer<cplx> tr(1, 2, 24, 4, 1);  // nc_loc = 12
+  EXPECT_EQ(tr.clamp_chunks(1), 1);
+  EXPECT_EQ(tr.clamp_chunks(4), 4);
+  EXPECT_EQ(tr.clamp_chunks(5), 4);   // largest divisor of 12 <= 5
+  EXPECT_EQ(tr.clamp_chunks(7), 6);
+  EXPECT_EQ(tr.clamp_chunks(100), 12);
+}
+
+TEST(Transposer, RejectsIndivisibleDims) {
+  EXPECT_THROW((EnsembleTransposer<cplx>(2, 2, 10, 4, 1)), Error);  // nc % 4
+  EXPECT_THROW((EnsembleTransposer<cplx>(1, 3, 9, 4, 1)), Error);   // nv % 3
+  EXPECT_NO_THROW((EnsembleTransposer<cplx>(2, 2, 12, 4, 1)));
+}
+
+TEST(Transposer, RejectsWrongCommSize) {
+  mpi::run_simulation(net::testbox(1, 4), 4, [](mpi::Proc& p) {
+    auto world = p.world();
+    EnsembleTransposer<cplx> tr(1, 2, 8, 4, 1);  // expects comm of size 2
+    auto s = tr.make_str_tensor();
+    auto c = tr.make_coll_tensors();
+    EXPECT_THROW(tr.to_coll(world, s, c), Error);
+  });
+}
+
+TEST(Transposer, PerRankCollVolumeIndependentOfK) {
+  // The paper's memory argument: state volume per rank in the coll layout
+  // does not change with ensemble size; only cmat's share shrinks.
+  const int nc = 64, nv = 8, inner = 2, pv = 2;
+  size_t vol_k1 = 0, vol_k4 = 0;
+  {
+    EnsembleTransposer<cplx> tr(1, pv, nc, nv, inner);
+    vol_k1 = static_cast<size_t>(tr.nc_loc()) * nv * inner * 1;
+  }
+  {
+    EnsembleTransposer<cplx> tr(4, pv, nc, nv, inner);
+    vol_k4 = static_cast<size_t>(tr.nc_loc()) * nv * inner * 4;
+  }
+  EXPECT_EQ(vol_k1, vol_k4);
+}
+
+}  // namespace
+}  // namespace xg::tensor

@@ -1,0 +1,200 @@
+// Velocity-space discretization tests: quadrature exactness, Maxwellian
+// moments, Legendre orthogonality, and index mapping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+#include "vgrid/quadrature.hpp"
+#include "vgrid/velocity_grid.hpp"
+
+namespace xg::vgrid {
+namespace {
+
+TEST(Legendre, LowOrders) {
+  EXPECT_DOUBLE_EQ(legendre(0, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(legendre(1, 0.3), 0.3);
+  EXPECT_NEAR(legendre(2, 0.3), 0.5 * (3 * 0.09 - 1), 1e-15);
+  EXPECT_NEAR(legendre(3, -0.5), 0.5 * (5 * -0.125 - 3 * -0.5), 1e-15);
+}
+
+TEST(Legendre, EndpointValues) {
+  for (int n = 0; n <= 10; ++n) {
+    EXPECT_NEAR(legendre(n, 1.0), 1.0, 1e-13);
+    EXPECT_NEAR(legendre(n, -1.0), (n % 2 == 0) ? 1.0 : -1.0, 1e-13);
+  }
+}
+
+TEST(Legendre, DerivativeMatchesFiniteDifference) {
+  const double h = 1e-6;
+  for (int n = 1; n <= 8; ++n) {
+    for (const double x : {-0.7, -0.2, 0.0, 0.4, 0.9}) {
+      const double fd = (legendre(n, x + h) - legendre(n, x - h)) / (2 * h);
+      EXPECT_NEAR(legendre_derivative(n, x), fd, 1e-6) << "n=" << n << " x=" << x;
+    }
+  }
+}
+
+class GaussLegendreOrder : public ::testing::TestWithParam<int> {};
+
+TEST_P(GaussLegendreOrder, IntegratesPolynomialsExactly) {
+  const int n = GetParam();
+  const auto rule = gauss_legendre(n);
+  // Exact for all polynomials of degree <= 2n-1. Check monomials:
+  for (int d = 0; d <= 2 * n - 1; ++d) {
+    double q = 0;
+    for (int i = 0; i < n; ++i) q += rule.weights[i] * std::pow(rule.nodes[i], d);
+    const double exact = (d % 2 == 1) ? 0.0 : 2.0 / (d + 1);
+    EXPECT_NEAR(q, exact, 1e-12) << "n=" << n << " degree=" << d;
+  }
+}
+
+TEST_P(GaussLegendreOrder, WeightsArePositiveAndSumToTwo) {
+  const auto rule = gauss_legendre(GetParam());
+  double sum = 0;
+  for (const double w : rule.weights) {
+    EXPECT_GT(w, 0.0);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 2.0, 1e-13);
+}
+
+TEST_P(GaussLegendreOrder, NodesAscendAndAreSymmetric) {
+  const int n = GetParam();
+  const auto rule = gauss_legendre(n);
+  for (int i = 1; i < n; ++i) EXPECT_LT(rule.nodes[i - 1], rule.nodes[i]);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(rule.nodes[i], -rule.nodes[n - 1 - i], 1e-13);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GaussLegendreOrder,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16, 24, 32, 64));
+
+TEST(GaussLegendre, MappedIntervalIntegratesLine) {
+  const auto rule = gauss_legendre(4, 1.0, 3.0);
+  double q = 0;
+  for (int i = 0; i < 4; ++i) q += rule.weights[i] * rule.nodes[i];
+  EXPECT_NEAR(q, 4.0, 1e-12);  // ∫₁³ x dx = 4
+}
+
+TEST(GaussLegendre, LegendreOrthogonalityViaQuadrature) {
+  const int nq = 24;
+  const auto rule = gauss_legendre(nq);
+  for (int m = 0; m <= 10; ++m) {
+    for (int n = 0; n <= 10; ++n) {
+      double q = 0;
+      for (int i = 0; i < nq; ++i) {
+        q += rule.weights[i] * legendre(m, rule.nodes[i]) *
+             legendre(n, rule.nodes[i]);
+      }
+      const double exact = (m == n) ? 2.0 / (2 * n + 1) : 0.0;
+      EXPECT_NEAR(q, exact, 1e-12) << "m=" << m << " n=" << n;
+    }
+  }
+}
+
+TEST(EnergyGrid, MaxwellianMomentsConverge) {
+  // ∫₀^∞ (2/√π)√e e^{-e} de = 1 ; ∫ e·(...) = 3/2 ; ∫ e²·(...) = 15/4.
+  const auto rule = energy_grid(16, 12.0);
+  double m0 = 0, m1 = 0, m2 = 0;
+  for (size_t i = 0; i < rule.nodes.size(); ++i) {
+    m0 += rule.weights[i];
+    m1 += rule.weights[i] * rule.nodes[i];
+    m2 += rule.weights[i] * rule.nodes[i] * rule.nodes[i];
+  }
+  EXPECT_NEAR(m0, 1.0, 1e-4);
+  EXPECT_NEAR(m1, 1.5, 1e-3);
+  EXPECT_NEAR(m2, 3.75, 1e-2);
+}
+
+TEST(EnergyGrid, NodesPositiveAscending) {
+  const auto rule = energy_grid(8, 8.0);
+  EXPECT_GT(rule.nodes.front(), 0.0);
+  for (size_t i = 1; i < rule.nodes.size(); ++i) {
+    EXPECT_LT(rule.nodes[i - 1], rule.nodes[i]);
+  }
+  EXPECT_LT(rule.nodes.back(), 8.0);
+}
+
+TEST(EnergyGrid, InvalidArgsThrow) {
+  EXPECT_THROW(energy_grid(0, 8.0), Error);
+  EXPECT_THROW(energy_grid(4, -1.0), Error);
+}
+
+VelocityGrid make_grid(int ns = 2, int ne = 8, int nx = 16) {
+  VelocityGridSpec spec;
+  spec.n_species = ns;
+  spec.n_energy = ne;
+  spec.n_xi = nx;
+  spec.e_max = 10.0;
+  std::vector<Species> sp(static_cast<size_t>(ns));
+  if (ns >= 2) {
+    sp[1].mass = 2.72e-4;  // electron-like
+    sp[1].charge = -1.0;
+  }
+  return VelocityGrid(spec, std::move(sp));
+}
+
+TEST(VelocityGrid, FlatIndexRoundTrip) {
+  const auto g = make_grid(2, 4, 6);
+  EXPECT_EQ(g.nv(), 2 * 4 * 6);
+  for (int is = 0; is < 2; ++is) {
+    for (int ie = 0; ie < 4; ++ie) {
+      for (int ix = 0; ix < 6; ++ix) {
+        const int iv = g.iv(is, ie, ix);
+        EXPECT_EQ(g.species_of(iv), is);
+        EXPECT_EQ(g.energy_of(iv), ie);
+        EXPECT_EQ(g.xi_of(iv), ix);
+      }
+    }
+  }
+}
+
+TEST(VelocityGrid, WeightsNormalizedPerSpecies) {
+  const auto g = make_grid();
+  std::vector<double> ones(static_cast<size_t>(g.nv()), 1.0);
+  for (int is = 0; is < g.n_species(); ++is) {
+    EXPECT_NEAR(g.moment_density(ones, is), 1.0, 1e-12);
+  }
+}
+
+TEST(VelocityGrid, MaxwellianHasZeroMeanParallelVelocity) {
+  const auto g = make_grid();
+  std::vector<double> ones(static_cast<size_t>(g.nv()), 1.0);
+  for (int is = 0; is < g.n_species(); ++is) {
+    EXPECT_NEAR(g.moment_v_parallel(ones, is), 0.0, 1e-12);
+  }
+}
+
+TEST(VelocityGrid, MaxwellianEnergyMomentIsThreeHalves) {
+  const auto g = make_grid(1, 16, 8);
+  std::vector<double> ones(static_cast<size_t>(g.nv()), 1.0);
+  EXPECT_NEAR(g.moment_energy(ones, 0), 1.5, 2e-3);
+}
+
+TEST(VelocityGrid, SpeedScalesWithMass) {
+  const auto g = make_grid(2, 4, 4);
+  // electron-like species (tiny mass) must be much faster at equal energy
+  EXPECT_GT(g.speed(1, 2), 10.0 * g.speed(0, 2));
+}
+
+TEST(VelocityGrid, VParallelSignFollowsXi) {
+  const auto g = make_grid(1, 4, 8);
+  for (int ix = 0; ix < 4; ++ix) {
+    EXPECT_LT(g.v_parallel(g.iv(0, 1, ix)), 0.0);  // xi < 0 half
+  }
+  for (int ix = 4; ix < 8; ++ix) {
+    EXPECT_GT(g.v_parallel(g.iv(0, 1, ix)), 0.0);
+  }
+}
+
+TEST(VelocityGrid, SpeciesCountMismatchThrows) {
+  VelocityGridSpec spec;
+  spec.n_species = 2;
+  EXPECT_THROW(VelocityGrid(spec, std::vector<Species>(1)), Error);
+}
+
+}  // namespace
+}  // namespace xg::vgrid

@@ -1,0 +1,450 @@
+// XGYRO ensemble tests: communicator layout, shared-cmat validation, the
+// bit-identical CGYRO↔XGYRO equivalence (the paper's correctness claim),
+// memory invariance of cmat with ensemble size, and the communication-cost
+// shape of Fig. 2.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+
+#include "gyro/simulation.hpp"
+#include "simmpi/traffic.hpp"
+#include "simnet/machine.hpp"
+#include "xgyro/driver.hpp"
+#include "xgyro/ensemble.hpp"
+
+namespace xg::xgyro {
+namespace {
+
+using gyro::Decomposition;
+using gyro::Input;
+using gyro::Mode;
+using gyro::Simulation;
+
+EnsembleInput make_sweep(int k, int ns = 2) {
+  return EnsembleInput::sweep(Input::small_test(ns), k, [](Input& in, int i) {
+    in.species[0].a_ln_t = 2.0 + 0.5 * i;  // drive sweep, cmat-safe
+    in.tag = "member" + std::to_string(i);
+  });
+}
+
+TEST(EnsembleInput, SweepValidatesSharedCmat) {
+  const auto e = make_sweep(4);
+  EXPECT_EQ(e.n_sims(), 4);
+  EXPECT_NO_THROW(e.validate_shared_cmat());
+}
+
+TEST(EnsembleInput, RejectsCmatRelevantSweep) {
+  EXPECT_THROW(EnsembleInput::sweep(Input::small_test(), 2,
+                                    [](Input& in, int i) {
+                                      in.collision.nu_ee = 0.1 + 0.01 * i;
+                                    }),
+               InputError);
+  EXPECT_THROW(EnsembleInput::sweep(Input::small_test(), 2,
+                                    [](Input& in, int i) {
+                                      if (i == 1) in.dt *= 2;
+                                    }),
+               InputError);
+}
+
+TEST(Layout, CommunicatorSizesAndOrder) {
+  const int k = 3, pv = 2, pt = 2;
+  mpi::run_simulation(net::testbox(1, k * pv * pt), k * pv * pt,
+                      [&](mpi::Proc& p) {
+    int sim_index = -1;
+    auto layout = make_xgyro_layout(p.world(), k, Decomposition{pv, pt},
+                                    &sim_index);
+    EXPECT_EQ(sim_index, p.world_rank() / (pv * pt));
+    EXPECT_EQ(layout.sim.size(), pv * pt);
+    EXPECT_EQ(layout.nv.size(), pv);
+    EXPECT_EQ(layout.t.size(), pt);
+    EXPECT_EQ(layout.coll.size(), k * pv);
+    EXPECT_EQ(layout.n_sims_sharing, k);
+    EXPECT_EQ(layout.share_index, sim_index);
+    // The coll communicator must be distinct from the nv communicator —
+    // the paper's required separation (Fig. 3 vs Fig. 1).
+    EXPECT_NE(layout.coll.context(), layout.nv.context());
+    // Simulation-major ordering: members are (sim, p_v) lexicographic.
+    const int p_t = (p.world_rank() % (pv * pt)) / pv;
+    for (int s = 0; s < k; ++s) {
+      for (int v = 0; v < pv; ++v) {
+        EXPECT_EQ(layout.coll.members()[s * pv + v],
+                  s * pv * pt + p_t * pv + v);
+      }
+    }
+    // My position in it: sim*pv + p_v.
+    const int p_v = p.world_rank() % pv;
+    EXPECT_EQ(layout.coll.rank(), sim_index * pv + p_v);
+  });
+}
+
+TEST(Layout, CgyroAliasesCollToNv) {
+  mpi::run_simulation(net::testbox(1, 4), 4, [](mpi::Proc& p) {
+    auto layout = gyro::make_cgyro_layout(p.world(), Decomposition{2, 2});
+    // CGYRO's communicator reuse (paper Fig. 1): same context object.
+    EXPECT_EQ(layout.coll.context(), layout.nv.context());
+  });
+}
+
+TEST(Layout, WrongWorldSizeThrows) {
+  mpi::run_simulation(net::testbox(1, 4), 4, [](mpi::Proc& p) {
+    int idx;
+    EXPECT_THROW(make_xgyro_layout(p.world(), 3, Decomposition{1, 1}, &idx),
+                 Error);
+  });
+}
+
+TEST(Driver, MismatchedEnsembleFailsAtInitialize) {
+  // Bypass the static validation to exercise the runtime cross-check.
+  EnsembleInput bad;
+  bad.members.push_back(Input::small_test());
+  bad.members.push_back(Input::small_test());
+  bad.members[1].collision.nu_ee *= 2.0;  // cmat-relevant difference
+  const Decomposition d{1, 1};
+  EXPECT_THROW(
+      mpi::run_simulation(net::testbox(1, 2), 2,
+                          [&](mpi::Proc& p) {
+                            EnsembleDriver drv(bad, d, p, Mode::kReal);
+                            drv.initialize();
+                          }),
+      InputError);
+}
+
+/// Run the ensemble in real mode, returning per-sim state hashes.
+std::map<int, std::uint64_t> run_xgyro_real(const EnsembleInput& e,
+                                            int ranks_per_sim,
+                                            int n_intervals = 1) {
+  const auto d = Decomposition::choose(e.members.front(), ranks_per_sim,
+                                       e.n_sims());
+  std::map<int, std::uint64_t> hashes;
+  std::mutex mu;
+  mpi::run_simulation(
+      net::testbox(1, e.n_sims() * ranks_per_sim), e.n_sims() * ranks_per_sim,
+      [&](mpi::Proc& p) {
+        EnsembleDriver drv(e, d, p, Mode::kReal);
+        drv.initialize();
+        for (int i = 0; i < n_intervals; ++i) drv.advance_report_interval();
+        const auto h = drv.simulation().state_hash();
+        if (drv.simulation().decomposition().nranks() > 0 &&
+            p.world_rank() % d.nranks() == 0) {
+          const std::scoped_lock lock(mu);
+          hashes[drv.sim_index()] = h;
+        }
+      });
+  return hashes;
+}
+
+/// Run one CGYRO job in real mode, returning the state hash.
+std::uint64_t run_cgyro_real(const Input& in, int nranks, int n_intervals = 1) {
+  const auto d = Decomposition::choose(in, nranks);
+  std::uint64_t hash = 0;
+  mpi::run_simulation(net::testbox(1, nranks), nranks, [&](mpi::Proc& p) {
+    auto layout = gyro::make_cgyro_layout(p.world(), d);
+    Simulation sim(in, d, std::move(layout), p, Mode::kReal);
+    sim.initialize();
+    for (int i = 0; i < n_intervals; ++i) sim.advance_report_interval();
+    const auto h = sim.state_hash();
+    if (p.world_rank() == 0) hash = h;
+  });
+  return hash;
+}
+
+class Equivalence : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Equivalence, XgyroEnsembleBitIdenticalToCgyroRuns) {
+  // The paper's correctness premise: executing k simulations as an XGYRO
+  // ensemble (one shared cmat, separated communicators) changes *where*
+  // data lives, never its values. Every member must evolve bit-identically
+  // to the standalone CGYRO run on the same per-sim decomposition.
+  const auto [k, ranks_per_sim] = GetParam();
+  auto e = make_sweep(k);
+  const auto xh = run_xgyro_real(e, ranks_per_sim, 2);
+  ASSERT_EQ(static_cast<int>(xh.size()), k);
+  for (int s = 0; s < k; ++s) {
+    const auto ch = run_cgyro_real(e.members[s], ranks_per_sim, 2);
+    EXPECT_EQ(xh.at(s), ch) << "sim " << s;
+  }
+  // Members with different drives must actually diverge from each other.
+  if (k >= 2) {
+    EXPECT_NE(xh.at(0), xh.at(1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Equivalence,
+                         ::testing::Values(std::tuple{2, 2},   // pv=2? choose
+                                           std::tuple{2, 4},
+                                           std::tuple{4, 2},
+                                           std::tuple{8, 1},
+                                           std::tuple{2, 8}));
+
+TEST(Groups, SharingGroupsPartitionByFingerprint) {
+  EnsembleInput e;
+  Input a = Input::small_test(2);
+  Input b = a;
+  b.species[0].a_ln_t = 9.0;  // sweep-safe: same group as a
+  Input c = a;
+  c.collision.nu_ee *= 2.0;  // different physics: own group
+  e.members = {a, b, c, a};
+  const auto groups = e.sharing_groups();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(groups[1], (std::vector<int>{2}));
+}
+
+TEST(Groups, GroupedLayoutSizesAndContexts) {
+  // 4 members in 2 groups of 2, pv=2, pt=1: each group's coll comm has
+  // group_size*pv = 4 participants, and the two groups' contexts differ.
+  const int pv = 2, pt = 1;
+  mpi::run_simulation(net::testbox(1, 8), 8, [&](mpi::Proc& p) {
+    const std::vector<int> group_of_sim{0, 1, 0, 1};
+    int sim = -1;
+    auto layout = make_xgyro_layout_grouped(p.world(), group_of_sim,
+                                            Decomposition{pv, pt}, &sim);
+    EXPECT_EQ(layout.coll.size(), 2 * pv);
+    EXPECT_EQ(layout.n_sims_sharing, 2);
+    // sims 0,2 are group 0 (share indices 0,1); sims 1,3 group 1.
+    EXPECT_EQ(layout.share_index, sim / 2);
+    // Exchange contexts across the world: groups must not share a context.
+    std::vector<std::uint64_t> ctx{layout.coll.context()};
+    std::vector<std::uint64_t> all(8);
+    p.world().allgather(std::span<const std::uint64_t>(ctx),
+                        std::span<std::uint64_t>(all));
+    const int my_group = group_of_sim[sim];
+    for (int wr = 0; wr < 8; ++wr) {
+      const int other_group = group_of_sim[wr / (pv * pt)];
+      if (other_group == my_group) {
+        EXPECT_EQ(all[wr], layout.coll.context());
+      } else {
+        EXPECT_NE(all[wr], layout.coll.context());
+      }
+    }
+  });
+}
+
+TEST(Groups, MixedEnsembleRunsUnderGroupedPolicyAndMatchesCgyro) {
+  // A mixed campaign: members 0,1 share physics A, members 2,3 share
+  // physics B (different nu_ee). Under kGroupByFingerprint each pair shares
+  // its own cmat, and every member still evolves bit-identically to its
+  // standalone CGYRO run.
+  Input a = Input::small_test(2);
+  Input b = a;
+  b.species[0].a_ln_t = 4.0;
+  Input c = a;
+  c.collision.nu_ee = 0.23;
+  Input d = c;
+  d.species[0].a_ln_t = 4.0;
+  EnsembleInput mixed;
+  mixed.members = {a, b, c, d};
+
+  const int ranks_per_sim = 2;
+  const auto decomp =
+      Decomposition::choose(a, ranks_per_sim, /*k within group=*/2);
+  std::map<int, std::uint64_t> hashes;
+  std::map<int, int> group_of, gsize_of;
+  std::mutex mu;
+  mpi::run_simulation(net::testbox(1, 8), 8, [&](mpi::Proc& p) {
+    EnsembleDriver drv(mixed, decomp, p, Mode::kReal,
+                       SharingPolicy::kGroupByFingerprint);
+    drv.initialize();
+    drv.advance_report_interval();
+    const auto h = drv.simulation().state_hash();
+    if (p.world_rank() % ranks_per_sim == 0) {
+      const std::scoped_lock lock(mu);
+      hashes[drv.sim_index()] = h;
+      group_of[drv.sim_index()] = drv.sharing_group();
+      gsize_of[drv.sim_index()] = drv.group_size();
+    }
+  });
+  ASSERT_EQ(hashes.size(), 4u);
+  EXPECT_EQ(group_of.at(0), group_of.at(1));
+  EXPECT_EQ(group_of.at(2), group_of.at(3));
+  EXPECT_NE(group_of.at(0), group_of.at(2));
+  for (int s = 0; s < 4; ++s) EXPECT_EQ(gsize_of.at(s), 2);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(hashes.at(s), run_cgyro_real(mixed.members[s], ranks_per_sim, 1))
+        << "sim " << s;
+  }
+}
+
+TEST(Groups, SingleGroupPolicyStillRejectsMixedEnsembles) {
+  EnsembleInput mixed;
+  mixed.members = {Input::small_test(2), Input::small_test(2)};
+  mixed.members[1].collision.nu_ee *= 3.0;
+  const Decomposition d{1, 1};
+  EXPECT_THROW(
+      mpi::run_simulation(net::testbox(1, 2), 2,
+                          [&](mpi::Proc& p) {
+                            EnsembleDriver drv(mixed, d, p, Mode::kReal,
+                                               SharingPolicy::kSingleGroup);
+                          }),
+      InputError);
+}
+
+TEST(Groups, GroupedPolicyWithUniformEnsembleEqualsSingleGroup) {
+  auto e = make_sweep(2);
+  const Decomposition d{2, 1};
+  std::map<int, std::uint64_t> grouped, single;
+  std::mutex mu;
+  for (const bool use_grouped : {false, true}) {
+    mpi::run_simulation(net::testbox(1, 4), 4, [&](mpi::Proc& p) {
+      EnsembleDriver drv(e, d, p, Mode::kReal,
+                         use_grouped ? SharingPolicy::kGroupByFingerprint
+                                     : SharingPolicy::kSingleGroup);
+      drv.initialize();
+      drv.advance_report_interval();
+      const auto h = drv.simulation().state_hash();
+      if (p.world_rank() % 2 == 0) {
+        const std::scoped_lock lock(mu);
+        (use_grouped ? grouped : single)[drv.sim_index()] = h;
+      }
+    });
+  }
+  EXPECT_EQ(grouped, single);
+}
+
+TEST(Memory, CmatTotalBytesInvariantInEnsembleSize) {
+  // Paper §2.1: "its size does not change if we change the number of
+  // simulations in a XGYRO ensemble" while other buffers grow ∝ k.
+  const Input base = Input::small_test(2);
+  const Decomposition d{2, 2};
+  const double cmat_k1 =
+      Simulation::memory_inventory(base, d, 1).bytes_of("cmat") * d.pv * d.pt;
+  for (const int k : {2, 4}) {
+    const auto inv = Simulation::memory_inventory(base, d, k);
+    const double cmat_total = inv.bytes_of("cmat") * k * d.pv * d.pt;
+    EXPECT_DOUBLE_EQ(cmat_total, cmat_k1) << "k=" << k;
+    const double others_total = inv.total_excluding("cmat") * k * d.pv * d.pt;
+    const double others_k1 =
+        Simulation::memory_inventory(base, d, 1).total_excluding("cmat") *
+        d.pv * d.pt;
+    EXPECT_DOUBLE_EQ(others_total, others_k1 * k) << "k=" << k;
+  }
+}
+
+TEST(Memory, RealCmatSlicesShrinkByK) {
+  // Verify on the actual allocated tensors, not just the accounting.
+  auto e = make_sweep(2);
+  const Decomposition d{2, 1};
+  std::uint64_t xgyro_slice = 0;
+  mpi::run_simulation(net::testbox(1, 4), 4, [&](mpi::Proc& p) {
+    EnsembleDriver drv(e, d, p, Mode::kReal);
+    drv.initialize();
+    if (p.world_rank() == 0) xgyro_slice = drv.simulation().cmat().bytes();
+  });
+  std::uint64_t cgyro_slice = 0;
+  mpi::run_simulation(net::testbox(1, 2), 2, [&](mpi::Proc& p) {
+    auto layout = gyro::make_cgyro_layout(p.world(), d);
+    Simulation sim(e.members[0], d, std::move(layout), p, Mode::kReal);
+    sim.initialize();
+    if (p.world_rank() == 0) cgyro_slice = sim.cmat().bytes();
+  });
+  EXPECT_EQ(xgyro_slice * 2, cgyro_slice);
+}
+
+TEST(CommCost, XgyroStrCommCheaperThanCgyroSum) {
+  // The Fig. 2 shape at test scale, in the paper's regime: the CGYRO
+  // baseline's nv communicator spans multiple nodes (pv=8 on 4-rank nodes),
+  // while each XGYRO member's nv communicator (pv=2) stays on one node and
+  // has 4× fewer participants. 4 sequential CGYRO jobs vs one ensemble.
+  Input base = Input::small_test(2);  // nv=32, nt=4
+  base.n_radial = 16;
+  base.n_theta = 8;                   // nc = 128: bandwidth-visible payloads
+  base.n_steps_per_report = 5;
+  const int k = 4;
+  auto e = EnsembleInput::sweep(base, k, [](Input& in, int i) {
+    in.species[0].a_ln_t = 2.0 + 0.1 * i;
+  });
+  const auto machine = net::testbox(8, 4);  // 32 rank slots, 4 per node
+
+  JobOptions opts;
+  opts.mode = Mode::kModel;
+  const auto cgyro = run_cgyro_job(base, machine, 32, opts);   // pv=8, pt=4
+  const auto xgyro = run_xgyro_job(e, machine, 8, opts);       // pv=2, pt=4
+
+  const double cgyro_sum_total = k * report_step_seconds(cgyro);
+  const double xgyro_total = report_step_seconds(xgyro);
+  const double cgyro_sum_str = k * phase_seconds(cgyro, "str_comm");
+  const double xgyro_str = phase_seconds(xgyro, "str_comm");
+
+  EXPECT_LT(xgyro_str, cgyro_sum_str);
+  EXPECT_LT(xgyro_total, cgyro_sum_total);
+  // Compute is work-conserving: the ensemble does the same physics spread
+  // over 4× fewer ranks per sim, so per-job compute quadruples while the
+  // job count drops 4× — the sums must agree.
+  EXPECT_NEAR(k * phase_seconds(cgyro, "coll"), phase_seconds(xgyro, "coll"),
+              k * phase_seconds(cgyro, "coll") * 0.01);
+}
+
+TEST(CommCost, XgyroRelocatesStrTrafficOntoNodes) {
+  // The quantitative mechanism behind the str_comm win: XGYRO does not
+  // remove the field/upwind reduction bytes, it moves them from inter-node
+  // links onto intra-node fabric. CGYRO with pv=8 on 4-rank nodes reduces
+  // across 2 nodes (inter traffic); each XGYRO member with pv=2 reduces
+  // within one node (zero inter bytes in str_comm).
+  Input base = Input::small_test(2);
+  base.n_steps_per_report = 2;
+  const auto machine = net::testbox(8, 4);
+  const net::Placement place(machine);
+  JobOptions opts;
+  opts.mode = Mode::kModel;
+
+  mpi::RuntimeOptions ropts;
+  ropts.enable_traffic = true;
+  // CGYRO: one sim on 32 ranks (pv=8 spans 2 nodes).
+  const auto d32 = Decomposition::choose(base, 32);
+  mpi::Runtime rt_c(machine, 32, ropts);
+  const auto cg = rt_c.run([&](mpi::Proc& p) {
+    auto layout = gyro::make_cgyro_layout(p.world(), d32);
+    Simulation sim(base, d32, std::move(layout), p, Mode::kModel);
+    sim.initialize();
+    sim.advance_report_interval();
+  });
+  // XGYRO: 4 members × 8 ranks (pv=2, intra-node).
+  auto e = EnsembleInput::sweep(base, 4, [](Input& in, int i) {
+    in.species[0].a_ln_t = 2.0 + 0.1 * i;
+  });
+  const auto d8 = Decomposition::choose(base, 8, 4);
+  mpi::Runtime rt_x(machine, 32, ropts);
+  const auto xg = rt_x.run([&](mpi::Proc& p) {
+    EnsembleDriver drv(e, d8, p, Mode::kModel);
+    drv.initialize();
+    drv.advance_report_interval();
+  });
+
+  const auto cg_str = mpi::summarize_traffic_phase(cg, place, "str_comm");
+  const auto xg_str = mpi::summarize_traffic_phase(xg, place, "str_comm");
+  EXPECT_GT(cg_str.inter_fraction(), 0.2);
+  EXPECT_DOUBLE_EQ(xg_str.inter_fraction(), 0.0);
+  EXPECT_GT(xg_str.intra_bytes, 0u);
+  // The collision transpose, by contrast, stays inter-node-heavy in both.
+  const auto cg_coll = mpi::summarize_traffic_phase(cg, place, "coll_comm");
+  const auto xg_coll = mpi::summarize_traffic_phase(xg, place, "coll_comm");
+  EXPECT_GT(cg_coll.inter_bytes, 0u);
+  EXPECT_GT(xg_coll.inter_bytes, 0u);
+}
+
+TEST(CommCost, TraceShowsSeparatedCollCommunicator) {
+  Input base = Input::small_test(2);
+  base.n_steps_per_report = 1;
+  const int k = 2;
+  auto e = EnsembleInput::sweep(base, k, [](Input& in, int i) {
+    in.species[0].a_ln_t = 2.0 + 0.1 * i;
+  });
+  JobOptions opts;
+  opts.mode = Mode::kModel;
+  opts.enable_trace = true;
+  const auto res = run_xgyro_job(e, net::testbox(1, 8), 4, opts);  // pv=1,pt=4
+
+  bool saw_shared_coll = false;
+  for (const auto& ev : res.trace) {
+    if (ev.kind == mpi::TraceEvent::Kind::kAllToAll &&
+        ev.comm_label == "coll_shared.g0") {
+      saw_shared_coll = true;
+      EXPECT_EQ(ev.participants, k * 1);  // k * pv
+    }
+  }
+  EXPECT_TRUE(saw_shared_coll);
+}
+
+}  // namespace
+}  // namespace xg::xgyro
