@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/allreduce_scaling"
+  "../bench/allreduce_scaling.pdb"
+  "CMakeFiles/allreduce_scaling.dir/allreduce_scaling.cpp.o"
+  "CMakeFiles/allreduce_scaling.dir/allreduce_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allreduce_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

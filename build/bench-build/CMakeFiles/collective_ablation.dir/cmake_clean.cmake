@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/collective_ablation"
+  "../bench/collective_ablation.pdb"
+  "CMakeFiles/collective_ablation.dir/collective_ablation.cpp.o"
+  "CMakeFiles/collective_ablation.dir/collective_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collective_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

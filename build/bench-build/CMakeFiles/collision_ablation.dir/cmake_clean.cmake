@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/collision_ablation"
+  "../bench/collision_ablation.pdb"
+  "CMakeFiles/collision_ablation.dir/collision_ablation.cpp.o"
+  "CMakeFiles/collision_ablation.dir/collision_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collision_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ensemble_scaling"
+  "../bench/ensemble_scaling.pdb"
+  "CMakeFiles/ensemble_scaling.dir/ensemble_scaling.cpp.o"
+  "CMakeFiles/ensemble_scaling.dir/ensemble_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

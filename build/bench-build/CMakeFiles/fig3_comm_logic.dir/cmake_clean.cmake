@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_comm_logic"
+  "../bench/fig3_comm_logic.pdb"
+  "CMakeFiles/fig3_comm_logic.dir/fig3_comm_logic.cpp.o"
+  "CMakeFiles/fig3_comm_logic.dir/fig3_comm_logic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_comm_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

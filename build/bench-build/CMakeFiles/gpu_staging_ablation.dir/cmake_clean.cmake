@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/gpu_staging_ablation"
+  "../bench/gpu_staging_ablation.pdb"
+  "CMakeFiles/gpu_staging_ablation.dir/gpu_staging_ablation.cpp.o"
+  "CMakeFiles/gpu_staging_ablation.dir/gpu_staging_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_staging_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/node_scaling"
+  "../bench/node_scaling.pdb"
+  "CMakeFiles/node_scaling.dir/node_scaling.cpp.o"
+  "CMakeFiles/node_scaling.dir/node_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/placement_ablation"
+  "../bench/placement_ablation.pdb"
+  "CMakeFiles/placement_ablation.dir/placement_ablation.cpp.o"
+  "CMakeFiles/placement_ablation.dir/placement_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

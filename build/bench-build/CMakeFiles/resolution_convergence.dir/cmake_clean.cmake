@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/resolution_convergence"
+  "../bench/resolution_convergence.pdb"
+  "CMakeFiles/resolution_convergence.dir/resolution_convergence.cpp.o"
+  "CMakeFiles/resolution_convergence.dir/resolution_convergence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolution_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_memory"
+  "../bench/tab_memory.pdb"
+  "CMakeFiles/tab_memory.dir/tab_memory.cpp.o"
+  "CMakeFiles/tab_memory.dir/tab_memory.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

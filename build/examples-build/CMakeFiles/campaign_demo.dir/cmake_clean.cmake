@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/campaign_demo"
+  "../examples/campaign_demo.pdb"
+  "CMakeFiles/campaign_demo.dir/campaign_demo.cpp.o"
+  "CMakeFiles/campaign_demo.dir/campaign_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

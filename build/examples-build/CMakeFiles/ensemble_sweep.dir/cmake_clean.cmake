@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/ensemble_sweep"
+  "../examples/ensemble_sweep.pdb"
+  "CMakeFiles/ensemble_sweep.dir/ensemble_sweep.cpp.o"
+  "CMakeFiles/ensemble_sweep.dir/ensemble_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/grouped_campaign"
+  "../examples/grouped_campaign.pdb"
+  "CMakeFiles/grouped_campaign.dir/grouped_campaign.cpp.o"
+  "CMakeFiles/grouped_campaign.dir/grouped_campaign.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grouped_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/linear_growth"
+  "../examples/linear_growth.pdb"
+  "CMakeFiles/linear_growth.dir/linear_growth.cpp.o"
+  "CMakeFiles/linear_growth.dir/linear_growth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/xgyro_cli"
+  "../examples/xgyro_cli.pdb"
+  "CMakeFiles/xgyro_cli.dir/xgyro_cli.cpp.o"
+  "CMakeFiles/xgyro_cli.dir/xgyro_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgyro_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/xgyro_report"
+  "../examples/xgyro_report.pdb"
+  "CMakeFiles/xgyro_report.dir/xgyro_report.cpp.o"
+  "CMakeFiles/xgyro_report.dir/xgyro_report.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgyro_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("la")
+subdirs("fft")
+subdirs("vgrid")
+subdirs("simnet")
+subdirs("simmpi")
+subdirs("tensor")
+subdirs("cluster")
+subdirs("collision")
+subdirs("gyro")
+subdirs("xgyro")
+subdirs("perfmodel")
+subdirs("campaign")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_campaign.dir/campaign.cpp.o"
+  "CMakeFiles/xg_campaign.dir/campaign.cpp.o.d"
+  "libxg_campaign.a"
+  "libxg_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

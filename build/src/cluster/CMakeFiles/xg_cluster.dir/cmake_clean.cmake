@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_cluster.dir/memory.cpp.o"
+  "CMakeFiles/xg_cluster.dir/memory.cpp.o.d"
+  "libxg_cluster.a"
+  "libxg_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

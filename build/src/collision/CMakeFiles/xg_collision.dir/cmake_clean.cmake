@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_collision.dir/operator.cpp.o"
+  "CMakeFiles/xg_collision.dir/operator.cpp.o.d"
+  "CMakeFiles/xg_collision.dir/tensor.cpp.o"
+  "CMakeFiles/xg_collision.dir/tensor.cpp.o.d"
+  "libxg_collision.a"
+  "libxg_collision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_collision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

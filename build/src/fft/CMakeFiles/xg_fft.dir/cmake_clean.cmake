@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_fft.dir/fft.cpp.o"
+  "CMakeFiles/xg_fft.dir/fft.cpp.o.d"
+  "libxg_fft.a"
+  "libxg_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gyro/decomposition.cpp" "src/gyro/CMakeFiles/xg_gyro.dir/decomposition.cpp.o" "gcc" "src/gyro/CMakeFiles/xg_gyro.dir/decomposition.cpp.o.d"
+  "/root/repo/src/gyro/geometry.cpp" "src/gyro/CMakeFiles/xg_gyro.dir/geometry.cpp.o" "gcc" "src/gyro/CMakeFiles/xg_gyro.dir/geometry.cpp.o.d"
+  "/root/repo/src/gyro/input.cpp" "src/gyro/CMakeFiles/xg_gyro.dir/input.cpp.o" "gcc" "src/gyro/CMakeFiles/xg_gyro.dir/input.cpp.o.d"
+  "/root/repo/src/gyro/restart.cpp" "src/gyro/CMakeFiles/xg_gyro.dir/restart.cpp.o" "gcc" "src/gyro/CMakeFiles/xg_gyro.dir/restart.cpp.o.d"
+  "/root/repo/src/gyro/run_info.cpp" "src/gyro/CMakeFiles/xg_gyro.dir/run_info.cpp.o" "gcc" "src/gyro/CMakeFiles/xg_gyro.dir/run_info.cpp.o.d"
+  "/root/repo/src/gyro/simulation.cpp" "src/gyro/CMakeFiles/xg_gyro.dir/simulation.cpp.o" "gcc" "src/gyro/CMakeFiles/xg_gyro.dir/simulation.cpp.o.d"
+  "/root/repo/src/gyro/timing_log.cpp" "src/gyro/CMakeFiles/xg_gyro.dir/timing_log.cpp.o" "gcc" "src/gyro/CMakeFiles/xg_gyro.dir/timing_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/xg_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/xg_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgrid/CMakeFiles/xg_vgrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/xg_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/xg_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/collision/CMakeFiles/xg_collision.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/xg_simnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_gyro.dir/decomposition.cpp.o"
+  "CMakeFiles/xg_gyro.dir/decomposition.cpp.o.d"
+  "CMakeFiles/xg_gyro.dir/geometry.cpp.o"
+  "CMakeFiles/xg_gyro.dir/geometry.cpp.o.d"
+  "CMakeFiles/xg_gyro.dir/input.cpp.o"
+  "CMakeFiles/xg_gyro.dir/input.cpp.o.d"
+  "CMakeFiles/xg_gyro.dir/restart.cpp.o"
+  "CMakeFiles/xg_gyro.dir/restart.cpp.o.d"
+  "CMakeFiles/xg_gyro.dir/run_info.cpp.o"
+  "CMakeFiles/xg_gyro.dir/run_info.cpp.o.d"
+  "CMakeFiles/xg_gyro.dir/simulation.cpp.o"
+  "CMakeFiles/xg_gyro.dir/simulation.cpp.o.d"
+  "CMakeFiles/xg_gyro.dir/timing_log.cpp.o"
+  "CMakeFiles/xg_gyro.dir/timing_log.cpp.o.d"
+  "libxg_gyro.a"
+  "libxg_gyro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_gyro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

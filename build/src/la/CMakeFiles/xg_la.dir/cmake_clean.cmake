@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_la.dir/lu.cpp.o"
+  "CMakeFiles/xg_la.dir/lu.cpp.o.d"
+  "libxg_la.a"
+  "libxg_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_perfmodel.dir/perfmodel.cpp.o"
+  "CMakeFiles/xg_perfmodel.dir/perfmodel.cpp.o.d"
+  "libxg_perfmodel.a"
+  "libxg_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_simmpi.dir/comm.cpp.o"
+  "CMakeFiles/xg_simmpi.dir/comm.cpp.o.d"
+  "CMakeFiles/xg_simmpi.dir/message.cpp.o"
+  "CMakeFiles/xg_simmpi.dir/message.cpp.o.d"
+  "CMakeFiles/xg_simmpi.dir/runtime.cpp.o"
+  "CMakeFiles/xg_simmpi.dir/runtime.cpp.o.d"
+  "CMakeFiles/xg_simmpi.dir/traffic.cpp.o"
+  "CMakeFiles/xg_simmpi.dir/traffic.cpp.o.d"
+  "libxg_simmpi.a"
+  "libxg_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_simnet.dir/machine.cpp.o"
+  "CMakeFiles/xg_simnet.dir/machine.cpp.o.d"
+  "libxg_simnet.a"
+  "libxg_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

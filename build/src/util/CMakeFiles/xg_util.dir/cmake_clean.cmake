@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_util.dir/error.cpp.o"
+  "CMakeFiles/xg_util.dir/error.cpp.o.d"
+  "CMakeFiles/xg_util.dir/format.cpp.o"
+  "CMakeFiles/xg_util.dir/format.cpp.o.d"
+  "CMakeFiles/xg_util.dir/keyvalue.cpp.o"
+  "CMakeFiles/xg_util.dir/keyvalue.cpp.o.d"
+  "CMakeFiles/xg_util.dir/log.cpp.o"
+  "CMakeFiles/xg_util.dir/log.cpp.o.d"
+  "CMakeFiles/xg_util.dir/strings.cpp.o"
+  "CMakeFiles/xg_util.dir/strings.cpp.o.d"
+  "libxg_util.a"
+  "libxg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_vgrid.dir/quadrature.cpp.o"
+  "CMakeFiles/xg_vgrid.dir/quadrature.cpp.o.d"
+  "CMakeFiles/xg_vgrid.dir/velocity_grid.cpp.o"
+  "CMakeFiles/xg_vgrid.dir/velocity_grid.cpp.o.d"
+  "libxg_vgrid.a"
+  "libxg_vgrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_vgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_xgyro.dir/driver.cpp.o"
+  "CMakeFiles/xg_xgyro.dir/driver.cpp.o.d"
+  "CMakeFiles/xg_xgyro.dir/ensemble.cpp.o"
+  "CMakeFiles/xg_xgyro.dir/ensemble.cpp.o.d"
+  "libxg_xgyro.a"
+  "libxg_xgyro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_xgyro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

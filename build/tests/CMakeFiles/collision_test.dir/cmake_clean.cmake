@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collision_test.dir/collision_test.cpp.o"
+  "CMakeFiles/collision_test.dir/collision_test.cpp.o.d"
+  "collision_test"
+  "collision_test.pdb"
+  "collision_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

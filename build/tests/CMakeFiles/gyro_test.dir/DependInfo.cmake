@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gyro_test.cpp" "tests/CMakeFiles/gyro_test.dir/gyro_test.cpp.o" "gcc" "tests/CMakeFiles/gyro_test.dir/gyro_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gyro/CMakeFiles/xg_gyro.dir/DependInfo.cmake"
+  "/root/repo/build/src/xgyro/CMakeFiles/xg_xgyro.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/xg_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/xg_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/xg_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/xg_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/collision/CMakeFiles/xg_collision.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/xg_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgrid/CMakeFiles/xg_vgrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gyro_test.dir/gyro_test.cpp.o"
+  "CMakeFiles/gyro_test.dir/gyro_test.cpp.o.d"
+  "gyro_test"
+  "gyro_test.pdb"
+  "gyro_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gyro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

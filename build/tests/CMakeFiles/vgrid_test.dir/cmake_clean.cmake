@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgrid_test.dir/vgrid_test.cpp.o"
+  "CMakeFiles/vgrid_test.dir/vgrid_test.cpp.o.d"
+  "vgrid_test"
+  "vgrid_test.pdb"
+  "vgrid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgrid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

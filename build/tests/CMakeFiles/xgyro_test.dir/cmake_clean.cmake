@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgyro_test.dir/xgyro_test.cpp.o"
+  "CMakeFiles/xgyro_test.dir/xgyro_test.cpp.o.d"
+  "xgyro_test"
+  "xgyro_test.pdb"
+  "xgyro_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgyro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
