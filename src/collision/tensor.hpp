@@ -44,9 +44,23 @@ class CollisionTensor {
   /// y = A_cell · x for complex state (real constant matrix × complex field).
   void apply(int cell, std::span<const cplx> x, std::span<cplx> y) const;
 
+  /// Y = A_cell · X for a row-major nv×batch panel: X[j·batch + b] holds
+  /// velocity row j of right-hand side b (one ensemble-shared simulation per
+  /// column). The ensemble GEMM: each cmat row is read once per column block
+  /// and reused across all `batch` right-hand sides, instead of once per
+  /// right-hand side as `batch` scalar apply() calls would. Accumulation
+  /// order over j is identical to apply() for every output element, so the
+  /// result is bit-exact with the scalar path for any batch.
+  void apply_batch(int cell, std::span<const cplx> x, std::span<cplx> y,
+                   int batch) const;
+
   /// In-place collision step on one cell (uses an internal scratch vector;
   /// not thread-safe across concurrent calls on the same object).
   void apply_in_place(int cell, std::span<cplx> x);
+
+  /// Copy the fp32 matrix of `src_cell` into `dst_cell` (bit-identical;
+  /// used when geometrically degenerate cells share one built matrix).
+  void copy_cell(int dst_cell, int src_cell);
 
   /// FLOP count of one apply (for the compute model): 2·nv² per complex
   /// component pair = 4·nv².

@@ -30,6 +30,7 @@
 
 #include "cluster/memory.hpp"
 #include "collision/tensor.hpp"
+#include "fft/fft.hpp"
 #include "gyro/decomposition.hpp"
 #include "gyro/geometry.hpp"
 #include "gyro/input.hpp"
@@ -180,11 +181,18 @@ class Simulation {
   std::vector<cplx> u_;                  // upwind moment (nc × nt_loc)
   std::vector<double> denom_, unorm_;    // field denominators
   std::vector<int> iv_global_;           // local iv -> global iv
+  /// Precomputed moment weights (built once in build_tables): field_w_ holds
+  /// charge·moment·quadrature per (field, ivl), upwind_w_ holds
+  /// weight·|v_par| per ivl — both were recomputed per (ic, itl) before.
+  std::vector<double> field_w_;          // (n_field × nv_loc)
+  std::vector<double> upwind_w_;         // (nv_loc)
 
   // collision-phase objects
   std::unique_ptr<tensor::EnsembleTransposer<cplx>> coll_transpose_;
   std::vector<tensor::Tensor3Z> coll_states_;
   std::unique_ptr<collision::CollisionTensor> cmat_;
+  /// Pack/unpack panel for the batched collision apply: two nv×k row-major
+  /// panels (input and output), k = n_sims_sharing.
   std::vector<cplx> coll_scratch_;
 
   // nonlinear-phase objects
@@ -192,6 +200,11 @@ class Simulation {
   tensor::Tensor3Z nl_str_perm_;          // (nt_loc, nc, nv_loc)
   std::vector<tensor::Tensor3Z> nl_layout_;
   std::vector<cplx> phi_full_t_;          // φ gathered over t (nc × nt)
+  /// FFT plan and bracket scratch, built once in initialize() — previously
+  /// reallocated on every RK stage of every step.
+  std::unique_ptr<fft::Plan> nl_plan_;
+  std::vector<cplx> nl_a_, nl_b_, nl_c_, nl_d_;  // bracket lines (nt each)
+  std::vector<cplx> nl_gather_;           // allgather staging (nc × nt)
 };
 
 /// Format per-phase timing totals of a finished run, CGYRO out.cgyro.timing

@@ -122,7 +122,13 @@ PhaseEstimate estimate_phases(const gyro::Input& input,
   const double apply_flops = 4.0 * static_cast<double>(input.nv()) * input.nv();
   const double apply_bytes =
       static_cast<double>(input.nv()) * input.nv() * sizeof(float);
-  e.coll = steps * place.compute_time(cells * apply_flops, cells * apply_bytes);
+  // Sharing cmat across k members turns the collision apply into a batched
+  // GEMM: flops stay proportional to sim-cells, but each distinct cell's
+  // matrix is streamed once for all k right-hand sides — k× the arithmetic
+  // intensity, matching the DES's collision_step charge.
+  const double distinct_cells = cells / std::max(1, k);
+  e.coll = steps * place.compute_time(cells * apply_flops,
+                                      distinct_cells * apply_bytes);
   const int coll_p = k * d.pv;
   const std::uint64_t coll_block =
       static_cast<std::uint64_t>(input.nv() / d.pv) *

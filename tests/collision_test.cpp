@@ -8,6 +8,7 @@
 
 #include "collision/operator.hpp"
 #include "collision/tensor.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 #include "vgrid/quadrature.hpp"
 
@@ -419,6 +420,64 @@ TEST(Tensor, ApplyInPlaceMatchesApply) {
   t.apply(0, x, y);
   t.apply_in_place(0, x);
   for (size_t i = 0; i < x.size(); ++i) EXPECT_EQ(x[i], y[i]);
+}
+
+TEST(Tensor, ApplyBatchBitExactWithScalarApply) {
+  // The ensemble GEMM must reproduce the scalar mat-vec bit-for-bit for
+  // every column, including batches that cross the internal column-block
+  // width (16): the per-element accumulation order is identical.
+  const int nv = 24;
+  Rng rng(91);
+  CollisionTensor t(nv, 3);
+  la::MatrixD a(nv, nv);
+  for (int cell = 0; cell < t.n_cells(); ++cell) {
+    for (int i = 0; i < nv; ++i) {
+      for (int j = 0; j < nv; ++j) a(i, j) = rng.uniform(-1, 1);
+    }
+    t.set_cell(cell, a);
+  }
+  for (const int k : {1, 3, 8, 19}) {
+    std::vector<cplx> x(static_cast<size_t>(nv) * k), y(x.size());
+    for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    std::vector<cplx> col(static_cast<size_t>(nv)), ref(static_cast<size_t>(nv));
+    for (int cell = 0; cell < t.n_cells(); ++cell) {
+      t.apply_batch(cell, x, y, k);
+      for (int s = 0; s < k; ++s) {
+        for (int iv = 0; iv < nv; ++iv) col[iv] = x[static_cast<size_t>(iv) * k + s];
+        t.apply(cell, col, ref);
+        for (int iv = 0; iv < nv; ++iv) {
+          EXPECT_EQ(y[static_cast<size_t>(iv) * k + s], ref[iv])
+              << "cell=" << cell << " k=" << k << " s=" << s << " iv=" << iv;
+        }
+      }
+    }
+  }
+}
+
+TEST(Tensor, CopyCellIsBitIdentical) {
+  const auto g = make_grid(1, 3, 4);
+  CollisionParams p;
+  const auto a = build_implicit_step_matrix(build_scattering_operator(g, p), 0.3);
+  CollisionTensor t(g.nv(), 2), ref(g.nv(), 2);
+  t.set_cell(0, a);
+  t.copy_cell(1, 0);
+  ref.set_cell(0, a);
+  ref.set_cell(1, a);
+  EXPECT_EQ(t.fingerprint(), ref.fingerprint());
+  const auto c0 = t.cell(0);
+  const auto c1 = t.cell(1);
+  for (size_t i = 0; i < c0.size(); ++i) EXPECT_EQ(c0[i], c1[i]);
+}
+
+TEST(Tensor, FingerprintAllZeroRegression) {
+  // Pins the bulk-hash scheme: shape header then the raw fp32 buffer bytes.
+  // Recomputed independently here so any change to fingerprint() (element
+  // order, widening, chunking that alters the stream) is caught.
+  CollisionTensor t(4, 2);
+  const std::vector<unsigned char> zeros(4 * 4 * 2 * sizeof(float), 0);
+  const std::uint64_t expected =
+      Hasher().i64(4).i64(2).bytes(zeros.data(), zeros.size()).digest();
+  EXPECT_EQ(t.fingerprint(), expected);
 }
 
 TEST(Tensor, BytesAndFlopsFormulas) {

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 
+#include "collision/operator.hpp"
 #include "gyro/decomposition.hpp"
 #include "gyro/geometry.hpp"
 #include "gyro/input.hpp"
@@ -339,15 +341,56 @@ TEST(Simulation, NonlinearRunDecompositionIndependent) {
 }
 
 TEST(Simulation, PipelinedCollisionTransposeIsBitIdentical) {
-  // The overlap knob must change timing only, never values.
+  // The overlap knob must change timing only, never values — across every
+  // admissible chunk setting of the batched collision_step, not just one.
   Input in = Input::small_test(2);
   const auto plain = run_real(in, 4);
-  in.coll_pipeline_chunks = 4;
-  const auto piped = run_real(in, 4);
-  EXPECT_EQ(piped.first, plain.first);
-  EXPECT_DOUBLE_EQ(piped.second.phi_rms, plain.second.phi_rms);
+  for (const int chunks : {2, 4}) {
+    in.coll_pipeline_chunks = chunks;
+    const auto piped = run_real(in, 4);
+    EXPECT_EQ(piped.first, plain.first) << "chunks=" << chunks;
+    EXPECT_DOUBLE_EQ(piped.second.phi_rms, plain.second.phi_rms)
+        << "chunks=" << chunks;
+  }
   // and stays sweep-safe
   EXPECT_EQ(in.cmat_fingerprint(), Input::small_test(2).cmat_fingerprint());
+}
+
+TEST(Simulation, MemoizedCmatBuildMatchesDirectBuild) {
+  // build_cmat memoizes the per-cell LU on the kperp2 bit pattern; the
+  // resulting tensor must be bit-identical (same fingerprint) to building
+  // every cell directly from the recipe, and the geometry must actually
+  // contain degenerate cells so the memo path is exercised.
+  const Input in = Input::small_test(2);
+  const auto d = Decomposition::choose(in, 1);
+  std::uint64_t sim_fp = 0;
+  mpi::run_simulation(net::testbox(1, 1), 1, [&](mpi::Proc& p) {
+    auto layout = make_cgyro_layout(p.world(), d);
+    Simulation sim(in, d, std::move(layout), p, Mode::kReal);
+    sim.initialize();
+    sim_fp = sim.cmat().fingerprint();
+  });
+
+  const Geometry geo(in);
+  const auto grid = in.make_velocity_grid();
+  collision::CmatRecipe recipe;
+  recipe.params = in.collision;
+  recipe.dt = in.dt;
+  const auto scattering =
+      collision::build_scattering_operator(grid, recipe.params);
+  collision::CollisionTensor ref(in.nv(), in.nc() * in.nt());
+  std::set<double> unique_kperp2;
+  for (int ic = 0; ic < in.nc(); ++ic) {
+    for (int it = 0; it < in.nt(); ++it) {
+      const double kperp2 = geo.kperp2(ic, it);
+      unique_kperp2.insert(kperp2);
+      ref.set_cell(ic * in.nt() + it,
+                   recipe.build_cell(grid, scattering, kperp2));
+    }
+  }
+  ASSERT_LT(unique_kperp2.size(),
+            static_cast<size_t>(in.nc()) * in.nt());  // degeneracy exists
+  EXPECT_EQ(sim_fp, ref.fingerprint());
 }
 
 TEST(Simulation, PipelinedCollisionRealModelTimingAgree) {

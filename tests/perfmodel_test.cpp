@@ -122,8 +122,13 @@ TEST(Planner, XgyroBeatsCgyroSumOnNl03c) {
   EXPECT_LT(speedup, 4.0);
   // The win comes from str communication (paper: 145 s → 33 s).
   EXPECT_LT(xg.per_report.str_comm, 8.0 * cg.per_report.str_comm);
-  // Compute-side phases are work-conserving.
-  EXPECT_NEAR(xg.per_report.coll, 8.0 * cg.per_report.coll,
+  // Collision flops are work-conserving, but sharing cmat raises the
+  // kernel's arithmetic intensity k-fold: at k=1 the apply is memory-bound
+  // (4 cmat bytes per 4 flops, and the machine moves bytes half as fast as
+  // flops), at k=8 the batched apply streams each cell once for all 8
+  // members and goes flops-bound — half the per-apply cost on this machine.
+  EXPECT_LT(xg.per_report.coll, 8.0 * cg.per_report.coll);
+  EXPECT_NEAR(xg.per_report.coll, 4.0 * cg.per_report.coll,
               0.05 * xg.per_report.coll);
 }
 

@@ -177,6 +177,27 @@ INSTANTIATE_TEST_SUITE_P(Shapes, Equivalence,
                                            std::tuple{8, 1},
                                            std::tuple{2, 8}));
 
+TEST(Equivalence, EnsembleCollisionChunkingIsBitIdentical) {
+  // collision_step state-hash invariance across coll_pipeline_chunks with
+  // the shared-cmat batched panel in play (k > 1): the overlap knob must
+  // change timing only, never any member's values.
+  std::map<int, std::uint64_t> ref;
+  for (const int chunks : {1, 2, 4}) {
+    auto e = EnsembleInput::sweep(Input::small_test(2), 4,
+                                  [&](Input& in, int i) {
+                                    in.species[0].a_ln_t = 2.0 + 0.5 * i;
+                                    in.coll_pipeline_chunks = chunks;
+                                  });
+    const auto hashes = run_xgyro_real(e, 2);
+    ASSERT_EQ(hashes.size(), 4u);
+    if (chunks == 1) {
+      ref = hashes;
+    } else {
+      EXPECT_EQ(hashes, ref) << "chunks=" << chunks;
+    }
+  }
+}
+
 TEST(Groups, SharingGroupsPartitionByFingerprint) {
   EnsembleInput e;
   Input a = Input::small_test(2);
