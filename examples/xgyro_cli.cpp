@@ -23,6 +23,11 @@
 //                       fingerprint, one shared tensor per group
 //   --restart-write DIR write binary checkpoints after the run (real mode)
 //   --restart-read DIR  resume from checkpoints before the run (real mode)
+//   --faults SPEC       deterministic fault injection, e.g.
+//                       "seed=42;straggler=2x3.0;delay=0.3x5e-6;kill=1@0.02"
+//                       (see src/simmpi/fault.hpp for the full grammar)
+//   --watchdog SECONDS  deadlock watchdog timeout (real time; 0 disables)
+//   --no-invariants     disable the per-collective invariant monitor
 #include <cstdio>
 #include <cstring>
 #include <mutex>
@@ -51,6 +56,9 @@ struct Options {
   std::string timing_out;
   bool grouped = false;
   std::string restart_write, restart_read;
+  xg::mpi::FaultPlan faults;
+  double watchdog_timeout_s = 60.0;
+  bool check_invariants = true;
 };
 
 Options parse_args(int argc, char** argv) {
@@ -83,6 +91,12 @@ Options parse_args(int argc, char** argv) {
       o.restart_write = need_value(i++);
     } else if (a == "--restart-read") {
       o.restart_read = need_value(i++);
+    } else if (a == "--faults") {
+      o.faults = xg::mpi::FaultPlan::parse(need_value(i++));
+    } else if (a == "--watchdog") {
+      o.watchdog_timeout_s = std::stod(need_value(i++));
+    } else if (a == "--no-invariants") {
+      o.check_invariants = false;
     } else if (a == "--mode") {
       const std::string m = need_value(i++);
       if (m == "real") {
@@ -130,6 +144,14 @@ int main(int argc, char** argv) {
     XG_REQUIRE(machine.total_ranks() >= total_ranks,
                "not enough nodes for the requested rank count");
 
+    mpi::RuntimeOptions ropts;
+    ropts.faults = opt.faults;
+    ropts.check_invariants = opt.check_invariants;
+    ropts.watchdog_timeout_s = opt.watchdog_timeout_s;
+    if (opt.faults.active()) {
+      std::printf("%s\n", opt.faults.describe().c_str());
+    }
+
     mpi::RunResult result;
     struct MemberReport {
       std::string tag;
@@ -170,7 +192,7 @@ int main(int argc, char** argv) {
           reports[driver.sim_index()] = {
               ensemble.members[driver.sim_index()].tag, d};
         }
-      });
+      }, ropts);
     } else {
       const auto input = !opt.manifest.empty()
                              ? manifest_ensemble.members.front()
@@ -194,7 +216,7 @@ int main(int argc, char** argv) {
           const std::scoped_lock lock(mu);
           reports[0] = {input.tag, d};
         }
-      });
+      }, ropts);
     }
 
     std::printf("\n%-16s %8s %10s %14s %14s\n", "member", "steps", "time",
@@ -206,6 +228,21 @@ int main(int argc, char** argv) {
     }
     std::printf("\n%s", gyro::format_timing(result, xgyro::solver_phases()).c_str());
 
+    if (!result.fault_stats.empty()) {
+      std::uint64_t delayed = 0;
+      double delay_s = 0.0, straggle_s = 0.0;
+      for (const auto& f : result.fault_stats) {
+        delayed += f.delayed_msgs;
+        delay_s += f.delay_added_s;
+        straggle_s += f.straggler_added_s;
+      }
+      std::printf(
+          "fault injection: %llu message(s) delayed (+%.3e s), straggler "
+          "overhead +%.3e s; %llu collective(s) invariant-checked\n",
+          static_cast<unsigned long long>(delayed), delay_s, straggle_s,
+          static_cast<unsigned long long>(result.collectives_checked));
+    }
+
     if (!opt.timing_out.empty()) {
       gyro::write_timing_log(
           opt.timing_out,
@@ -213,6 +250,18 @@ int main(int argc, char** argv) {
       std::printf("timing log written to %s\n", opt.timing_out.c_str());
     }
     return 0;
+  } catch (const mpi::RankFailure& e) {
+    std::fprintf(stderr, "xgyro_cli: structured rank failure\n");
+    std::fprintf(stderr, "  rank   : %d\n", e.world_rank());
+    std::fprintf(stderr, "  vtime  : %.9e s\n", e.virtual_time_s());
+    std::fprintf(stderr, "  phase  : %s\n", e.phase().c_str());
+    std::fprintf(stderr, "  detail : %s\n", e.what());
+    return 2;
+  } catch (const mpi::DeadlockError& e) {
+    std::fprintf(stderr, "xgyro_cli: deadlock report (%zu blocked rank(s))\n",
+                 e.blocked().size());
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
   } catch (const Error& e) {
     std::fprintf(stderr, "xgyro_cli: %s\n", e.what());
     return 1;

@@ -108,6 +108,7 @@ void Comm::waitall(std::span<Request> requests) {
 
 void Comm::barrier() {
   const double t0 = proc_->now();
+  const std::uint64_t seq = collective_seq();
   const int tag = internal_tag();
   const int p = size();
   // Dissemination barrier: ceil(log2 P) rounds of zero-byte messages.
@@ -117,58 +118,73 @@ void Comm::barrier() {
     send_virtual(0, dst, tag);
     recv_virtual(0, src, tag);
   }
-  trace_collective(TraceEvent::Kind::kBarrier, 0, t0);
+  finish_collective(TraceEvent::Kind::kBarrier, 0, t0, seq,
+                    /*has_hash=*/false, 0);
 }
 
 void Comm::allreduce_virtual(std::uint64_t bytes, AllReduceAlg alg) {
   const double t0 = proc_->now();
+  const std::uint64_t seq = collective_seq();
   detail::VirtualCollBuf buf(bytes);
   detail::allreduce_impl(*this, buf, alg);
-  trace_collective(TraceEvent::Kind::kAllReduce, bytes, t0);
+  finish_collective(TraceEvent::Kind::kAllReduce, bytes, t0, seq,
+                    /*has_hash=*/false, 0);
 }
 
 void Comm::reduce_virtual(std::uint64_t bytes, int root) {
   const double t0 = proc_->now();
+  const std::uint64_t seq = collective_seq();
   detail::VirtualCollBuf buf(bytes);
   detail::reduce_impl(*this, buf, root);
-  trace_collective(TraceEvent::Kind::kReduce, bytes, t0);
+  finish_collective(TraceEvent::Kind::kReduce, bytes, t0, seq,
+                    /*has_hash=*/false, 0);
 }
 
 void Comm::bcast_virtual(std::uint64_t bytes, int root) {
   const double t0 = proc_->now();
+  const std::uint64_t seq = collective_seq();
   detail::VirtualCollBuf buf(bytes);
   detail::bcast_impl(*this, buf, root);
-  trace_collective(TraceEvent::Kind::kBcast, bytes, t0);
+  finish_collective(TraceEvent::Kind::kBcast, bytes, t0, seq,
+                    /*has_hash=*/false, 0);
 }
 
 void Comm::alltoall_virtual(std::uint64_t bytes_per_pair) {
   const double t0 = proc_->now();
+  const std::uint64_t seq = collective_seq();
   detail::VirtualBlockBuf buf(bytes_per_pair);
   detail::alltoall_impl(*this, buf);
-  trace_collective(TraceEvent::Kind::kAllToAll, bytes_per_pair, t0);
+  finish_collective(TraceEvent::Kind::kAllToAll, bytes_per_pair, t0, seq,
+                    /*has_hash=*/false, 0);
 }
 
 void Comm::allgather_virtual(std::uint64_t bytes_per_rank) {
   const double t0 = proc_->now();
+  const std::uint64_t seq = collective_seq();
   detail::VirtualBlockBuf buf(bytes_per_rank);
   detail::allgather_impl(*this, buf);
-  trace_collective(TraceEvent::Kind::kAllGather, bytes_per_rank, t0);
+  finish_collective(TraceEvent::Kind::kAllGather, bytes_per_rank, t0, seq,
+                    /*has_hash=*/false, 0);
 }
 
 void Comm::reduce_scatter_virtual(std::uint64_t bytes_per_block) {
   const double t0 = proc_->now();
+  const std::uint64_t seq = collective_seq();
   if (size() > 1) {
     detail::VirtualCollBuf buf(bytes_per_block * size());
     detail::ring_reduce_scatter_impl(*this, buf, internal_tag());
   }
-  trace_collective(TraceEvent::Kind::kReduceScatter, bytes_per_block, t0);
+  finish_collective(TraceEvent::Kind::kReduceScatter, bytes_per_block, t0, seq,
+                    /*has_hash=*/false, 0);
 }
 
 void Comm::scan_virtual(std::uint64_t bytes) {
   const double t0 = proc_->now();
+  const std::uint64_t seq = collective_seq();
   detail::VirtualCollBuf buf(bytes);
   detail::scan_impl(*this, buf);
-  trace_collective(TraceEvent::Kind::kScan, bytes, t0);
+  finish_collective(TraceEvent::Kind::kScan, bytes, t0, seq,
+                    /*has_hash=*/false, 0);
 }
 
 Comm Comm::split(int color, int key, std::string label,
@@ -219,12 +235,18 @@ Comm Comm::split(int color, int key, std::string label,
 }
 
 Comm Comm::make_world(Proc& proc) {
-  auto g = std::make_shared<detail::Group>();
-  g->context = Hasher().str("xgyro.world").digest();
-  g->label = "world";
-  g->members.resize(static_cast<size_t>(proc.world_size()));
-  for (int r = 0; r < proc.world_size(); ++r) g->members[r] = r;
-  return Comm(&proc, std::move(g), proc.world_rank());
+  // Cache the group on the Proc: every world() call must share one
+  // collective sequence counter, so (context, seq) stays unique per run —
+  // the invariant monitor keys collective instances by that pair.
+  if (!proc.world_group_) {
+    auto g = std::make_shared<detail::Group>();
+    g->context = Hasher().str("xgyro.world").digest();
+    g->label = "world";
+    g->members.resize(static_cast<size_t>(proc.world_size()));
+    for (int r = 0; r < proc.world_size(); ++r) g->members[r] = r;
+    proc.world_group_ = std::move(g);
+  }
+  return Comm(&proc, proc.world_group_, proc.world_rank());
 }
 
 void Comm::trace_collective(TraceEvent::Kind kind, std::uint64_t payload_bytes,
@@ -243,12 +265,24 @@ void Comm::trace_collective(TraceEvent::Kind kind, std::uint64_t payload_bytes,
   proc_->record_trace(std::move(e));
 }
 
+void Comm::finish_collective(TraceEvent::Kind kind, std::uint64_t payload_bytes,
+                             double t_start, std::uint64_t seq, bool has_hash,
+                             std::uint64_t result_hash) const {
+  proc_->observe_collective(group_->context, seq, kind, size(), payload_bytes,
+                            has_hash, result_hash, group_->label);
+  trace_collective(kind, payload_bytes, t_start);
+}
+
 namespace detail {
 
 namespace {
 
 /// Recursive-doubling allreduce with the standard non-power-of-two fold.
-void allreduce_recursive_doubling(Comm& c, CollBuf& buf, int tag) {
+/// `skip_final_fold` (kBrokenForTesting) omits handing the result back to
+/// the folded odd ranks, leaving them with stale partial sums — a seeded
+/// defect the invariant monitor must detect via the result-hash check.
+void allreduce_recursive_doubling(Comm& c, CollBuf& buf, int tag,
+                                  bool skip_final_fold = false) {
   const int p = c.size();
   const int r = c.rank();
   const size_t n = buf.count();
@@ -274,6 +308,7 @@ void allreduce_recursive_doubling(Comm& c, CollBuf& buf, int tag) {
     }
   }
   // Hand the result back to the folded odd ranks.
+  if (skip_final_fold) return;
   if (r < 2 * rem) {
     if (r % 2 == 0) {
       buf.send_range(c, r + 1, tag, 0, n);
@@ -335,6 +370,10 @@ void scan_impl(Comm& c, CollBuf& buf) {
 void allreduce_impl(Comm& c, CollBuf& buf, AllReduceAlg alg) {
   const int tag = c.internal_tag();
   if (c.size() == 1) return;
+  if (alg == AllReduceAlg::kBrokenForTesting) {
+    allreduce_recursive_doubling(c, buf, tag, /*skip_final_fold=*/true);
+    return;
+  }
   if (alg == AllReduceAlg::kAuto) {
     // Same crossover idea as MPICH: latency-bound small payloads use
     // recursive doubling; bandwidth-bound large payloads use the ring.

@@ -20,6 +20,7 @@
 
 #include "simmpi/runtime.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 
 namespace xg::mpi {
 
@@ -27,8 +28,10 @@ class Comm;
 
 /// AllReduce algorithm selection. kAuto picks recursive doubling for small
 /// payloads and ring (reduce-scatter + allgather) for large ones, like a
-/// real MPI library would.
-enum class AllReduceAlg { kAuto, kRecursiveDoubling, kRing };
+/// real MPI library would. kBrokenForTesting is recursive doubling with the
+/// final non-power-of-two fold-back deliberately omitted — folded ranks keep
+/// stale partial sums, which the invariant monitor must catch (test-only).
+enum class AllReduceAlg { kAuto, kRecursiveDoubling, kRing, kBrokenForTesting };
 
 namespace detail {
 
@@ -234,8 +237,22 @@ class Comm {
 
   [[nodiscard]] int internal_tag() { return -static_cast<int>(group_->next_seq++ % 1000000000) - 1; }
 
+  /// Sequence number the next collective on this communicator will use.
+  /// Captured before a collective's impl runs; (context, seq) identifies the
+  /// collective instance across members for the invariant monitor.
+  [[nodiscard]] std::uint64_t collective_seq() const { return group_->next_seq; }
+
   void trace_collective(TraceEvent::Kind kind, std::uint64_t payload_bytes,
                         double t_start) const;
+
+  /// Epilogue of every collective: report to the invariant monitor (member
+  /// agreement on kind/participants/bytes, plus bitwise result identity when
+  /// `has_hash` — only set for typed collectives whose result is identical
+  /// on every member and whose element type has no padding bytes), then
+  /// record the trace event.
+  void finish_collective(TraceEvent::Kind kind, std::uint64_t payload_bytes,
+                         double t_start, std::uint64_t seq, bool has_hash,
+                         std::uint64_t result_hash) const;
 
  private:
   Comm(Proc* proc, std::shared_ptr<detail::Group> group, int myrank)
@@ -353,27 +370,35 @@ class VirtualBlockBuf final : public BlockBuf {
 template <typename T, typename Op>
 void Comm::allreduce(std::span<T> data, Op op, AllReduceAlg alg) {
   const double t0 = proc_->now();
+  const std::uint64_t seq = collective_seq();
   detail::TypedCollBuf<T, Op> buf(data, op);
   detail::allreduce_impl(*this, buf, alg);
-  trace_collective(TraceEvent::Kind::kAllReduce, data.size_bytes(), t0);
+  finish_collective(TraceEvent::Kind::kAllReduce, data.size_bytes(), t0, seq,
+                    /*has_hash=*/true,
+                    Hasher().bytes(data.data(), data.size_bytes()).digest());
 }
 
 template <typename T, typename Op>
 void Comm::reduce(std::span<T> data, Op op, int root) {
   const double t0 = proc_->now();
+  const std::uint64_t seq = collective_seq();
   detail::TypedCollBuf<T, Op> buf(data, op);
   detail::reduce_impl(*this, buf, root);
-  trace_collective(TraceEvent::Kind::kReduce, data.size_bytes(), t0);
+  finish_collective(TraceEvent::Kind::kReduce, data.size_bytes(), t0, seq,
+                    /*has_hash=*/false, 0);
 }
 
 template <typename T>
 void Comm::bcast(std::span<T> data, int root) {
   const double t0 = proc_->now();
+  const std::uint64_t seq = collective_seq();
   // Op unused by bcast; supply a no-op combiner.
   auto nop = [](T a, T) { return a; };
   detail::TypedCollBuf<T, decltype(nop)> buf(data, nop);
   detail::bcast_impl(*this, buf, root);
-  trace_collective(TraceEvent::Kind::kBcast, data.size_bytes(), t0);
+  finish_collective(TraceEvent::Kind::kBcast, data.size_bytes(), t0, seq,
+                    /*has_hash=*/true,
+                    Hasher().bytes(data.data(), data.size_bytes()).digest());
 }
 
 template <typename T>
@@ -383,10 +408,12 @@ void Comm::alltoall(std::span<const T> send_data, std::span<T> recv_data) {
   XG_REQUIRE(send_data.size() % size() == 0,
              "alltoall: payload not divisible by communicator size");
   const double t0 = proc_->now();
+  const std::uint64_t seq = collective_seq();
   const size_t count = send_data.size() / size();
   detail::TypedBlockBuf<T> buf(send_data, recv_data, count);
   detail::alltoall_impl(*this, buf);
-  trace_collective(TraceEvent::Kind::kAllToAll, count * sizeof(T), t0);
+  finish_collective(TraceEvent::Kind::kAllToAll, count * sizeof(T), t0, seq,
+                    /*has_hash=*/false, 0);
 }
 
 template <typename T>
@@ -394,9 +421,12 @@ void Comm::allgather(std::span<const T> mine, std::span<T> all) {
   XG_REQUIRE(all.size() == mine.size() * static_cast<size_t>(size()),
              "allgather: output must be size() blocks");
   const double t0 = proc_->now();
+  const std::uint64_t seq = collective_seq();
   detail::TypedBlockBuf<T> buf(mine, all, mine.size());
   detail::allgather_impl(*this, buf);
-  trace_collective(TraceEvent::Kind::kAllGather, mine.size_bytes(), t0);
+  finish_collective(TraceEvent::Kind::kAllGather, mine.size_bytes(), t0, seq,
+                    /*has_hash=*/true,
+                    Hasher().bytes(all.data(), all.size_bytes()).digest());
 }
 
 template <typename T, typename Op>
@@ -406,10 +436,12 @@ void Comm::reduce_scatter_block(std::span<const T> full, std::span<T> mine,
   XG_REQUIRE(full.size() == mine.size() * static_cast<size_t>(p),
              "reduce_scatter_block: full must be size() blocks");
   const double t0 = proc_->now();
+  const std::uint64_t seq = collective_seq();
   const size_t count = mine.size();
   if (p == 1) {
     std::copy(full.begin(), full.end(), mine.begin());
-    trace_collective(TraceEvent::Kind::kReduceScatter, count * sizeof(T), t0);
+    finish_collective(TraceEvent::Kind::kReduceScatter, count * sizeof(T), t0,
+                      seq, /*has_hash=*/false, 0);
     return;
   }
   // Stage blocks shifted by +1 so the ring's natural owner — rank r ends
@@ -424,20 +456,24 @@ void Comm::reduce_scatter_block(std::span<const T> full, std::span<T> mine,
   detail::ring_reduce_scatter_impl(*this, buf, internal_tag());
   const size_t own = static_cast<size_t>((rank() + 1) % p) * count;
   std::copy(scratch.begin() + own, scratch.begin() + own + count, mine.begin());
-  trace_collective(TraceEvent::Kind::kReduceScatter, count * sizeof(T), t0);
+  finish_collective(TraceEvent::Kind::kReduceScatter, count * sizeof(T), t0,
+                    seq, /*has_hash=*/false, 0);
 }
 
 template <typename T, typename Op>
 void Comm::scan(std::span<T> data, Op op) {
   const double t0 = proc_->now();
+  const std::uint64_t seq = collective_seq();
   detail::TypedCollBuf<T, Op> buf(data, op);
   detail::scan_impl(*this, buf);
-  trace_collective(TraceEvent::Kind::kScan, data.size_bytes(), t0);
+  finish_collective(TraceEvent::Kind::kScan, data.size_bytes(), t0, seq,
+                    /*has_hash=*/false, 0);
 }
 
 template <typename T>
 void Comm::gather(std::span<const T> mine, std::span<T> all, int root) {
   const double t0 = proc_->now();
+  const std::uint64_t seq = collective_seq();
   const int tag = internal_tag();
   if (myrank_ == root) {
     XG_REQUIRE(all.size() == mine.size() * static_cast<size_t>(size()),
@@ -454,12 +490,14 @@ void Comm::gather(std::span<const T> mine, std::span<T> all, int root) {
   } else {
     send(mine, root, tag);
   }
-  trace_collective(TraceEvent::Kind::kGather, mine.size_bytes(), t0);
+  finish_collective(TraceEvent::Kind::kGather, mine.size_bytes(), t0, seq,
+                    /*has_hash=*/false, 0);
 }
 
 template <typename T>
 void Comm::scatter(std::span<const T> all, std::span<T> mine, int root) {
   const double t0 = proc_->now();
+  const std::uint64_t seq = collective_seq();
   const int tag = internal_tag();
   if (myrank_ == root) {
     XG_REQUIRE(all.size() == mine.size() * static_cast<size_t>(size()),
@@ -476,7 +514,8 @@ void Comm::scatter(std::span<const T> all, std::span<T> mine, int root) {
   } else {
     recv(mine, root, tag);
   }
-  trace_collective(TraceEvent::Kind::kScatter, mine.size_bytes(), t0);
+  finish_collective(TraceEvent::Kind::kScatter, mine.size_bytes(), t0, seq,
+                    /*has_hash=*/false, 0);
 }
 
 }  // namespace xg::mpi

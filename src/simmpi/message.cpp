@@ -4,9 +4,25 @@
 
 namespace xg::mpi {
 
+void Mailbox::begin_run(bool enforce_arrival_order) {
+  const std::scoped_lock lock(mu_);
+  queue_.clear();
+  aborted_ = false;
+  enforce_arrival_order_ = enforce_arrival_order;
+  channel_arrival_.clear();
+}
+
 void Mailbox::deliver(Message msg) {
   {
     const std::scoped_lock lock(mu_);
+    if (enforce_arrival_order_) {
+      double& last = channel_arrival_[{msg.context, msg.src_world, msg.tag}];
+      if (msg.arrival_s < last) {
+        msg.arrival_s = last;
+      } else {
+        last = msg.arrival_s;
+      }
+    }
     queue_.push_back(std::move(msg));
   }
   cv_.notify_all();

@@ -10,7 +10,9 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <mutex>
+#include <tuple>
 #include <vector>
 
 namespace xg::mpi {
@@ -29,6 +31,14 @@ struct Message {
 /// a channel — the order messages were sent on that channel.
 class Mailbox {
  public:
+  /// Reset per-run state: clears any leftover messages, the abort flag, and
+  /// the per-channel arrival clock. `enforce_arrival_order` turns on the
+  /// FIFO timestamp clamp used under fault injection: a message whose
+  /// injected arrival would precede an earlier message on the same channel
+  /// is clamped to that message's arrival, so delays can never reorder a
+  /// channel beyond what MPI matching rules allow.
+  void begin_run(bool enforce_arrival_order);
+
   void deliver(Message msg);
 
   /// Block until a matching message arrives (or the run aborts), remove and
@@ -46,6 +56,9 @@ class Mailbox {
   std::condition_variable cv_;
   std::deque<Message> queue_;
   bool aborted_ = false;
+  bool enforce_arrival_order_ = false;
+  /// Latest arrival timestamp seen per (context, src, tag) channel.
+  std::map<std::tuple<std::uint64_t, int, int>, double> channel_arrival_;
 };
 
 }  // namespace xg::mpi

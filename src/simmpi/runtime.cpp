@@ -1,10 +1,12 @@
 #include "simmpi/runtime.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <thread>
 
 #include "simmpi/comm.hpp"
+#include "simmpi/invariant.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
 
@@ -14,23 +16,45 @@ int Proc::world_size() const { return rt_->nranks_; }
 
 const net::Placement& Proc::placement() const { return rt_->placement_; }
 
+double Proc::charge_faulted(double dt) {
+  if (straggle_factor_ == 1.0 && jitter_frac_ == 0.0) return dt;
+  double out = dt * straggle_factor_;
+  if (jitter_frac_ > 0.0) {
+    out *= 1.0 + jitter_frac_ * fault_rng_.next_double();
+  }
+  fstats_.straggler_added_s += out - dt;
+  return out;
+}
+
+void Proc::fault_check() {
+  if (kill_at_ >= 0.0 && clock_ >= kill_at_) {
+    // Disarm before throwing so error reporting can't re-trigger the kill.
+    kill_at_ = -1.0;
+    throw RankFailure(rank_, clock_, phase_);
+  }
+}
+
 void Proc::advance(double seconds) {
   XG_ASSERT_MSG(seconds >= 0.0, "cannot advance virtual time backwards");
-  clock_ += seconds;
-  bucket().compute_s += seconds;
+  const double dt = charge_faulted(seconds);
+  clock_ += dt;
+  bucket().compute_s += dt;
+  fault_check();
 }
 
 void Proc::compute(double flops, double bytes) {
-  const double dt = rt_->placement_.compute_time(flops, bytes);
+  const double dt = charge_faulted(rt_->placement_.compute_time(flops, bytes));
   clock_ += dt;
   bucket().compute_s += dt;
+  fault_check();
 }
 
 void Proc::kernel(double flops, double bytes) {
   const auto& spec = rt_->placement_.spec();
   if (spec.has_gpu) {
-    clock_ += spec.kernel_launch_s;
-    bucket().compute_s += spec.kernel_launch_s;
+    const double dt = charge_faulted(spec.kernel_launch_s);
+    clock_ += dt;
+    bucket().compute_s += dt;
   }
   compute(flops, bytes);
 }
@@ -66,6 +90,7 @@ void Proc::p2p_send(int dst_world, std::uint64_t context, int tag,
 double Proc::p2p_isend(int dst_world, std::uint64_t context, int tag,
                        const void* data, std::uint64_t bytes, int nic_sharers) {
   XG_ASSERT_MSG(dst_world >= 0 && dst_world < rt_->nranks_, "send: bad rank");
+  fault_check();
   const auto& place = rt_->placement_;
   // CPU side: only the software overhead.
   clock_ += place.spec().send_overhead_s;
@@ -92,7 +117,17 @@ double Proc::p2p_isend(int dst_world, std::uint64_t context, int tag,
     m.data.resize(bytes);
     std::memcpy(m.data.data(), data, bytes);
   }
+  // Fault injection: hold the message back on the wire. The receiving
+  // mailbox clamps per-channel arrival order, so a delayed message can
+  // never overtake — or be overtaken by — a later one on the same channel.
+  if (faults_ != nullptr && faults_->perturbs_messages() &&
+      fault_rng_.next_double() < faults_->delay_probability) {
+    m.arrival_s += faults_->delay_s;
+    fstats_.delayed_msgs += 1;
+    fstats_.delay_added_s += faults_->delay_s;
+  }
   rt_->mailboxes_[dst_world]->deliver(std::move(m));
+  rt_->progress_.fetch_add(1, std::memory_order_relaxed);
   return complete_at;
 }
 
@@ -106,8 +141,11 @@ void Proc::complete_send(double complete_at_s) {
 void Proc::p2p_recv(int src_world, std::uint64_t context, int tag, void* data,
                     std::uint64_t bytes) {
   XG_ASSERT_MSG(src_world >= 0 && src_world < rt_->nranks_, "recv: bad rank");
+  fault_check();
   const double t0 = clock_;
+  rt_->note_blocked(rank_, src_world, context, tag, clock_, phase_);
   Message m = rt_->mailboxes_[rank_]->take(context, src_world, tag);
+  rt_->note_unblocked(rank_);
   if (m.bytes != bytes) {
     throw MpiUsageError(strprintf(
         "recv: payload mismatch on rank %d from %d tag %d: expected %llu "
@@ -124,6 +162,7 @@ void Proc::p2p_recv(int src_world, std::uint64_t context, int tag, void* data,
   }
   clock_ = std::max(clock_, m.arrival_s) + rt_->placement_.recv_overhead();
   bucket().comm_s += clock_ - t0;
+  fault_check();
 }
 
 void Proc::record_trace(TraceEvent event) {
@@ -134,16 +173,141 @@ void Proc::record_trace(TraceEvent event) {
 
 bool Proc::tracing() const { return rt_->opts_.enable_trace; }
 
+void Proc::observe_collective(std::uint64_t context, std::uint64_t seq,
+                              TraceEvent::Kind kind, int participants,
+                              std::uint64_t payload_bytes, bool has_hash,
+                              std::uint64_t result_hash,
+                              const std::string& comm_label) {
+  if (!rt_->opts_.check_invariants || rt_->monitor_ == nullptr) return;
+  InvariantMonitor::Report r;
+  r.context = context;
+  r.seq = seq;
+  r.kind = kind;
+  r.participants = participants;
+  r.payload_bytes = payload_bytes;
+  r.has_hash = has_hash;
+  r.result_hash = result_hash;
+  r.world_rank = rank_;
+  r.comm_label = comm_label;
+  rt_->monitor_->observe(r);
+}
+
 Runtime::Runtime(net::MachineSpec spec, int nranks, RuntimeOptions opts)
-    : spec_(std::move(spec)), placement_(spec_), opts_(opts), nranks_(nranks) {
+    : spec_(std::move(spec)),
+      placement_(spec_),
+      opts_(std::move(opts)),
+      nranks_(nranks) {
   XG_REQUIRE(nranks >= 1, "Runtime: need at least one rank");
   XG_REQUIRE(nranks <= spec_.total_ranks(),
              strprintf("Runtime: %d ranks exceed machine capacity %d", nranks,
                        spec_.total_ranks()));
   XG_REQUIRE(nranks <= 4096, "Runtime: rank count cap (4096) exceeded");
+  for (const auto& s : opts_.faults.stragglers) {
+    XG_REQUIRE(s.rank < nranks_,
+               strprintf("faults: straggler rank %d >= nranks %d", s.rank,
+                         nranks_));
+    placement_.set_rank_compute_scale(s.rank, s.value);
+  }
+  for (const auto& s : opts_.faults.jitters) {
+    XG_REQUIRE(s.rank < nranks_,
+               strprintf("faults: jitter rank %d >= nranks %d", s.rank,
+                         nranks_));
+  }
+  XG_REQUIRE(opts_.faults.kill_rank < nranks_,
+             strprintf("faults: kill rank %d >= nranks %d",
+                       opts_.faults.kill_rank, nranks_));
   mailboxes_.reserve(nranks_);
+  wait_states_.reserve(nranks_);
   for (int r = 0; r < nranks_; ++r) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
+    wait_states_.push_back(std::make_unique<WaitState>());
+  }
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::note_blocked(int rank, int src_world, std::uint64_t context,
+                           int tag, double vtime_s, const std::string& phase) {
+  WaitState& ws = *wait_states_[rank];
+  {
+    const std::scoped_lock lock(ws.mu);
+    ws.src_world = src_world;
+    ws.tag = tag;
+    ws.context = context;
+    ws.vtime_s = vtime_s;
+    ws.phase = phase;
+  }
+  ws.blocked.store(true, std::memory_order_release);
+}
+
+void Runtime::note_unblocked(int rank) {
+  wait_states_[rank]->blocked.store(false, std::memory_order_release);
+  progress_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Runtime::fire_deadlock_report() {
+  std::vector<BlockedRankInfo> blocked;
+  for (int r = 0; r < nranks_; ++r) {
+    WaitState& ws = *wait_states_[r];
+    if (!ws.blocked.load(std::memory_order_acquire)) continue;
+    const std::scoped_lock lock(ws.mu);
+    BlockedRankInfo info;
+    info.world_rank = r;
+    info.virtual_time_s = ws.vtime_s;
+    info.phase = ws.phase;
+    info.waiting_src_world = ws.src_world;
+    info.waiting_tag = ws.tag;
+    info.waiting_context = ws.context;
+    info.mailbox_pending = mailboxes_[r]->pending();
+    blocked.push_back(std::move(info));
+  }
+  std::string msg = strprintf(
+      "simmpi watchdog: virtual schedule is stuck — %zu rank(s) blocked in "
+      "receives with no progress for %.2f s of real time:",
+      blocked.size(), opts_.watchdog_timeout_s);
+  for (const auto& b : blocked) {
+    msg += strprintf(
+        "\n  rank %d: phase '%s', virtual t=%.9g s, waiting for src=%d tag=%d "
+        "ctx=%016llx; %zu pending message(s) in its mailbox",
+        b.world_rank, b.phase.c_str(), b.virtual_time_s, b.waiting_src_world,
+        b.waiting_tag, static_cast<unsigned long long>(b.waiting_context),
+        b.mailbox_pending);
+  }
+  {
+    const std::scoped_lock lock(err_mu_);
+    if (!first_error_) {
+      first_error_ = std::make_exception_ptr(
+          DeadlockError(msg, std::move(blocked)));
+    }
+  }
+  aborted_.store(true);
+  for (auto& mb : mailboxes_) mb->abort();
+}
+
+void Runtime::watchdog_loop(const std::atomic<bool>& stop) {
+  using clock = std::chrono::steady_clock;
+  const auto timeout = std::chrono::duration<double>(opts_.watchdog_timeout_s);
+  auto last_change = clock::now();
+  std::uint64_t last_progress = progress_.load(std::memory_order_relaxed);
+  while (!stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    if (aborted_.load()) return;  // an error path is already unwinding
+    const int finished = n_finished_.load(std::memory_order_relaxed);
+    int blocked = 0;
+    for (const auto& ws : wait_states_) {
+      if (ws->blocked.load(std::memory_order_acquire)) ++blocked;
+    }
+    const std::uint64_t progress = progress_.load(std::memory_order_relaxed);
+    const bool stuck = finished < nranks_ && finished + blocked == nranks_;
+    if (!stuck || progress != last_progress) {
+      last_change = clock::now();
+      last_progress = progress;
+      continue;
+    }
+    if (clock::now() - last_change >= timeout) {
+      fire_deadlock_report();
+      return;
+    }
   }
 }
 
@@ -151,11 +315,37 @@ RunResult Runtime::run(const std::function<void(Proc&)>& body) {
   aborted_.store(false);
   first_error_ = nullptr;
   trace_.clear();
+  progress_.store(0);
+  n_finished_.store(0);
+  monitor_ = std::make_unique<InvariantMonitor>();
+  const bool faults_on = opts_.faults.active();
+  for (int r = 0; r < nranks_; ++r) {
+    mailboxes_[r]->begin_run(faults_on && opts_.faults.perturbs_messages());
+    wait_states_[r]->blocked.store(false);
+  }
 
   std::vector<Proc> procs(static_cast<size_t>(nranks_));
   for (int r = 0; r < nranks_; ++r) {
     procs[r].rt_ = this;
     procs[r].rank_ = r;
+    procs[r].fstats_.world_rank = r;
+    if (faults_on) {
+      procs[r].faults_ = &opts_.faults;
+      procs[r].fault_rng_ = Rng(opts_.faults.rank_seed(r));
+      procs[r].straggle_factor_ = placement_.rank_compute_scale(r);
+      procs[r].jitter_frac_ = opts_.faults.jitter_frac(r);
+      if (opts_.faults.kill_rank == r) {
+        procs[r].kill_at_ = opts_.faults.kill_time_s;
+      }
+    }
+  }
+
+  std::atomic<bool> watchdog_stop{false};
+  std::thread watchdog;
+  if (opts_.watchdog_timeout_s > 0.0) {
+    watchdog = std::thread([this, &watchdog_stop] {
+      watchdog_loop(watchdog_stop);
+    });
   }
 
   std::vector<std::thread> threads;
@@ -172,12 +362,24 @@ RunResult Runtime::run(const std::function<void(Proc&)>& body) {
         aborted_.store(true);
         for (auto& mb : mailboxes_) mb->abort();
       }
+      n_finished_.fetch_add(1, std::memory_order_relaxed);
     });
   }
   for (auto& t : threads) t.join();
+  watchdog_stop.store(true);
+  if (watchdog.joinable()) watchdog.join();
   if (first_error_) std::rethrow_exception(first_error_);
+  if (opts_.check_invariants) monitor_->final_check();
 
   RunResult result;
+  result.collectives_checked =
+      opts_.check_invariants ? monitor_->completed() : 0;
+  if (faults_on) {
+    result.fault_stats.reserve(static_cast<size_t>(nranks_));
+    for (int r = 0; r < nranks_; ++r) {
+      result.fault_stats.push_back(procs[r].fstats_);
+    }
+  }
   result.ranks.reserve(static_cast<size_t>(nranks_));
   for (int r = 0; r < nranks_; ++r) {
     ProcStats ps;

@@ -14,14 +14,21 @@
 #include <string>
 #include <vector>
 
+#include "simmpi/fault.hpp"
 #include "simmpi/message.hpp"
 #include "simmpi/stats.hpp"
 #include "simnet/machine.hpp"
+#include "util/rng.hpp"
 
 namespace xg::mpi {
 
 class Comm;
+class InvariantMonitor;
 class Runtime;
+
+namespace detail {
+struct Group;
+}  // namespace detail
 
 /// Per-rank execution context handed to the user body. All methods are
 /// called only from that rank's own thread.
@@ -93,10 +100,26 @@ class Proc {
   void record_trace(TraceEvent event);
   [[nodiscard]] bool tracing() const;
 
+  /// Report one member's view of a completed collective to the runtime's
+  /// invariant monitor (internal, called by Comm).
+  void observe_collective(std::uint64_t context, std::uint64_t seq,
+                          TraceEvent::Kind kind, int participants,
+                          std::uint64_t payload_bytes, bool has_hash,
+                          std::uint64_t result_hash,
+                          const std::string& comm_label);
+
  private:
   friend class Runtime;
+  friend class Comm;
 
   PhaseStats& bucket() { return stats_[phase_]; }
+
+  /// Apply straggler slowdown + jitter to a compute-side charge; returns
+  /// the (possibly stretched) duration and accounts the injected excess.
+  double charge_faulted(double dt);
+
+  /// Throw RankFailure if this rank's fault-plan kill time has been reached.
+  void fault_check();
 
   Runtime* rt_ = nullptr;
   int rank_ = -1;
@@ -104,11 +127,34 @@ class Proc {
   double nic_free_ = 0.0;  ///< when this rank's injection engine frees up
   std::string phase_ = "default";
   std::map<std::string, PhaseStats> stats_;
+
+  /// Cached world group so repeated world() calls share one collective
+  /// sequence counter (keeps (context, seq) unique within a run).
+  std::shared_ptr<detail::Group> world_group_;
+
+  // Fault-injection state (inactive unless the run has a FaultPlan).
+  const FaultPlan* faults_ = nullptr;
+  Rng fault_rng_{0};
+  double straggle_factor_ = 1.0;
+  double jitter_frac_ = 0.0;
+  double kill_at_ = -1.0;  ///< virtual kill time; < 0 = immortal
+  FaultStats fstats_;
 };
 
 struct RuntimeOptions {
   bool enable_trace = false;    ///< record TraceEvents for collectives
   bool enable_traffic = false;  ///< record per-destination byte counters
+  /// Cross-check every collective for member agreement (sequence number,
+  /// kind, payload bytes, and bitwise-identical typed results). Cheap; on
+  /// by default so every run doubles as a runtime self-test.
+  bool check_invariants = true;
+  /// Real-time deadlock watchdog: if every unfinished rank sits blocked in
+  /// a receive with no message delivered or matched for this many wall-clock
+  /// seconds, the run aborts with a structured DeadlockError instead of
+  /// hanging. 0 disables the watchdog.
+  double watchdog_timeout_s = 60.0;
+  /// Deterministic fault-injection plan (default: inactive).
+  FaultPlan faults;
 };
 
 /// Owns mailboxes and rank threads for one simulated job.
@@ -117,9 +163,12 @@ class Runtime {
   /// `nranks` may be smaller than the machine's total rank slots (partial
   /// allocation) but never larger.
   Runtime(net::MachineSpec spec, int nranks, RuntimeOptions opts = {});
+  ~Runtime();
 
   /// Execute `body` on every rank (one OS thread each); returns per-rank
-  /// stats and the trace. Rethrows the first rank exception, if any.
+  /// stats and the trace. Rethrows the first rank exception, if any —
+  /// including RankFailure (fault-plan kill), DeadlockError (watchdog), and
+  /// InvariantViolation (collective disagreement).
   RunResult run(const std::function<void(Proc&)>& body);
 
   [[nodiscard]] int nranks() const { return nranks_; }
@@ -129,12 +178,31 @@ class Runtime {
   friend class Proc;
   friend class Comm;
 
+  /// What a blocked rank is waiting for, published for the watchdog report.
+  struct WaitState {
+    std::atomic<bool> blocked{false};
+    std::mutex mu;  ///< guards the descriptive fields below
+    int src_world = -1;
+    int tag = 0;
+    std::uint64_t context = 0;
+    double vtime_s = 0.0;
+    std::string phase;
+  };
+
+  void note_blocked(int rank, int src_world, std::uint64_t context, int tag,
+                    double vtime_s, const std::string& phase);
+  void note_unblocked(int rank);
+  void watchdog_loop(const std::atomic<bool>& stop);
+  void fire_deadlock_report();
+
   net::MachineSpec spec_;
   net::Placement placement_;
   RuntimeOptions opts_;
   int nranks_ = 0;
 
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<WaitState>> wait_states_;
+  std::unique_ptr<InvariantMonitor> monitor_;
 
   std::mutex trace_mu_;
   std::vector<TraceEvent> trace_;
@@ -142,6 +210,11 @@ class Runtime {
   std::atomic<bool> aborted_{false};
   std::mutex err_mu_;
   std::exception_ptr first_error_;
+
+  /// Deliveries + successful matches; the watchdog fires only when this
+  /// stops moving while every unfinished rank is blocked.
+  std::atomic<std::uint64_t> progress_{0};
+  std::atomic<int> n_finished_{0};
 };
 
 /// Convenience wrapper: build a Runtime and run one job.

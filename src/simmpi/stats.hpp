@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "simmpi/fault.hpp"
+
 namespace xg::mpi {
 
 /// Virtual-time and traffic totals for one named phase on one rank.
@@ -78,6 +80,10 @@ struct RunResult {
   double makespan_s = 0.0;  ///< max over ranks of final virtual time
   std::vector<ProcStats> ranks;
   std::vector<TraceEvent> trace;  ///< empty unless tracing was enabled
+  /// Per-rank injected-fault accounting; empty unless a FaultPlan was active.
+  std::vector<FaultStats> fault_stats;
+  /// Collective instances verified by the invariant monitor (0 if disabled).
+  std::uint64_t collectives_checked = 0;
 
   /// Sum of a phase across ranks (diagnostics).
   [[nodiscard]] PhaseStats phase_total(const std::string& phase) const {

@@ -27,6 +27,13 @@ MachineSpec frontier_like(int n_nodes) {
   return m;
 }
 
+void Placement::set_rank_compute_scale(int rank, double slowdown) {
+  XG_REQUIRE(rank >= 0, "set_rank_compute_scale: rank must be >= 0");
+  XG_REQUIRE(slowdown >= 1.0, "set_rank_compute_scale: slowdown must be >= 1");
+  auto [it, inserted] = compute_scale_.emplace(rank, slowdown);
+  if (!inserted) it->second *= slowdown;
+}
+
 MachineSpec testbox(int n_nodes, int ranks_per_node) {
   XG_REQUIRE(n_nodes >= 1 && ranks_per_node >= 1,
              "testbox: need at least one node and one rank per node");

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 
 namespace xg::net {
@@ -133,8 +134,20 @@ class Placement {
     return t_flop > t_mem ? t_flop : t_mem;
   }
 
+  /// Per-rank sustained-rate degradation: rank `rank` takes `slowdown`×
+  /// longer for every compute-side charge (1.0 = nominal). Models
+  /// heterogeneous or thermally-throttled nodes; the fault-injection layer
+  /// uses it for straggler ranks. Multiplicative when set repeatedly.
+  void set_rank_compute_scale(int rank, double slowdown);
+  [[nodiscard]] double rank_compute_scale(int rank) const {
+    if (compute_scale_.empty()) return 1.0;
+    const auto it = compute_scale_.find(rank);
+    return it == compute_scale_.end() ? 1.0 : it->second;
+  }
+
  private:
   MachineSpec spec_;
+  std::map<int, double> compute_scale_;  ///< ranks not present run at 1.0
 };
 
 }  // namespace xg::net

@@ -17,6 +17,9 @@ mpi::RunResult run_cgyro_job(const gyro::Input& input,
   mpi::RuntimeOptions ropts;
   ropts.enable_trace = options.enable_trace;
   ropts.enable_traffic = options.enable_traffic;
+  ropts.faults = options.faults;
+  ropts.check_invariants = options.check_invariants;
+  ropts.watchdog_timeout_s = options.watchdog_timeout_s;
   return mpi::run_simulation(
       machine, nranks,
       [&](mpi::Proc& proc) {
@@ -39,6 +42,9 @@ mpi::RunResult run_xgyro_job(const EnsembleInput& ensemble,
   mpi::RuntimeOptions ropts;
   ropts.enable_trace = options.enable_trace;
   ropts.enable_traffic = options.enable_traffic;
+  ropts.faults = options.faults;
+  ropts.check_invariants = options.check_invariants;
+  ropts.watchdog_timeout_s = options.watchdog_timeout_s;
   return mpi::run_simulation(
       machine, ensemble.n_sims() * ranks_per_sim,
       [&](mpi::Proc& proc) {

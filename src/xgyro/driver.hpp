@@ -16,6 +16,13 @@ struct JobOptions {
   gyro::Mode mode = gyro::Mode::kModel;
   bool enable_trace = false;
   bool enable_traffic = false;
+  /// Deterministic fault-injection plan forwarded to the runtime
+  /// (default: inactive). See mpi::FaultPlan::parse for the spec grammar.
+  mpi::FaultPlan faults;
+  /// Per-collective invariant checking (member agreement); on by default.
+  bool check_invariants = true;
+  /// Deadlock watchdog timeout (real seconds; 0 disables).
+  double watchdog_timeout_s = 60.0;
 };
 
 /// One CGYRO job: a single simulation on `nranks` ranks of `machine`

@@ -1,0 +1,440 @@
+// Fault-injection + invariant-monitor tests: FaultPlan spec parsing, the
+// differential allreduce check (bit-identical results across algorithms on
+// power-of-two and awkward rank counts), deterministic replay of injected
+// faults, rank-kill → structured RankFailure, the deadlock watchdog, and
+// the per-collective invariant monitor catching deliberately broken
+// collectives that a clean run never trips.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gyro/simulation.hpp"
+#include "simmpi/comm.hpp"
+#include "simmpi/fault.hpp"
+#include "simmpi/invariant.hpp"
+#include "simmpi/runtime.hpp"
+#include "simnet/machine.hpp"
+#include "util/error.hpp"
+#include "xgyro/ensemble.hpp"
+
+namespace xg::mpi {
+namespace {
+
+using gyro::Decomposition;
+using gyro::Input;
+using gyro::Mode;
+
+// ---------------------------------------------------------------------------
+// FaultPlan spec parsing
+
+TEST(FaultPlan, EmptySpecIsInactive) {
+  const auto plan = FaultPlan::parse("");
+  EXPECT_FALSE(plan.active());
+  EXPECT_FALSE(plan.perturbs_messages());
+}
+
+TEST(FaultPlan, ParsesFullSpec) {
+  const auto plan =
+      FaultPlan::parse("seed=42;straggler=2x3.0;jitter=2x0.5;delay=0.3x5e-6;kill=1@0.02");
+  EXPECT_TRUE(plan.active());
+  EXPECT_EQ(plan.seed, 42u);
+  EXPECT_DOUBLE_EQ(plan.straggle_factor(2), 3.0);
+  EXPECT_DOUBLE_EQ(plan.straggle_factor(0), 1.0);
+  EXPECT_DOUBLE_EQ(plan.jitter_frac(2), 0.5);
+  EXPECT_DOUBLE_EQ(plan.jitter_frac(1), 0.0);
+  EXPECT_DOUBLE_EQ(plan.delay_probability, 0.3);
+  EXPECT_DOUBLE_EQ(plan.delay_s, 5e-6);
+  EXPECT_TRUE(plan.perturbs_messages());
+  EXPECT_EQ(plan.kill_rank, 1);
+  EXPECT_DOUBLE_EQ(plan.kill_time_s, 0.02);
+  EXPECT_FALSE(plan.describe().empty());
+}
+
+TEST(FaultPlan, RepeatedStragglersCompose) {
+  const auto plan = FaultPlan::parse("straggler=0x2.0;straggler=0x1.5");
+  EXPECT_DOUBLE_EQ(plan.straggle_factor(0), 3.0);
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("bogus=1"), InputError);
+  EXPECT_THROW(FaultPlan::parse("straggler=0x0.5"), InputError);   // < 1
+  EXPECT_THROW(FaultPlan::parse("straggler=-1x2.0"), InputError);  // bad rank
+  EXPECT_THROW(FaultPlan::parse("jitter=0x-0.1"), InputError);
+  EXPECT_THROW(FaultPlan::parse("delay=1.5x1e-6"), InputError);  // prob > 1
+  EXPECT_THROW(FaultPlan::parse("delay=0.5"), InputError);       // missing 'x'
+  EXPECT_THROW(FaultPlan::parse("kill=1"), InputError);          // missing '@'
+  EXPECT_THROW(FaultPlan::parse("kill=1@-0.5"), InputError);
+  EXPECT_THROW(FaultPlan::parse("seed=notanumber"), InputError);
+  EXPECT_THROW(FaultPlan::parse("straggler"), InputError);  // missing '='
+}
+
+TEST(FaultPlan, RankSeedsAreStableAndDecorrelated) {
+  const auto a = FaultPlan::parse("seed=7;delay=0.5x1e-6");
+  const auto b = FaultPlan::parse("seed=7;delay=0.5x1e-6");
+  const auto c = FaultPlan::parse("seed=8;delay=0.5x1e-6");
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(a.rank_seed(r), b.rank_seed(r));
+  EXPECT_NE(a.rank_seed(0), a.rank_seed(1));
+  EXPECT_NE(a.rank_seed(0), c.rank_seed(0));
+}
+
+TEST(FaultPlan, RuntimeRejectsOutOfRangeRanks) {
+  RuntimeOptions opts;
+  opts.faults = FaultPlan::parse("straggler=9x2.0");
+  EXPECT_THROW(Runtime(net::testbox(1, 2), 2, opts), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Differential allreduce: every algorithm, power-of-two and awkward rank
+// counts, must produce bit-identical typed results, and virtual time must
+// be monotone on every rank throughout.
+
+TEST(Differential, AllreduceAlgorithmsBitIdenticalAcrossRankCounts) {
+  constexpr int kElems = 64;
+  for (const int p : {2, 3, 4, 5, 7, 8, 12, 16, 17}) {
+    // Integer-valued doubles: addition is exact, so recursive doubling and
+    // ring (different association orders) must agree to the last bit.
+    std::map<AllReduceAlg, std::vector<double>> results;
+    for (const auto alg : {AllReduceAlg::kAuto, AllReduceAlg::kRecursiveDoubling,
+                           AllReduceAlg::kRing}) {
+      std::vector<double> rank0(kElems);
+      std::mutex mu;
+      run_simulation(net::testbox(1, p), p, [&](Proc& proc) {
+        std::vector<double> v(kElems);
+        for (int i = 0; i < kElems; ++i) {
+          v[static_cast<size_t>(i)] =
+              static_cast<double>((proc.world_rank() * 31 + i) % 97);
+        }
+        const double t0 = proc.now();
+        proc.world().allreduce_sum(std::span<double>(v), alg);
+        EXPECT_GE(proc.now(), t0) << "virtual clock went backwards";
+        if (proc.world_rank() == 0) {
+          const std::scoped_lock lock(mu);
+          rank0 = v;
+        }
+      });
+      results[alg] = std::move(rank0);
+    }
+    const auto& ref = results[AllReduceAlg::kAuto];
+    for (const auto& [alg, got] : results) {
+      ASSERT_EQ(got.size(), ref.size());
+      EXPECT_EQ(0, std::memcmp(got.data(), ref.data(),
+                               got.size() * sizeof(double)))
+          << "algorithm " << static_cast<int>(alg) << " differs at p=" << p;
+    }
+    // Sanity: the reduction actually happened (sum over ranks of element 0).
+    double expect0 = 0.0;
+    for (int r = 0; r < p; ++r) expect0 += static_cast<double>((r * 31) % 97);
+    EXPECT_DOUBLE_EQ(ref[0], expect0) << "p=" << p;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic replay of injected faults
+
+RunResult run_faulted_exchange(const FaultPlan& plan, int p) {
+  RuntimeOptions opts;
+  opts.faults = plan;
+  return run_simulation(net::testbox(1, p), p, [p](Proc& proc) {
+    auto world = proc.world();
+    proc.set_phase("work");
+    for (int iter = 0; iter < 4; ++iter) {
+      proc.compute(/*flops=*/1e6, /*bytes=*/1e5);
+      // Ring exchange with real payloads, then a typed reduction.
+      const int right = (proc.world_rank() + 1) % p;
+      const int left = (proc.world_rank() + p - 1) % p;
+      std::vector<int> out(16, proc.world_rank()), in(16, -1);
+      world.send(std::span<const int>(out), right, /*tag=*/iter);
+      world.recv(std::span<int>(in), left, /*tag=*/iter);
+      for (const int x : in) EXPECT_EQ(x, left);
+      std::vector<double> v(8, 1.0);
+      world.allreduce_sum(std::span<double>(v));
+      for (const double x : v) EXPECT_DOUBLE_EQ(x, static_cast<double>(p));
+    }
+  }, opts);
+}
+
+TEST(Determinism, SameSeedReplaysIdenticalInjectedSchedule) {
+  const auto plan =
+      FaultPlan::parse("seed=11;straggler=1x2.5;jitter=1x0.4;delay=0.5x2e-6");
+  const auto a = run_faulted_exchange(plan, 6);
+  const auto b = run_faulted_exchange(plan, 6);
+
+  ASSERT_EQ(a.fault_stats.size(), 6u);
+  ASSERT_EQ(b.fault_stats.size(), 6u);
+  std::uint64_t total_delayed = 0;
+  for (size_t r = 0; r < a.fault_stats.size(); ++r) {
+    EXPECT_EQ(a.fault_stats[r].delayed_msgs, b.fault_stats[r].delayed_msgs);
+    EXPECT_DOUBLE_EQ(a.fault_stats[r].delay_added_s,
+                     b.fault_stats[r].delay_added_s);
+    EXPECT_DOUBLE_EQ(a.fault_stats[r].straggler_added_s,
+                     b.fault_stats[r].straggler_added_s);
+    total_delayed += a.fault_stats[r].delayed_msgs;
+  }
+  // With p(delay)=0.5 over ~hundreds of eager messages, some must be hit.
+  EXPECT_GT(total_delayed, 0u);
+  EXPECT_GT(a.fault_stats[1].straggler_added_s, 0.0);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+}
+
+TEST(Determinism, DifferentSeedChangesInjectedScheduleOnly) {
+  const auto a =
+      run_faulted_exchange(FaultPlan::parse("seed=1;delay=0.5x2e-6"), 6);
+  const auto b =
+      run_faulted_exchange(FaultPlan::parse("seed=2;delay=0.5x2e-6"), 6);
+  // Payload assertions inside the body passed for both; only the injected
+  // timing schedule may differ.
+  std::uint64_t da = 0, db = 0;
+  for (const auto& f : a.fault_stats) da += f.delayed_msgs;
+  for (const auto& f : b.fault_stats) db += f.delayed_msgs;
+  EXPECT_GT(da, 0u);
+  EXPECT_GT(db, 0u);
+  EXPECT_NE(da, db);  // 0.5^~200 chance of collision by luck
+}
+
+TEST(Determinism, CleanRunHasNoFaultStats) {
+  const auto r = run_faulted_exchange(FaultPlan{}, 4);
+  EXPECT_TRUE(r.fault_stats.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Ensemble determinism: same seed → identical physics fingerprints and
+// per-phase timing stats; a straggler changes timings, never physics.
+
+xgyro::EnsembleInput make_sweep(int k) {
+  return xgyro::EnsembleInput::sweep(
+      Input::small_test(2), k,
+      [](Input& in, int i) { in.species[0].a_ln_t = 2.0 + 0.5 * i; });
+}
+
+struct EnsembleRun {
+  std::map<int, std::uint64_t> hashes;  ///< sim index → state fingerprint
+  RunResult result;
+};
+
+EnsembleRun run_ensemble(const FaultPlan& plan) {
+  const auto e = make_sweep(2);
+  const int ranks_per_sim = 2;
+  const int nranks = e.n_sims() * ranks_per_sim;
+  const auto d =
+      Decomposition::choose(e.members.front(), ranks_per_sim, e.n_sims());
+  EnsembleRun out;
+  std::mutex mu;
+  RuntimeOptions opts;
+  opts.faults = plan;
+  out.result = run_simulation(
+      net::testbox(1, nranks), nranks,
+      [&](Proc& p) {
+        xgyro::EnsembleDriver drv(e, d, p, Mode::kReal);
+        drv.initialize();
+        drv.advance_report_interval();
+        const auto h = drv.simulation().state_hash();
+        if (p.world_rank() % d.nranks() == 0) {
+          const std::scoped_lock lock(mu);
+          out.hashes[drv.sim_index()] = h;
+        }
+      },
+      opts);
+  return out;
+}
+
+TEST(Determinism, EnsembleSameSeedIdenticalFingerprintsAndTimings) {
+  const auto plan = FaultPlan::parse("seed=9;delay=0.25x3e-6;jitter=0x0.3");
+  const auto a = run_ensemble(plan);
+  const auto b = run_ensemble(plan);
+  EXPECT_EQ(a.hashes, b.hashes);
+  EXPECT_DOUBLE_EQ(a.result.makespan_s, b.result.makespan_s);
+  ASSERT_EQ(a.result.ranks.size(), b.result.ranks.size());
+  for (size_t r = 0; r < a.result.ranks.size(); ++r) {
+    const auto& pa = a.result.ranks[r].phases;
+    const auto& pb = b.result.ranks[r].phases;
+    ASSERT_EQ(pa.size(), pb.size());
+    for (const auto& [name, sa] : pa) {
+      const auto it = pb.find(name);
+      ASSERT_NE(it, pb.end()) << "phase " << name;
+      EXPECT_DOUBLE_EQ(sa.comm_s, it->second.comm_s) << name;
+      EXPECT_DOUBLE_EQ(sa.compute_s, it->second.compute_s) << name;
+      EXPECT_EQ(sa.bytes_sent, it->second.bytes_sent) << name;
+      EXPECT_EQ(sa.msgs_sent, it->second.msgs_sent) << name;
+    }
+  }
+  EXPECT_GT(a.result.collectives_checked, 0u);
+}
+
+TEST(Determinism, StragglerChangesTimingsNotPhysics) {
+  const auto clean = run_ensemble(FaultPlan{});
+  const auto slow = run_ensemble(FaultPlan::parse("seed=9;straggler=0x4.0"));
+  EXPECT_EQ(clean.hashes, slow.hashes);  // physics untouched
+  EXPECT_GT(slow.result.makespan_s, clean.result.makespan_s);
+  ASSERT_EQ(slow.result.fault_stats.size(), clean.result.ranks.size());
+  EXPECT_GT(slow.result.fault_stats[0].straggler_added_s, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Rank kill → structured RankFailure (no deadlock), replayable report.
+
+std::string run_until_killed(const FaultPlan& plan) {
+  RuntimeOptions opts;
+  opts.faults = plan;
+  opts.watchdog_timeout_s = 30.0;  // must NOT be what terminates the run
+  try {
+    run_simulation(net::testbox(1, 4), 4, [](Proc& p) {
+      auto world = p.world();
+      p.set_phase("work");
+      for (int i = 0; i < 10; ++i) {
+        p.advance(0.2);
+        world.barrier();
+      }
+    }, opts);
+  } catch (const RankFailure& f) {
+    EXPECT_EQ(f.world_rank(), 2);
+    EXPECT_GE(f.virtual_time_s(), 0.5);
+    EXPECT_EQ(f.phase(), "work");
+    return f.what();
+  }
+  ADD_FAILURE() << "rank kill did not surface a RankFailure";
+  return {};
+}
+
+TEST(RankKill, SurfacesStructuredFailureInsteadOfDeadlock) {
+  const auto plan = FaultPlan::parse("seed=3;kill=2@0.5");
+  const auto report1 = run_until_killed(plan);
+  const auto report2 = run_until_killed(plan);
+  EXPECT_FALSE(report1.empty());
+  EXPECT_EQ(report1, report2);  // same seed ⇒ identical failure report
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock watchdog: a stuck virtual schedule becomes a diagnosable report
+// within bounded real time instead of hanging forever.
+
+TEST(Watchdog, ReportsStuckScheduleWithBlockedRankDetail) {
+  RuntimeOptions opts;
+  opts.watchdog_timeout_s = 0.25;
+  bool caught = false;
+  try {
+    run_simulation(net::testbox(1, 2), 2, [](Proc& p) {
+      if (p.world_rank() == 1) {
+        p.set_phase("stuck_phase");
+        int v = 0;
+        // Nobody ever sends this: rank 0 exits immediately.
+        p.world().recv(std::span<int>(&v, 1), /*src=*/0, /*tag=*/9);
+      }
+    }, opts);
+  } catch (const DeadlockError& d) {
+    caught = true;
+    ASSERT_EQ(d.blocked().size(), 1u);
+    const auto& b = d.blocked().front();
+    EXPECT_EQ(b.world_rank, 1);
+    EXPECT_EQ(b.waiting_src_world, 0);
+    EXPECT_EQ(b.waiting_tag, 9);
+    EXPECT_EQ(b.phase, "stuck_phase");
+    EXPECT_NE(std::string(d.what()).find("stuck"), std::string::npos);
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(Watchdog, QuietOnHealthyRuns) {
+  RuntimeOptions opts;
+  opts.watchdog_timeout_s = 0.25;
+  // Plenty of real blocking receives, but the schedule always progresses.
+  EXPECT_NO_THROW(run_simulation(net::testbox(1, 4), 4, [](Proc& p) {
+    for (int i = 0; i < 8; ++i) {
+      std::vector<double> v(4, 1.0);
+      p.world().allreduce_sum(std::span<double>(v));
+    }
+  }, opts));
+}
+
+// ---------------------------------------------------------------------------
+// Invariant monitor: silent on clean runs, loud on broken collectives.
+
+TEST(InvariantMonitor, CountsCollectivesOnCleanRuns) {
+  const auto r = run_simulation(net::testbox(1, 4), 4, [](Proc& p) {
+    auto world = p.world();
+    std::vector<double> v(8, 1.0);
+    world.allreduce_sum(std::span<double>(v));
+    world.barrier();
+    std::vector<int> b(4, p.world_rank() == 0 ? 7 : 0);
+    world.bcast(std::span<int>(b), /*root=*/0);
+  });
+  EXPECT_EQ(r.collectives_checked, 3u);
+}
+
+TEST(InvariantMonitor, DisabledMonitorCountsNothing) {
+  RuntimeOptions opts;
+  opts.check_invariants = false;
+  const auto r = run_simulation(net::testbox(1, 2), 2, [](Proc& p) {
+    p.world().barrier();
+  }, opts);
+  EXPECT_EQ(r.collectives_checked, 0u);
+}
+
+TEST(InvariantMonitor, CatchesBrokenAllreduceResultDivergence) {
+  // kBrokenForTesting omits recursive doubling's final fold-back, so on a
+  // non-power-of-two count the folded ranks keep stale values: members
+  // disagree on the typed result hash and the monitor must object.
+  EXPECT_THROW(
+      run_simulation(net::testbox(1, 5), 5, [](Proc& p) {
+        std::vector<double> v(8, static_cast<double>(p.world_rank() + 1));
+        p.world().allreduce_sum(std::span<double>(v),
+                                AllReduceAlg::kBrokenForTesting);
+      }),
+      InvariantViolation);
+}
+
+TEST(InvariantMonitor, CatchesCollectiveKindMismatch) {
+  // Both operations are send-only for their caller, so the schedule itself
+  // completes; only the monitor can see the ranks ran *different*
+  // collectives for the same (context, seq) slot.
+  EXPECT_THROW(
+      run_simulation(net::testbox(1, 2), 2, [](Proc& p) {
+        auto world = p.world();
+        if (p.world_rank() == 0) {
+          std::vector<int> b(2, 1);
+          world.bcast(std::span<int>(b), /*root=*/0);
+        } else {
+          std::vector<int> all(4, 2), mine(2);
+          world.scatter(std::span<const int>(all), std::span<int>(mine),
+                        /*root=*/1);
+        }
+      }),
+      InvariantViolation);
+}
+
+TEST(InvariantMonitor, FinalCheckCatchesSkippedMember) {
+  // Rank 0 broadcasts (eager send, returns immediately); rank 1 never joins
+  // the collective. The run itself finishes — only final_check can notice
+  // the half-observed record.
+  EXPECT_THROW(
+      run_simulation(net::testbox(1, 2), 2, [](Proc& p) {
+        if (p.world_rank() == 0) {
+          std::vector<int> b(2, 1);
+          p.world().bcast(std::span<int>(b), /*root=*/0);
+        }
+      }),
+      InvariantViolation);
+}
+
+TEST(InvariantMonitor, DelayFaultsDoNotTripInvariants) {
+  // Message delays reshuffle virtual arrival times but never matching
+  // order or payloads: the monitor must stay quiet.
+  RuntimeOptions opts;
+  opts.faults = FaultPlan::parse("seed=5;delay=0.5x1e-5");
+  const auto r = run_simulation(net::testbox(1, 8), 8, [](Proc& p) {
+    for (int i = 0; i < 4; ++i) {
+      std::vector<double> v(16);
+      for (size_t j = 0; j < v.size(); ++j) {
+        v[j] = static_cast<double>((p.world_rank() + static_cast<int>(j)) % 13);
+      }
+      p.world().allreduce_sum(std::span<double>(v));
+    }
+  }, opts);
+  EXPECT_EQ(r.collectives_checked, 4u);
+}
+
+}  // namespace
+}  // namespace xg::mpi

@@ -13,6 +13,8 @@
 #include "simmpi/comm.hpp"
 #include "simmpi/runtime.hpp"
 #include "simnet/machine.hpp"
+#include "util/error.hpp"
+#include "util/keyvalue.hpp"
 #include "util/rng.hpp"
 #include "xgyro/driver.hpp"
 
@@ -324,6 +326,109 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(SeqCase{2, 1}, SeqCase{3, 2}, SeqCase{4, 3},
                       SeqCase{5, 4}, SeqCase{8, 5}, SeqCase{8, 6},
                       SeqCase{13, 7}, SeqCase{16, 8}));
+
+// ---------------------------------------------------------------------------
+// Fuzz/property tests for the input-parsing layer: any byte soup must either
+// parse or throw a structured xg::Error — never crash, hang, or UB.
+
+TEST(KeyValueFuzz, TruncatedAndMalformedLinesErrorCleanly) {
+  EXPECT_THROW(KeyValueFile::parse("N_RADIAL"), InputError);  // no '='
+  EXPECT_THROW(KeyValueFile::parse("=5"), InputError);        // empty key
+  EXPECT_THROW(KeyValueFile::parse("N_RADIAL=4\nN_THETA"), InputError);
+  // Well-formed edge cases must still parse.
+  EXPECT_NO_THROW(KeyValueFile::parse(""));
+  EXPECT_NO_THROW(KeyValueFile::parse("# only a comment\n\n"));
+  EXPECT_NO_THROW(KeyValueFile::parse("N_RADIAL=4  # trailing comment"));
+}
+
+TEST(KeyValueFuzz, DuplicateKeysLastAssignmentWins) {
+  const auto kv = KeyValueFile::parse("N_RADIAL=4\nn_radial=16");
+  EXPECT_EQ(kv.get_int("N_RADIAL"), 16);
+  EXPECT_EQ(kv.size(), 1u);
+}
+
+TEST(KeyValueFuzz, BadNumericsThrowOnTypedAccessNotParse) {
+  // The raw store accepts any value string; the typed getter is the gate.
+  const auto kv =
+      KeyValueFile::parse("N_RADIAL=abc\nE_MAX=1.5e\nDELTA_T=0.01x");
+  EXPECT_THROW(kv.get_int("N_RADIAL"), InputError);
+  EXPECT_THROW(kv.get_real("E_MAX"), InputError);
+  EXPECT_THROW(kv.get_real("DELTA_T"), InputError);
+  EXPECT_THROW(static_cast<void>(Input::from_keyvalue(kv)), Error);
+}
+
+TEST(KeyValueFuzz, RandomGarbageNeverCrashesParser) {
+  // Printable soup plus structural characters the grammar cares about.
+  const std::string charset =
+      "ABCZaz019_=#. \t-+eE\n\r\\\"'%$;:,xX/()[]{}";
+  Rng rng(20260807);
+  for (int iter = 0; iter < 500; ++iter) {
+    const int len = static_cast<int>(rng.next_u64() % 160);
+    std::string text;
+    text.reserve(static_cast<size_t>(len));
+    for (int i = 0; i < len; ++i) {
+      text += charset[rng.next_u64() % charset.size()];
+    }
+    try {
+      const auto kv = KeyValueFile::parse(text, "<fuzz>");
+      // If it parsed, typed access on every key must also be crash-free.
+      for (const auto& key : kv.keys()) {
+        try {
+          static_cast<void>(kv.get_int(key));
+        } catch (const Error&) {
+        }
+        try {
+          static_cast<void>(kv.get_real(key));
+        } catch (const Error&) {
+        }
+      }
+    } catch (const Error&) {
+      // Structured rejection is the other acceptable outcome.
+    }
+  }
+}
+
+TEST(InputFuzz, MutatedInputFilesParseOrErrorCleanly) {
+  // Start from a valid serialized input and apply random single-character
+  // mutations (delete / insert / flip / line truncation / duplication).
+  // Every mutant must round-trip through the full Input parse+validate
+  // chain with either success or a structured xg::Error.
+  const std::string pristine = Input::small_test(2).to_keyvalue().to_string();
+  const std::string charset = "ABCZaz019_=#. -+eE\n";
+  Rng rng(777);
+  int parsed = 0, rejected = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string text = pristine;
+    const int n_mut = 1 + static_cast<int>(rng.next_u64() % 4);
+    for (int m = 0; m < n_mut && !text.empty(); ++m) {
+      const size_t pos = rng.next_u64() % text.size();
+      switch (rng.next_u64() % 4) {
+        case 0:
+          text.erase(pos, 1);
+          break;
+        case 1:
+          text.insert(pos, 1, charset[rng.next_u64() % charset.size()]);
+          break;
+        case 2:
+          text[pos] = charset[rng.next_u64() % charset.size()];
+          break;
+        default:
+          text.resize(pos);  // truncated file (partial write)
+          break;
+      }
+    }
+    try {
+      const auto in = Input::from_keyvalue(KeyValueFile::parse(text, "<fuzz>"));
+      EXPECT_GT(in.n_radial, 0);  // validate() let it through, so it's sane
+      ++parsed;
+    } catch (const Error&) {
+      ++rejected;
+    }
+  }
+  // The mutation engine must actually exercise both outcomes.
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
+}
 
 }  // namespace
 }  // namespace xg
