@@ -10,6 +10,7 @@
 
 #include "gyro/simulation.hpp"
 #include "perfmodel/perfmodel.hpp"
+#include "telemetry/json.hpp"
 #include "util/format.hpp"
 #include "xgyro/driver.hpp"
 #include "xgyro/ensemble.hpp"
@@ -17,8 +18,13 @@
 int main(int argc, char** argv) {
   using namespace xg;
   int steps = 10;
-  for (int i = 1; i < argc - 1; ++i) {
-    if (std::string(argv[i]) == "--steps") steps = std::atoi(argv[i + 1]);
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--steps" && i + 1 < argc) {
+      steps = std::atoi(argv[i + 1]);
+    } else if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_out = argv[i + 1];
+    }
   }
   gyro::Input base = gyro::Input::nl03c_like();
   base.n_steps_per_report = steps;
@@ -33,6 +39,7 @@ int main(int argc, char** argv) {
               "campaign(8)", "fits?");
 
   double campaign_k1 = 0.0;
+  telemetry::Json series = telemetry::Json::array();
   for (const int k : {1, 2, 4, 8}) {
     const int ranks_per_sim = total_ranks / k;
     auto ensemble = xgyro::EnsembleInput::sweep(
@@ -53,8 +60,28 @@ int main(int argc, char** argv) {
     std::printf("%-4d %-6d %10.3f %10.3f %10.3f %10.3f %12.3f %8s\n", k,
                 plan.decomp.pv, str_comm, coll_comm, compute, total, campaign,
                 plan.fit.fits ? "yes" : "NO");
+    series.push(telemetry::Json::object()
+                    .set("k", telemetry::Json(k))
+                    .set("pv", telemetry::Json(plan.decomp.pv))
+                    .set("str_comm_s", telemetry::Json(str_comm))
+                    .set("coll_comm_s", telemetry::Json(coll_comm))
+                    .set("compute_s", telemetry::Json(compute))
+                    .set("t_report_s", telemetry::Json(total))
+                    .set("campaign_s", telemetry::Json(campaign))
+                    .set("fits", telemetry::Json(plan.fit.fits)));
   }
   std::printf("\ncampaign speedup k=8 vs k=1 should land near the paper's "
               "1.5x (measured above; k=1 campaign %.3fs).\n", campaign_k1);
+  if (!json_out.empty()) {
+    telemetry::write_json_file(
+        json_out,
+        telemetry::Json::object()
+            .set("schema", telemetry::Json("xgyro.bench.ensemble_scaling"))
+            .set("schema_version", telemetry::Json(1))
+            .set("steps_per_report", telemetry::Json(steps))
+            .set("total_sims", telemetry::Json(total_sims))
+            .set("series", std::move(series)));
+    std::printf("json series written to %s\n", json_out.c_str());
+  }
   return 0;
 }

@@ -10,14 +10,20 @@
 
 #include "gyro/simulation.hpp"
 #include "perfmodel/perfmodel.hpp"
+#include "telemetry/json.hpp"
 #include "util/format.hpp"
 #include "xgyro/driver.hpp"
 
 int main(int argc, char** argv) {
   using namespace xg;
   int steps = 5;
-  for (int i = 1; i < argc - 1; ++i) {
-    if (std::string(argv[i]) == "--steps") steps = std::atoi(argv[i + 1]);
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--steps" && i + 1 < argc) {
+      steps = std::atoi(argv[i + 1]);
+    } else if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_out = argv[i + 1];
+    }
   }
   gyro::Input in = gyro::Input::nl03c_like();
   in.n_steps_per_report = steps;
@@ -32,6 +38,7 @@ int main(int argc, char** argv) {
   double base_node_seconds = -1.0;
   bool comm_grows = true;
   double prev_comm = -1.0;
+  telemetry::Json series = telemetry::Json::array();
   for (const int nodes : {32, 64, 128}) {
     const auto machine = perfmodel::nl03c_machine(nodes);
     gyro::Decomposition d;
@@ -59,9 +66,29 @@ int main(int argc, char** argv) {
     const double comm_share = comm / total;
     if (prev_comm >= 0 && comm_share <= prev_comm) comm_grows = false;
     prev_comm = comm_share;
+    series.push(telemetry::Json::object()
+                    .set("nodes", telemetry::Json(nodes))
+                    .set("pv", telemetry::Json(d.pv))
+                    .set("compute_s", telemetry::Json(compute))
+                    .set("str_comm_s",
+                         telemetry::Json(xgyro::phase_seconds(res, "str_comm")))
+                    .set("comm_s", telemetry::Json(comm))
+                    .set("t_report_s", telemetry::Json(total))
+                    .set("node_seconds", telemetry::Json(node_seconds))
+                    .set("efficiency", telemetry::Json(efficiency)));
   }
 
   std::printf("\ncommunication share grows with node count: %s\n",
               comm_grows ? "YES (as in ref [2])" : "NO");
+  if (!json_out.empty()) {
+    telemetry::write_json_file(
+        json_out, telemetry::Json::object()
+                      .set("schema", telemetry::Json("xgyro.bench.node_scaling"))
+                      .set("schema_version", telemetry::Json(1))
+                      .set("steps_per_report", telemetry::Json(steps))
+                      .set("comm_share_grows", telemetry::Json(comm_grows))
+                      .set("series", std::move(series)));
+    std::printf("json series written to %s\n", json_out.c_str());
+  }
   return comm_grows ? 0 : 1;
 }

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# ci.sh — the full local gate, in the order a reviewer would run it:
+#
+#   1. default preset build + complete ctest tier-1 suite
+#   2. address+UB-sanitized preset build (compile-time gate)
+#   3. end-to-end determinism check (identical-seed runs bitwise equal)
+#   4. telemetry artifact smoke (trace/report/metrics export + validation)
+#
+# Steps 3 and 4 are also registered with ctest (check_determinism_script,
+# trace_export_smoke); they rerun here standalone so a failure prints its
+# own transcript even when ctest is skipped.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+echo "=== [1/4] default build + ctest ==="
+cmake --preset default
+cmake --build --preset default -j "$JOBS"
+ctest --preset default
+
+echo "=== [2/4] sanitized build ==="
+cmake --preset sanitize
+cmake --build --preset sanitize -j "$JOBS"
+
+echo "=== [3/4] determinism check ==="
+bash scripts/check_determinism.sh build
+
+echo "=== [4/4] telemetry trace-export smoke ==="
+bash scripts/trace_smoke.sh build
+
+echo "ci.sh: all gates passed"

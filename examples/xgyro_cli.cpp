@@ -28,6 +28,11 @@
 //                       (see src/simmpi/fault.hpp for the full grammar)
 //   --watchdog SECONDS  deadlock watchdog timeout (real time; 0 disables)
 //   --no-invariants     disable the per-collective invariant monitor
+//   --trace-out FILE    write a Chrome trace-event JSON timeline (open with
+//                       ui.perfetto.dev or chrome://tracing)
+//   --report FILE       write a structured run report (xgyro.report JSON;
+//                       diff two with `xgyro_report --json A B`)
+//   --metrics-out FILE  write a metrics snapshot (counters/gauges/histograms)
 #include <cstdio>
 #include <cstring>
 #include <mutex>
@@ -38,6 +43,9 @@
 #include "gyro/simulation.hpp"
 #include "gyro/timing_log.hpp"
 #include "simnet/machine.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/trace.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
 #include "xgyro/driver.hpp"
@@ -54,6 +62,9 @@ struct Options {
   xg::gyro::Mode mode = xg::gyro::Mode::kReal;
   int intervals = 1;
   std::string timing_out;
+  std::string trace_out;
+  std::string report_out;
+  std::string metrics_out;
   bool grouped = false;
   std::string restart_write, restart_read;
   xg::mpi::FaultPlan faults;
@@ -85,6 +96,12 @@ Options parse_args(int argc, char** argv) {
       o.intervals = std::stoi(need_value(i++));
     } else if (a == "--timing-out") {
       o.timing_out = need_value(i++);
+    } else if (a == "--trace-out") {
+      o.trace_out = need_value(i++);
+    } else if (a == "--report") {
+      o.report_out = need_value(i++);
+    } else if (a == "--metrics-out") {
+      o.metrics_out = need_value(i++);
     } else if (a == "--grouped") {
       o.grouped = true;
     } else if (a == "--restart-write") {
@@ -107,7 +124,33 @@ Options parse_args(int argc, char** argv) {
         throw xg::InputError("--mode must be 'real' or 'model'");
       }
     } else if (a == "--help" || a == "-h") {
-      std::printf("usage: see header comment of examples/xgyro_cli.cpp\n");
+      std::printf(
+          "usage: xgyro_cli (--input FILE [--input FILE ...] | --ensemble "
+          "FILE) [options]\n\n"
+          "  --input FILE        input file (repeat for an ensemble)\n"
+          "  --ensemble FILE     input.xgyro-style manifest (N_SIM / DIR_i)\n"
+          "  --ranks N           total ranks for a single simulation [4]\n"
+          "  --ranks-per-sim N   ranks per ensemble member [4]\n"
+          "  --nodes N           nodes of the Frontier-like machine [fit]\n"
+          "  --mode real|model   real data or paper-scale model mode [real]\n"
+          "  --intervals N       reporting intervals to run [1]\n"
+          "  --timing-out FILE   write an out.xgyro.timing-style log\n"
+          "  --trace-out FILE    write a Chrome trace-event JSON timeline\n"
+          "                      (open with ui.perfetto.dev or "
+          "chrome://tracing)\n"
+          "  --report FILE       write a structured run report "
+          "(xgyro.report JSON)\n"
+          "  --metrics-out FILE  write a metrics snapshot "
+          "(xgyro.metrics JSON)\n"
+          "  --grouped           allow mixed physics: members grouped by\n"
+          "                      cmat fingerprint, one shared tensor each\n"
+          "  --restart-write DIR write binary checkpoints after the run\n"
+          "  --restart-read DIR  resume from checkpoints before the run\n"
+          "  --faults SPEC       deterministic fault injection, e.g.\n"
+          "                      "
+          "\"seed=42;straggler=2x3.0;delay=0.3x5e-6;kill=1@0.02\"\n"
+          "  --watchdog SECONDS  deadlock watchdog timeout (0 disables)\n"
+          "  --no-invariants     disable the collective invariant monitor\n");
       std::exit(0);
     } else {
       throw xg::InputError(xg::strprintf("unknown option '%s'", a.c_str()));
@@ -148,6 +191,11 @@ int main(int argc, char** argv) {
     ropts.faults = opt.faults;
     ropts.check_invariants = opt.check_invariants;
     ropts.watchdog_timeout_s = opt.watchdog_timeout_s;
+    // Telemetry artifacts need the trace stream; the report and metrics also
+    // aggregate the traffic matrix. Both stay off unless requested.
+    ropts.enable_trace = !opt.trace_out.empty() || !opt.report_out.empty() ||
+                         !opt.metrics_out.empty();
+    ropts.enable_traffic = !opt.report_out.empty() || !opt.metrics_out.empty();
     if (opt.faults.active()) {
       std::printf("%s\n", opt.faults.describe().c_str());
     }
@@ -248,6 +296,29 @@ int main(int argc, char** argv) {
           opt.timing_out,
           gyro::timing_rows(result, xgyro::solver_phases()), result.makespan_s);
       std::printf("timing log written to %s\n", opt.timing_out.c_str());
+    }
+    if (!opt.trace_out.empty()) {
+      telemetry::write_chrome_trace(opt.trace_out, result);
+      std::printf("chrome trace written to %s (open with ui.perfetto.dev)\n",
+                  opt.trace_out.c_str());
+    }
+    if (!opt.report_out.empty() || !opt.metrics_out.empty()) {
+      const net::Placement placement(machine);
+      if (!opt.report_out.empty()) {
+        telemetry::write_run_report(
+            opt.report_out,
+            telemetry::build_run_report(result, placement,
+                                        xgyro::solver_phases(),
+                                        ensemble_mode ? "xgyro" : "cgyro",
+                                        n_members));
+        std::printf("run report written to %s\n", opt.report_out.c_str());
+      }
+      if (!opt.metrics_out.empty()) {
+        telemetry::write_json_file(
+            opt.metrics_out,
+            telemetry::collect_run_metrics(result, placement).snapshot());
+        std::printf("metrics written to %s\n", opt.metrics_out.c_str());
+      }
     }
     return 0;
   } catch (const mpi::RankFailure& e) {

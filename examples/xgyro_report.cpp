@@ -1,57 +1,84 @@
-// xgyro_report — post-process timing-log artifacts into the paper's Fig. 2
+// xgyro_report — post-process run artifacts into the paper's Fig. 2
 // comparison, the way the authors reduced their published log archive
 // (paper reference [5]) into the figure.
 //
-//   # generate logs, then reduce them:
-//   ./bench/fig2_breakdown --steps 10 --artifacts artifacts
+//   # legacy timing logs:
 //   ./examples/xgyro_report artifacts/out.cgyro.timing ARTS/out.xgyro.timing 8
 //
-// Arguments: CGYRO log, XGYRO log, number of sequential CGYRO jobs the
-// single-job log stands for (default 8).
+//   # structured run reports (xgyro_cli --report): same speedup table plus
+//   # regression deltas between the two runs:
+//   ./examples/xgyro_report --json cgyro.report.json xgyro.report.json 8
+//
+//   # validate a Chrome trace artifact (xgyro_cli --trace-out):
+//   ./examples/xgyro_report --validate-trace trace.json
+//
+// Arguments (both diff modes): baseline artifact, ensemble artifact, number
+// of sequential CGYRO jobs the baseline stands for (default 8). Both modes
+// print the identical Fig. 2-style table for the same timing numbers.
 #include <cstdio>
 #include <cstdlib>
-#include <map>
 #include <string>
+#include <vector>
 
 #include "gyro/timing_log.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/trace.hpp"
 #include "util/error.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: xgyro_report CGYRO_LOG XGYRO_LOG [n_sequential]\n"
+               "       xgyro_report --json CGYRO_REPORT XGYRO_REPORT "
+               "[n_sequential]\n"
+               "       xgyro_report --validate-trace TRACE_JSON\n");
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace xg;
-  if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: xgyro_report CGYRO_LOG XGYRO_LOG [n_sequential]\n");
-    return 1;
-  }
-  const int k = argc > 3 ? std::atoi(argv[3]) : 8;
+  std::vector<std::string> args(argv + 1, argv + argc);
   try {
-    double cg_makespan = 0, xg_makespan = 0;
-    const auto cg = gyro::load_timing_log(argv[1], &cg_makespan);
-    const auto xg = gyro::load_timing_log(argv[2], &xg_makespan);
-
-    std::map<std::string, gyro::TimingRow> xg_by_phase;
-    for (const auto& row : xg) xg_by_phase[row.phase] = row;
-
-    std::printf("Fig. 2-style reduction (%d sequential CGYRO jobs vs one "
-                "XGYRO ensemble)\n\n",
-                k);
-    std::printf("%-12s %14s %14s %10s\n", "phase", "CGYRO sum [s]",
-                "XGYRO [s]", "ratio");
-    double cg_total = 0, xg_total = 0;
-    for (const auto& row : cg) {
-      const auto it = xg_by_phase.find(row.phase);
-      const double cg_t = k * row.total_s;
-      const double xg_t = it != xg_by_phase.end() ? it->second.total_s : 0.0;
-      cg_total += cg_t;
-      xg_total += xg_t;
-      std::printf("%-12s %14.3f %14.3f %9.2fx\n", row.phase.c_str(), cg_t,
-                  xg_t, xg_t > 0 ? cg_t / xg_t : 0.0);
+    if (!args.empty() && args[0] == "--validate-trace") {
+      if (args.size() != 2) {
+        usage();
+        return 1;
+      }
+      const auto check =
+          telemetry::check_chrome_trace(telemetry::load_json_file(args[1]));
+      std::printf("trace ok: %d track(s), %d complete event(s), %zu rank(s) "
+                  "with events\n",
+                  check.n_tracks, check.n_complete_events,
+                  check.ranks_with_tracks.size());
+      return 0;
     }
-    std::printf("%-12s %14.3f %14.3f %9.2fx\n", "TOTAL", cg_total, xg_total,
-                xg_total > 0 ? cg_total / xg_total : 0.0);
-    std::printf("\nmakespans: CGYRO job %.3f s (x%d sequential), XGYRO "
-                "ensemble %.3f s\n",
-                cg_makespan, k, xg_makespan);
+
+    const bool json_mode = !args.empty() && args[0] == "--json";
+    if (json_mode) args.erase(args.begin());
+    if (args.size() < 2) {
+      usage();
+      return 1;
+    }
+    const int k = args.size() > 2 ? std::atoi(args[2].c_str()) : 8;
+
+    if (json_mode) {
+      const auto a = telemetry::load_run_report(args[0]);
+      const auto b = telemetry::load_run_report(args[1]);
+      std::printf("%s", telemetry::format_speedup_table(
+                            a.phases, a.makespan_s, b.phases, b.makespan_s, k)
+                            .c_str());
+      std::printf("\n%s", telemetry::format_regressions(a, b).c_str());
+      return 0;
+    }
+
+    double cg_makespan = 0, xg_makespan = 0;
+    const auto cg = gyro::load_timing_log(args[0], &cg_makespan);
+    const auto xg = gyro::load_timing_log(args[1], &xg_makespan);
+    std::printf("%s", telemetry::format_speedup_table(cg, cg_makespan, xg,
+                                                      xg_makespan, k)
+                          .c_str());
     return 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "xgyro_report: %s\n", e.what());

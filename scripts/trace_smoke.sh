@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# trace_smoke.sh BUILD_DIR
+#
+# End-to-end smoke test of the telemetry artifacts: run xgyro_cli with all
+# three outputs (--trace-out / --report / --metrics-out), validate the
+# Chrome trace with `xgyro_report --validate-trace`, diff a CGYRO baseline
+# report against the ensemble report (`xgyro_report --json`), check the
+# metrics schema header, and require a clean non-zero exit for an
+# unwritable artifact path. Registered with ctest as `trace_export_smoke`.
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+CLI="$BUILD_DIR/examples/xgyro_cli"
+REPORT="$BUILD_DIR/examples/xgyro_report"
+for bin in "$CLI" "$REPORT"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "trace_smoke: missing binary $bin" >&2
+    exit 1
+  fi
+done
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+# Ensemble run with all three telemetry artifacts.
+"$CLI" --ensemble examples/inputs/input.xgyro --ranks-per-sim 2 --intervals 1 \
+       --trace-out "$WORK/trace.json" \
+       --report "$WORK/xgyro.report.json" \
+       --metrics-out "$WORK/metrics.json" > "$WORK/xgyro.stdout"
+
+# CGYRO baseline run of the first member for the diff.
+"$CLI" --input examples/inputs/member_a/input.cgyro --ranks 2 --intervals 1 \
+       --report "$WORK/cgyro.report.json" > "$WORK/cgyro.stdout"
+
+# The trace must be a valid Chrome trace document with per-rank tracks.
+"$REPORT" --validate-trace "$WORK/trace.json"
+
+# Diffing the two reports prints the Fig. 2-style table + regression deltas.
+"$REPORT" --json "$WORK/cgyro.report.json" "$WORK/xgyro.report.json" 4 \
+  > "$WORK/diff.out"
+grep -q "Fig. 2-style reduction" "$WORK/diff.out"
+grep -q "regression deltas" "$WORK/diff.out"
+
+# Schema-versioned artifacts.
+grep -q '"schema": "xgyro.metrics"' "$WORK/metrics.json"
+grep -q '"schema": "xgyro.report"' "$WORK/xgyro.report.json"
+grep -q '"schema": "xgyro.trace"' "$WORK/trace.json"
+
+# An unwritable artifact path must fail cleanly (xg::Error, exit 1), not
+# crash or silently succeed.
+if "$CLI" --input examples/inputs/member_a/input.cgyro --ranks 2 \
+          --trace-out /nonexistent-dir-xg/t.json > "$WORK/unwritable.out" 2>&1
+then
+  echo "trace_smoke: unwritable --trace-out path did not fail" >&2
+  exit 1
+fi
+grep -q "xgyro_cli: cannot open" "$WORK/unwritable.out"
+
+echo "trace_smoke: telemetry artifacts validated"

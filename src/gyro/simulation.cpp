@@ -79,6 +79,7 @@ int Simulation::global_ic_of_coll_cell(int a) const {
 
 void Simulation::initialize() {
   proc_->set_phase("init");
+  mpi::ScopedSpan span(*proc_, "initialize");
 
   // Geometry / gyroaverage tables (built in device memory).
   proc_->kernel(static_cast<double>(state_elems()) *
@@ -274,11 +275,14 @@ void Simulation::field_solve(const tensor::Tensor3Z& h) {
     }
   }
   proc_->set_phase("str_comm");
-  proc_->stage_for_comm(field_bytes() * nf);
-  if (mode_ == Mode::kReal) {
-    comms_.nv.allreduce_sum(std::span<cplx>(field_stack_));
-  } else {
-    comms_.nv.allreduce_virtual(field_bytes() * nf);
+  {
+    mpi::ScopedSpan span(*proc_, "field.allreduce");
+    proc_->stage_for_comm(field_bytes() * nf);
+    if (mode_ == Mode::kReal) {
+      comms_.nv.allreduce_sum(std::span<cplx>(field_stack_));
+    } else {
+      comms_.nv.allreduce_virtual(field_bytes() * nf);
+    }
   }
   proc_->set_phase("str");
   if (mode_ == Mode::kReal) {
@@ -302,11 +306,14 @@ void Simulation::upwind_solve(const tensor::Tensor3Z& h) {
     }
   }
   proc_->set_phase("str_comm");
-  proc_->stage_for_comm(field_bytes());
-  if (mode_ == Mode::kReal) {
-    comms_.nv.allreduce_sum(std::span<cplx>(u_));
-  } else {
-    comms_.nv.allreduce_virtual(field_bytes());
+  {
+    mpi::ScopedSpan span(*proc_, "upwind.allreduce");
+    proc_->stage_for_comm(field_bytes());
+    if (mode_ == Mode::kReal) {
+      comms_.nv.allreduce_sum(std::span<cplx>(u_));
+    } else {
+      comms_.nv.allreduce_virtual(field_bytes());
+    }
   }
   proc_->set_phase("str");
   if (mode_ == Mode::kReal) {
@@ -322,97 +329,109 @@ void Simulation::nonlinear_term(const tensor::Tensor3Z& h) {
   proc_->set_phase("nl_comm");
   const std::uint64_t phi_bytes = field_bytes();
   const std::uint64_t state_bytes = state_elems() * sizeof(cplx);
-  proc_->stage_for_comm(phi_bytes);
-  if (mode_ == Mode::kReal) {
-    comms_.t.allgather(
-        std::span<const cplx>(field_stack_.data(),
-                              static_cast<size_t>(input_.nc()) * nt_loc()),
-        std::span<cplx>(nl_gather_));
-    // nl_gather_ is blocked by source rank: block q holds φ(ic, q·nt_loc+itl).
-    for (int q = 0; q < decomp_.pt; ++q) {
-      const cplx* block =
-          nl_gather_.data() + static_cast<size_t>(q) * input_.nc() * nt_loc();
-      for (int ic = 0; ic < input_.nc(); ++ic) {
-        for (int itl = 0; itl < nt_loc(); ++itl) {
-          phi_full_t_[static_cast<size_t>(ic) * nt + q * nt_loc() + itl] =
-              block[static_cast<size_t>(ic) * nt_loc() + itl];
+  {
+    mpi::ScopedSpan span(*proc_, "nl.gather_phi");
+    proc_->stage_for_comm(phi_bytes);
+    if (mode_ == Mode::kReal) {
+      comms_.t.allgather(
+          std::span<const cplx>(field_stack_.data(),
+                                static_cast<size_t>(input_.nc()) * nt_loc()),
+          std::span<cplx>(nl_gather_));
+      // nl_gather_ is blocked by source rank: block q holds φ(ic, q·nt_loc+itl).
+      for (int q = 0; q < decomp_.pt; ++q) {
+        const cplx* block =
+            nl_gather_.data() + static_cast<size_t>(q) * input_.nc() * nt_loc();
+        for (int ic = 0; ic < input_.nc(); ++ic) {
+          for (int itl = 0; itl < nt_loc(); ++itl) {
+            phi_full_t_[static_cast<size_t>(ic) * nt + q * nt_loc() + itl] =
+                block[static_cast<size_t>(ic) * nt_loc() + itl];
+          }
         }
       }
+    } else {
+      comms_.t.allgather_virtual(phi_bytes);
     }
-  } else {
-    comms_.t.allgather_virtual(phi_bytes);
   }
 
   // Permute h(ivl, ic, itl) → (itl, ic, ivl) and transpose to the nl layout
   // (full toroidal dimension per rank).
-  if (mode_ == Mode::kReal) {
-    for (int ivl = 0; ivl < nv_loc(); ++ivl) {
-      for (int ic = 0; ic < input_.nc(); ++ic) {
-        for (int itl = 0; itl < nt_loc(); ++itl) {
-          nl_str_perm_(itl, ic, ivl) = h(ivl, ic, itl);
+  {
+    mpi::ScopedSpan span(*proc_, "nl.transpose_to_nl");
+    if (mode_ == Mode::kReal) {
+      for (int ivl = 0; ivl < nv_loc(); ++ivl) {
+        for (int ic = 0; ic < input_.nc(); ++ic) {
+          for (int itl = 0; itl < nt_loc(); ++itl) {
+            nl_str_perm_(itl, ic, ivl) = h(ivl, ic, itl);
+          }
         }
       }
+      proc_->stage_for_comm(state_bytes);
+      nl_transpose_->to_coll(comms_.t, nl_str_perm_, nl_layout_);
+    } else {
+      proc_->stage_for_comm(state_bytes);
+      nl_transpose_->to_coll_virtual(comms_.t);
     }
-    proc_->stage_for_comm(state_bytes);
-    nl_transpose_->to_coll(comms_.t, nl_str_perm_, nl_layout_);
-  } else {
-    proc_->stage_for_comm(state_bytes);
-    nl_transpose_->to_coll_virtual(comms_.t);
   }
 
   // Pseudo-spectral toroidal bracket, one circular convolution pair per
   // (configuration cell, velocity point).
   proc_->set_phase("nl");
-  proc_->kernel(static_cast<double>(state_elems()) *
-                (compute_model_.nl_flops_per_elem_base +
-                 compute_model_.nl_fft_flops_per_log *
-                     std::log2(static_cast<double>(std::max(2, nt)))));
-  if (mode_ == Mode::kReal) {
-    // Plan and line buffers are Simulation members (built in initialize());
-    // this loop used to rebuild them on every RK stage.
-    auto& a = nl_a_;
-    auto& b = nl_b_;
-    auto& c = nl_c_;
-    auto& d = nl_d_;
-    auto& hn = nl_layout_[0];
-    for (int aa = 0; aa < nc_pt; ++aa) {
-      const int ic = comms_.t.rank() * nc_pt + aa;
-      for (int ivl = 0; ivl < nv_loc(); ++ivl) {
-        for (int t = 0; t < nt; ++t) {
-          const cplx iky(0.0, geometry_.ky(t));
-          const cplx ikx(0.0, geometry_.kx(ic, t));
-          const cplx ph = phi_full_t_[static_cast<size_t>(ic) * nt + t];
-          const cplx hh = hn(aa, t, ivl);
-          a[t] = iky * ph;
-          b[t] = ikx * hh;
-          c[t] = ikx * ph;
-          d[t] = iky * hh;
+  {
+    mpi::ScopedSpan span(*proc_, "nl.fft_bracket");
+    proc_->kernel(static_cast<double>(state_elems()) *
+                  (compute_model_.nl_flops_per_elem_base +
+                   compute_model_.nl_fft_flops_per_log *
+                       std::log2(static_cast<double>(std::max(2, nt)))));
+    if (mode_ == Mode::kReal) {
+      // Plan and line buffers are Simulation members (built in initialize());
+      // this loop used to rebuild them on every RK stage.
+      auto& a = nl_a_;
+      auto& b = nl_b_;
+      auto& c = nl_c_;
+      auto& d = nl_d_;
+      auto& hn = nl_layout_[0];
+      for (int aa = 0; aa < nc_pt; ++aa) {
+        const int ic = comms_.t.rank() * nc_pt + aa;
+        for (int ivl = 0; ivl < nv_loc(); ++ivl) {
+          for (int t = 0; t < nt; ++t) {
+            const cplx iky(0.0, geometry_.ky(t));
+            const cplx ikx(0.0, geometry_.kx(ic, t));
+            const cplx ph = phi_full_t_[static_cast<size_t>(ic) * nt + t];
+            const cplx hh = hn(aa, t, ivl);
+            a[t] = iky * ph;
+            b[t] = ikx * hh;
+            c[t] = ikx * ph;
+            d[t] = iky * hh;
+          }
+          nl_plan_->forward(a);
+          nl_plan_->forward(b);
+          nl_plan_->forward(c);
+          nl_plan_->forward(d);
+          for (int t = 0; t < nt; ++t) a[t] = a[t] * b[t] - c[t] * d[t];
+          nl_plan_->inverse(a);
+          for (int t = 0; t < nt; ++t) hn(aa, t, ivl) = a[t];
         }
-        nl_plan_->forward(a);
-        nl_plan_->forward(b);
-        nl_plan_->forward(c);
-        nl_plan_->forward(d);
-        for (int t = 0; t < nt; ++t) a[t] = a[t] * b[t] - c[t] * d[t];
-        nl_plan_->inverse(a);
-        for (int t = 0; t < nt; ++t) hn(aa, t, ivl) = a[t];
       }
     }
   }
 
   // Back to the streaming layout.
   proc_->set_phase("nl_comm");
-  proc_->stage_for_comm(state_bytes);
-  if (mode_ == Mode::kReal) {
-    nl_transpose_->to_str(comms_.t, nl_layout_, nl_str_perm_);
-    for (int ivl = 0; ivl < nv_loc(); ++ivl) {
-      for (int ic = 0; ic < input_.nc(); ++ic) {
-        for (int itl = 0; itl < nt_loc(); ++itl) {
-          nl_(ivl, ic, itl) = nl_str_perm_(itl, ic, ivl);
+  {
+    mpi::ScopedSpan span(*proc_, "nl.transpose_to_str");
+    proc_->stage_for_comm(state_bytes);
+    if (mode_ == Mode::kReal) {
+      nl_transpose_->to_str(comms_.t, nl_layout_, nl_str_perm_);
+      for (int ivl = 0; ivl < nv_loc(); ++ivl) {
+        for (int ic = 0; ic < input_.nc(); ++ic) {
+          for (int itl = 0; itl < nt_loc(); ++itl) {
+            nl_(ivl, ic, itl) = nl_str_perm_(itl, ic, ivl);
+          }
         }
       }
+    } else {
+      nl_transpose_->to_str_virtual(comms_.t);
     }
-  } else {
-    nl_transpose_->to_str_virtual(comms_.t);
   }
   proc_->set_phase("str");
 }
@@ -538,6 +557,7 @@ void Simulation::collision_step() {
     const double chunk_cells = chunk_distinct * comms_.n_sims_sharing;
     auto work = [&](int c) {
       proc_->set_phase("coll");
+      mpi::ScopedSpan span(*proc_, "coll.apply");
       proc_->kernel(chunk_cells * cmat_->apply_flops(),
                     chunk_distinct * nv2_bytes);
       if (mode_ == Mode::kReal) {
@@ -545,6 +565,7 @@ void Simulation::collision_step() {
       }
       proc_->set_phase("coll_comm");
     };
+    mpi::ScopedSpan span(*proc_, "coll.transpose_pipelined");
     if (mode_ == Mode::kReal) {
       coll_transpose_->to_coll_pipelined(comms_.coll, h_, coll_states_, chunks,
                                          work);
@@ -552,12 +573,16 @@ void Simulation::collision_step() {
       coll_transpose_->to_coll_pipelined_virtual(comms_.coll, chunks, work);
     }
   } else {
-    if (mode_ == Mode::kReal) {
-      coll_transpose_->to_coll(comms_.coll, h_, coll_states_);
-    } else {
-      coll_transpose_->to_coll_virtual(comms_.coll);
+    {
+      mpi::ScopedSpan span(*proc_, "coll.transpose_to_coll");
+      if (mode_ == Mode::kReal) {
+        coll_transpose_->to_coll(comms_.coll, h_, coll_states_);
+      } else {
+        coll_transpose_->to_coll_virtual(comms_.coll);
+      }
     }
     proc_->set_phase("coll");
+    mpi::ScopedSpan span(*proc_, "coll.apply");
     const double distinct = static_cast<double>(n_coll_cells());
     const double cells = distinct * comms_.n_sims_sharing;
     proc_->kernel(cells * cmat_->apply_flops(), distinct * nv2_bytes);
@@ -565,11 +590,14 @@ void Simulation::collision_step() {
   }
 
   proc_->set_phase("coll_comm");
-  proc_->stage_for_comm(state_bytes);
-  if (mode_ == Mode::kReal) {
-    coll_transpose_->to_str(comms_.coll, coll_states_, h_);
-  } else {
-    coll_transpose_->to_str_virtual(comms_.coll);
+  {
+    mpi::ScopedSpan span(*proc_, "coll.transpose_to_str");
+    proc_->stage_for_comm(state_bytes);
+    if (mode_ == Mode::kReal) {
+      coll_transpose_->to_str(comms_.coll, coll_states_, h_);
+    } else {
+      coll_transpose_->to_str_virtual(comms_.coll);
+    }
   }
   proc_->set_phase("str");
 }
@@ -581,6 +609,7 @@ void Simulation::step() {
 }
 
 Diagnostics Simulation::advance_report_interval() {
+  mpi::ScopedSpan span(*proc_, "report_interval");
   for (int s = 0; s < input_.n_steps_per_report; ++s) step();
   return diagnostics();
 }

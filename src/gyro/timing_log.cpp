@@ -1,5 +1,6 @@
 #include "gyro/timing_log.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -53,6 +54,15 @@ std::vector<TimingRow> parse_timing_log(const std::string& text,
   std::vector<TimingRow> rows;
   bool saw_header = false;
   int lineno = 0;
+  // parse_double accepts strtod's "nan"/"inf" spellings; a timing log with
+  // non-finite seconds is corrupt, so reject them here with the line number.
+  const auto finite = [&](double v, const char* what) {
+    if (!std::isfinite(v)) {
+      throw InputError(strprintf("timing log line %d: non-finite %s value",
+                                 lineno, what));
+    }
+    return v;
+  };
   for (const auto& raw : split(text, '\n')) {
     ++lineno;
     const auto line = trim(raw);
@@ -63,7 +73,7 @@ std::vector<TimingRow> parse_timing_log(const std::string& text,
       }
       const auto fields = split_ws(line);
       if (fields.size() == 3 && fields[1] == "makespan" && makespan_out) {
-        *makespan_out = parse_double(fields[2], "makespan");
+        *makespan_out = finite(parse_double(fields[2], "makespan"), "makespan");
       }
       continue;
     }
@@ -75,9 +85,9 @@ std::vector<TimingRow> parse_timing_log(const std::string& text,
     }
     TimingRow row;
     row.phase = fields[0];
-    row.comm_s = parse_double(fields[1], "comm");
-    row.compute_s = parse_double(fields[2], "compute");
-    row.total_s = parse_double(fields[3], "total");
+    row.comm_s = finite(parse_double(fields[1], "comm"), "comm");
+    row.compute_s = finite(parse_double(fields[2], "compute"), "compute");
+    row.total_s = finite(parse_double(fields[3], "total"), "total");
     rows.push_back(std::move(row));
   }
   if (!saw_header) {

@@ -250,15 +250,22 @@ Comm Comm::make_world(Proc& proc) {
 }
 
 void Comm::trace_collective(TraceEvent::Kind kind, std::uint64_t payload_bytes,
-                            double t_start) const {
-  if (myrank_ != 0 || !proc_->tracing()) return;
+                            double t_start, std::uint64_t seq) const {
+  // Every member records its own row (t_start is *this* member's entry time),
+  // so per-member skew — a straggler entering a collective late — survives
+  // into the trace. Consumers wanting one row per collective instance filter
+  // on local_rank == 0 or group by (comm_context, seq).
+  if (!proc_->tracing()) return;
   TraceEvent e;
   e.kind = kind;
   e.comm_context = group_->context;
+  e.seq = seq;
   e.comm_label = group_->label;
   e.participants = size();
   e.payload_bytes = payload_bytes;
   e.world_rank = proc_->world_rank();
+  e.local_rank = myrank_;
+  e.member = proc_->trace_member();
   e.t_start = t_start;
   e.t_end = proc_->now();
   e.phase = proc_->phase();
@@ -270,7 +277,7 @@ void Comm::finish_collective(TraceEvent::Kind kind, std::uint64_t payload_bytes,
                              std::uint64_t result_hash) const {
   proc_->observe_collective(group_->context, seq, kind, size(), payload_bytes,
                             has_hash, result_hash, group_->label);
-  trace_collective(kind, payload_bytes, t_start);
+  trace_collective(kind, payload_bytes, t_start, seq);
 }
 
 namespace detail {

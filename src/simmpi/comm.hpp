@@ -243,7 +243,7 @@ class Comm {
   [[nodiscard]] std::uint64_t collective_seq() const { return group_->next_seq; }
 
   void trace_collective(TraceEvent::Kind kind, std::uint64_t payload_bytes,
-                        double t_start) const;
+                        double t_start, std::uint64_t seq) const;
 
   /// Epilogue of every collective: report to the invariant monitor (member
   /// agreement on kind/participants/bytes, plus bitwise result identity when

@@ -171,7 +171,25 @@ void Proc::record_trace(TraceEvent event) {
   rt_->trace_.push_back(std::move(event));
 }
 
+void Proc::record_span(SpanEvent event) {
+  if (!rt_->opts_.enable_trace) return;
+  const std::scoped_lock lock(rt_->trace_mu_);
+  rt_->spans_.push_back(std::move(event));
+}
+
 bool Proc::tracing() const { return rt_->opts_.enable_trace; }
+
+ScopedSpan::~ScopedSpan() {
+  if (proc_ == nullptr) return;
+  SpanEvent e;
+  e.name = name_;
+  e.phase = proc_->phase();
+  e.world_rank = proc_->world_rank();
+  e.member = proc_->trace_member();
+  e.t_start = t0_;
+  e.t_end = proc_->now();
+  proc_->record_span(std::move(e));
+}
 
 void Proc::observe_collective(std::uint64_t context, std::uint64_t seq,
                               TraceEvent::Kind kind, int participants,
@@ -315,6 +333,7 @@ RunResult Runtime::run(const std::function<void(Proc&)>& body) {
   aborted_.store(false);
   first_error_ = nullptr;
   trace_.clear();
+  spans_.clear();
   progress_.store(0);
   n_finished_.store(0);
   monitor_ = std::make_unique<InvariantMonitor>();
@@ -396,6 +415,13 @@ RunResult Runtime::run(const std::function<void(Proc&)>& body) {
               [](const TraceEvent& a, const TraceEvent& b) {
                 if (a.t_start != b.t_start) return a.t_start < b.t_start;
                 return a.world_rank < b.world_rank;
+              });
+    result.spans = std::move(spans_);
+    std::sort(result.spans.begin(), result.spans.end(),
+              [](const SpanEvent& a, const SpanEvent& b) {
+                if (a.t_start != b.t_start) return a.t_start < b.t_start;
+                if (a.world_rank != b.world_rank) return a.world_rank < b.world_rank;
+                return a.t_end > b.t_end;  // enclosing span first
               });
   }
   return result;

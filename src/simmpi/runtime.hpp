@@ -98,7 +98,14 @@ class Proc {
   void complete_send(double complete_at_s);
 
   void record_trace(TraceEvent event);
+  void record_span(SpanEvent event);
   [[nodiscard]] bool tracing() const;
+
+  /// Attribute subsequent trace/span rows from this rank to ensemble member
+  /// `member` (-1 = single-simulation job, no attribution). Set once by the
+  /// ensemble driver after it learns which member this rank belongs to.
+  void set_trace_member(int member) { member_ = member; }
+  [[nodiscard]] int trace_member() const { return member_; }
 
   /// Report one member's view of a completed collective to the runtime's
   /// invariant monitor (internal, called by Comm).
@@ -123,6 +130,7 @@ class Proc {
 
   Runtime* rt_ = nullptr;
   int rank_ = -1;
+  int member_ = -1;  ///< ensemble-member attribution for telemetry
   double clock_ = 0.0;
   double nic_free_ = 0.0;  ///< when this rank's injection engine frees up
   std::string phase_ = "default";
@@ -141,8 +149,29 @@ class Proc {
   FaultStats fstats_;
 };
 
+/// RAII span over virtual time: records a SpanEvent covering [construction,
+/// destruction) on the rank's trace. When tracing is disabled the
+/// constructor stores a null Proc and the destructor returns immediately —
+/// zero allocations on the hot path (`name` must be a string literal or
+/// otherwise outlive the span).
+class ScopedSpan {
+ public:
+  ScopedSpan(Proc& proc, const char* name)
+      : proc_(proc.tracing() ? &proc : nullptr),
+        name_(name),
+        t0_(proc_ != nullptr ? proc.now() : 0.0) {}
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Proc* proc_;
+  const char* name_;
+  double t0_;
+};
+
 struct RuntimeOptions {
-  bool enable_trace = false;    ///< record TraceEvents for collectives
+  bool enable_trace = false;    ///< record TraceEvents + SpanEvents
   bool enable_traffic = false;  ///< record per-destination byte counters
   /// Cross-check every collective for member agreement (sequence number,
   /// kind, payload bytes, and bitwise-identical typed results). Cheap; on
@@ -206,6 +235,7 @@ class Runtime {
 
   std::mutex trace_mu_;
   std::vector<TraceEvent> trace_;
+  std::vector<SpanEvent> spans_;
 
   std::atomic<bool> aborted_{false};
   std::mutex err_mu_;

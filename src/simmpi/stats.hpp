@@ -46,7 +46,11 @@ struct ProcStats {
   }
 };
 
-/// One collective operation as observed by the lowest-local-rank member.
+/// One member's view of one collective operation. With tracing enabled,
+/// EVERY member records its own row — t_start/t_end are that member's entry
+/// and exit times, so grouping rows by (comm_context, seq) exposes the
+/// per-member skew of a collective (a fault-injected straggler shows up as a
+/// late t_start instead of being silently folded into the lowest-rank row).
 /// `participants` is the communicator size — the quantity the paper's
 /// optimization reduces for the str-phase AllReduce.
 struct TraceEvent {
@@ -64,10 +68,16 @@ struct TraceEvent {
   };
   Kind kind{};
   std::uint64_t comm_context = 0;
+  std::uint64_t seq = 0;  ///< collective sequence number on this communicator;
+                          ///< (comm_context, seq) identifies one instance
   std::string comm_label;
   int participants = 0;
   std::uint64_t payload_bytes = 0;  ///< per-rank logical payload
-  int world_rank = -1;              ///< reporting rank (local rank 0)
+  int world_rank = -1;              ///< reporting member's world rank
+  int local_rank = -1;   ///< reporting member's rank within the communicator
+                         ///< (rows with local_rank == 0 are the canonical
+                         ///< one-row-per-collective view)
+  int member = -1;       ///< ensemble member of the reporting rank (-1: none)
   double t_start = 0.0;
   double t_end = 0.0;
   std::string phase;
@@ -75,11 +85,25 @@ struct TraceEvent {
 
 const char* trace_kind_name(TraceEvent::Kind kind);
 
+/// One instrumented scoped region of virtual time on one rank, recorded by
+/// mpi::ScopedSpan (collision apply, FFT bracket, transposes, field
+/// AllReduce, ...). Feeds the telemetry Chrome-trace exporter: spans nest on
+/// a rank's track exactly as the scopes nested in the solver.
+struct SpanEvent {
+  std::string name;
+  std::string phase;   ///< accounting phase at span end
+  int world_rank = -1;
+  int member = -1;     ///< ensemble member attribution (-1: none)
+  double t_start = 0.0;
+  double t_end = 0.0;
+};
+
 /// Result of Runtime::run.
 struct RunResult {
   double makespan_s = 0.0;  ///< max over ranks of final virtual time
   std::vector<ProcStats> ranks;
   std::vector<TraceEvent> trace;  ///< empty unless tracing was enabled
+  std::vector<SpanEvent> spans;   ///< empty unless tracing was enabled
   /// Per-rank injected-fault accounting; empty unless a FaultPlan was active.
   std::vector<FaultStats> fault_stats;
   /// Collective instances verified by the invariant monitor (0 if disabled).

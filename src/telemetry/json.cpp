@@ -1,0 +1,438 @@
+#include "telemetry/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace xg::telemetry {
+
+Json::Json(std::uint64_t v) {
+  if (v <= static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) {
+    type_ = Type::kInt;
+    i_ = static_cast<std::int64_t>(v);
+  } else {
+    type_ = Type::kDouble;
+    d_ = static_cast<double>(v);
+  }
+}
+
+Json Json::array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+Json& Json::set(std::string key, Json value) {
+  XG_ASSERT_MSG(type_ == Type::kObject, "Json::set on a non-object");
+  for (auto& [k, v] : obj_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* j = find(key);
+  if (j == nullptr) {
+    throw InputError(strprintf("json: missing key '%.*s'",
+                               static_cast<int>(key.size()), key.data()));
+  }
+  return *j;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::items() const {
+  XG_ASSERT_MSG(type_ == Type::kObject, "Json::items on a non-object");
+  return obj_;
+}
+
+void Json::push(Json value) {
+  XG_ASSERT_MSG(type_ == Type::kArray, "Json::push on a non-array");
+  arr_.push_back(std::move(value));
+}
+
+const std::vector<Json>& Json::elems() const {
+  XG_ASSERT_MSG(type_ == Type::kArray, "Json::elems on a non-array");
+  return arr_;
+}
+
+size_t Json::size() const {
+  if (type_ == Type::kArray) return arr_.size();
+  if (type_ == Type::kObject) return obj_.size();
+  return 0;
+}
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) throw InputError("json: expected bool");
+  return b_;
+}
+
+std::int64_t Json::as_int() const {
+  if (type_ != Type::kInt) throw InputError("json: expected integer");
+  return i_;
+}
+
+double Json::as_double() const {
+  if (type_ == Type::kInt) return static_cast<double>(i_);
+  if (type_ != Type::kDouble) throw InputError("json: expected number");
+  return d_;
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) throw InputError("json: expected string");
+  return s_;
+}
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_double(double v, std::string& out) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  XG_ASSERT(ec == std::errc{});
+  out.append(buf, ptr);
+  // Keep numbers that happen to be integral recognizably floating-point so a
+  // dump → parse cycle preserves the kDouble type.
+  std::string_view written(buf, static_cast<size_t>(ptr - buf));
+  if (written.find('.') == std::string_view::npos &&
+      written.find('e') == std::string_view::npos &&
+      written.find("inf") == std::string_view::npos &&
+      written.find("nan") == std::string_view::npos) {
+    out += ".0";
+  }
+}
+
+}  // namespace
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  const bool pretty = indent >= 0;
+
+  // Iterative-recursive helper (documents are shallow; recursion is fine).
+  struct Dumper {
+    bool pretty;
+    int indent;
+    std::string& out;
+
+    void newline(int depth) const {
+      if (!pretty) return;
+      out += '\n';
+      out.append(static_cast<size_t>(depth) * indent, ' ');
+    }
+
+    void value(const Json& j, int depth) const {
+      switch (j.type_) {
+        case Type::kNull: out += "null"; break;
+        case Type::kBool: out += j.b_ ? "true" : "false"; break;
+        case Type::kInt: {
+          char buf[32];
+          const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, j.i_);
+          XG_ASSERT(ec == std::errc{});
+          out.append(buf, ptr);
+          break;
+        }
+        case Type::kDouble: dump_double(j.d_, out); break;
+        case Type::kString: dump_string(j.s_, out); break;
+        case Type::kArray: {
+          if (j.arr_.empty()) {
+            out += "[]";
+            break;
+          }
+          out += '[';
+          for (size_t i = 0; i < j.arr_.size(); ++i) {
+            if (i > 0) out += ',';
+            newline(depth + 1);
+            value(j.arr_[i], depth + 1);
+          }
+          newline(depth);
+          out += ']';
+          break;
+        }
+        case Type::kObject: {
+          if (j.obj_.empty()) {
+            out += "{}";
+            break;
+          }
+          out += '{';
+          for (size_t i = 0; i < j.obj_.size(); ++i) {
+            if (i > 0) out += ',';
+            newline(depth + 1);
+            dump_string(j.obj_[i].first, out);
+            out += pretty ? ": " : ":";
+            value(j.obj_[i].second, depth + 1);
+          }
+          newline(depth);
+          out += '}';
+          break;
+        }
+      }
+    }
+  };
+  Dumper{pretty, indent, out}.value(*this, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser. Throws xg::InputError with byte offsets.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    skip_ws();
+    Json j = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return j;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw InputError(
+        strprintf("json parse error at byte %zu: %s", pos_, what.c_str()));
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  char next() {
+    if (eof()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  void expect_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      fail(strprintf("expected '%.*s'", static_cast<int>(lit.size()),
+                     lit.data()));
+    }
+    pos_ += lit.size();
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    if (eof()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Json(parse_string());
+      case 't': expect_literal("true"); return Json(true);
+      case 'f': expect_literal("false"); return Json(false);
+      case 'n': expect_literal("null"); return Json();
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object(int depth) {
+    ++pos_;  // '{'
+    Json obj = Json::object();
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_ws();
+      if (next() != ':') fail("expected ':' after object key");
+      skip_ws();
+      obj.set(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char c = next();
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array(int depth) {
+    ++pos_;  // '['
+    Json arr = Json::array();
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      skip_ws();
+      arr.push(parse_value(depth + 1));
+      skip_ws();
+      const char c = next();
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = next();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = next();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are passed
+          // through as two 3-byte sequences — telemetry strings are ASCII).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    bool is_double = false;
+    while (!eof()) {
+      const char c = peek();
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") fail("invalid number");
+    if (!is_double) {
+      std::int64_t v = 0;
+      const auto [ptr, ec] =
+          std::from_chars(tok.data(), tok.data() + tok.size(), v);
+      if (ec == std::errc{} && ptr == tok.data() + tok.size()) return Json(v);
+      is_double = true;  // integer overflow: fall through to double
+    }
+    const std::string buf(tok);
+    char* end = nullptr;
+    const double v = std::strtod(buf.c_str(), &end);
+    if (end != buf.c_str() + buf.size() || !std::isfinite(v)) {
+      fail(strprintf("invalid number '%s'", buf.c_str()));
+    }
+    return Json(v);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+void write_json_file(const std::string& path, const Json& doc) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw Error(strprintf("cannot open '%s' for writing", path.c_str()));
+  f << doc.dump(2) << '\n';
+  f.flush();
+  if (!f) throw Error(strprintf("short write to '%s'", path.c_str()));
+}
+
+Json load_json_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw Error(strprintf("cannot open json file '%s'", path.c_str()));
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return Json::parse(buf.str());
+}
+
+}  // namespace xg::telemetry

@@ -1,0 +1,98 @@
+// Minimal JSON document model for the telemetry layer: build, serialize,
+// and parse the Chrome trace, metrics-snapshot, and run-report artifacts.
+//
+// Deliberately small (no allocator tricks, no SAX): telemetry documents are
+// written once per run and parsed by tests/tools, never on a hot path.
+// Objects preserve insertion order so emitted documents are deterministic;
+// doubles are serialized with std::to_chars shortest round-trip form, so a
+// dump → parse cycle is bit-exact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xg::telemetry {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() = default;  ///< null
+  Json(bool b) : type_(Type::kBool), b_(b) {}
+  Json(int v) : type_(Type::kInt), i_(v) {}
+  Json(std::int64_t v) : type_(Type::kInt), i_(v) {}
+  Json(std::uint64_t v);  ///< falls back to double above INT64_MAX
+  Json(double v) : type_(Type::kDouble), d_(v) {}
+  Json(const char* s) : type_(Type::kString), s_(s) {}
+  Json(std::string s) : type_(Type::kString), s_(std::move(s)) {}
+
+  [[nodiscard]] static Json array();
+  [[nodiscard]] static Json object();
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+
+  // --- object access (kObject only) ----------------------------------------
+
+  /// Insert or overwrite a key; returns *this for chaining.
+  Json& set(std::string key, Json value);
+  /// nullptr when absent (or when *this is not an object).
+  [[nodiscard]] const Json* find(std::string_view key) const;
+  /// Throws xg::InputError when absent.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& items() const;
+
+  // --- array access (kArray only) -------------------------------------------
+
+  void push(Json value);
+  [[nodiscard]] const std::vector<Json>& elems() const;
+
+  /// Element/member count for arrays and objects; 0 otherwise.
+  [[nodiscard]] size_t size() const;
+
+  // --- scalar access (throws xg::InputError on type mismatch) ---------------
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;   ///< kInt only
+  [[nodiscard]] double as_double() const;      ///< kInt or kDouble
+  [[nodiscard]] const std::string& as_string() const;
+
+  // --- serialization ---------------------------------------------------------
+
+  /// indent < 0: compact one-line form; indent >= 0: pretty-printed with
+  /// that many spaces per level. Non-finite doubles serialize as null
+  /// (JSON has no NaN/Inf), matching the parser, which rejects bare
+  /// nan/inf tokens.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Strict recursive-descent parse of a complete document (trailing
+  /// non-whitespace rejected). Throws xg::InputError with byte offset.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+ private:
+  Type type_ = Type::kNull;
+  bool b_ = false;
+  std::int64_t i_ = 0;
+  double d_ = 0.0;
+  std::string s_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+/// Write `doc.dump(2)` plus a trailing newline to `path`. Throws xg::Error
+/// on I/O failure (unwritable directory, short write).
+void write_json_file(const std::string& path, const Json& doc);
+
+/// Load and parse a JSON file. Throws xg::Error / xg::InputError.
+Json load_json_file(const std::string& path);
+
+}  // namespace xg::telemetry

@@ -1,0 +1,192 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simmpi/traffic.hpp"
+#include "util/error.hpp"
+
+namespace xg::telemetry {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  XG_ASSERT_MSG(!bounds_.empty(), "histogram needs at least one bucket bound");
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    XG_ASSERT_MSG(std::isfinite(bounds_[i]), "histogram bounds must be finite");
+    XG_ASSERT_MSG(i == 0 || bounds_[i - 1] < bounds_[i],
+                  "histogram bounds must be strictly ascending");
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t cum = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum >= target) {
+      return i < bounds_.size() ? bounds_[i] : max_;
+    }
+  }
+  return max_;
+}
+
+Json Histogram::to_json() const {
+  Json buckets = Json::array();
+  std::uint64_t cum = 0;
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    cum += counts_[i];
+    buckets.push(Json::object().set("le", Json(bounds_[i])).set("count", Json(cum)));
+  }
+  // The +inf bucket is implied by "count"; emitting it with le=null keeps the
+  // cumulative series complete for consumers that sum buckets.
+  buckets.push(Json::object().set("le", Json()).set("count", Json(count_)));
+  return Json::object()
+      .set("buckets", std::move(buckets))
+      .set("count", Json(count_))
+      .set("sum", Json(sum_))
+      .set("min", Json(min()))
+      .set("max", Json(max()))
+      .set("p50", Json(quantile(0.50)))
+      .set("p95", Json(quantile(0.95)))
+      .set("p99", Json(quantile(0.99)));
+}
+
+std::vector<double> Histogram::latency_bounds() {
+  return {1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 1.0};
+}
+
+std::vector<double> Histogram::payload_bounds() {
+  return {64.0,     256.0,     1024.0,     4096.0,      16384.0,   65536.0,
+          262144.0, 1048576.0, 4194304.0,  16777216.0,  67108864.0};
+}
+
+void MetricsRegistry::add_counter(const std::string& name, std::uint64_t delta) {
+  for (auto& [n, v] : counters_) {
+    if (n == name) {
+      v += delta;
+      return;
+    }
+  }
+  counters_.emplace_back(name, delta);
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value) {
+  for (auto& [n, v] : gauges_) {
+    if (n == name) {
+      v = value;
+      return;
+    }
+  }
+  gauges_.emplace_back(name, value);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  for (auto& [n, h] : histograms_) {
+    if (n == name) return h;
+  }
+  histograms_.emplace_back(name, Histogram(std::move(bounds)));
+  return histograms_.back().second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  for (const auto& [n, v] : counters_) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  for (const auto& [n, h] : histograms_) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+Json MetricsRegistry::snapshot() const {
+  Json counters = Json::object();
+  for (const auto& [n, v] : counters_) counters.set(n, Json(v));
+  Json gauges = Json::object();
+  for (const auto& [n, v] : gauges_) gauges.set(n, Json(v));
+  Json histograms = Json::object();
+  for (const auto& [n, h] : histograms_) histograms.set(n, h.to_json());
+  return Json::object()
+      .set("schema", Json("xgyro.metrics"))
+      .set("schema_version", Json(kSchemaVersion))
+      .set("counters", std::move(counters))
+      .set("gauges", std::move(gauges))
+      .set("histograms", std::move(histograms));
+}
+
+MetricsRegistry collect_run_metrics(const mpi::RunResult& result,
+                                    const net::Placement& placement) {
+  MetricsRegistry reg;
+  reg.set_gauge("run.makespan_s", result.makespan_s);
+  reg.set_gauge("run.nranks", static_cast<double>(result.ranks.size()));
+  reg.add_counter("trace.collective_rows", result.trace.size());
+  reg.add_counter("trace.spans", result.spans.size());
+  reg.add_counter("invariants.collectives_checked", result.collectives_checked);
+
+  for (const auto& fs : result.fault_stats) {
+    reg.add_counter("faults.delayed_msgs", fs.delayed_msgs);
+  }
+  double delay_added = 0.0, straggler_added = 0.0;
+  for (const auto& fs : result.fault_stats) {
+    delay_added += fs.delay_added_s;
+    straggler_added += fs.straggler_added_s;
+  }
+  if (!result.fault_stats.empty()) {
+    reg.set_gauge("faults.delay_added_s", delay_added);
+    reg.set_gauge("faults.straggler_added_s", straggler_added);
+  }
+
+  // Link-class byte counters need the per-destination traffic matrix.
+  bool have_traffic = false;
+  for (const auto& r : result.ranks) {
+    for (const auto& [name, p] : r.phases) {
+      if (!p.bytes_to.empty()) {
+        have_traffic = true;
+        break;
+      }
+    }
+    if (have_traffic) break;
+  }
+  if (have_traffic) {
+    const mpi::TrafficSummary traffic =
+        mpi::summarize_traffic(result, placement);
+    reg.add_counter("bytes.intra_node", traffic.intra_bytes);
+    reg.add_counter("bytes.inter_node", traffic.inter_bytes);
+    reg.set_gauge("bytes.inter_fraction", traffic.inter_fraction());
+  }
+
+  Histogram& latency =
+      reg.histogram("collective.latency_s", Histogram::latency_bounds());
+  Histogram& payload =
+      reg.histogram("collective.payload_bytes", Histogram::payload_bounds());
+  for (const auto& e : result.trace) {
+    latency.observe(e.t_end - e.t_start);
+    // One payload sample per collective instance, not per member row.
+    if (e.local_rank == 0) {
+      payload.observe(static_cast<double>(e.payload_bytes));
+    }
+  }
+  return reg;
+}
+
+}  // namespace xg::telemetry

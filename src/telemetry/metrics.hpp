@@ -1,0 +1,101 @@
+// Metrics registry for run-level observability: named counters, gauges, and
+// fixed-bucket histograms, snapshotted into a schema-versioned JSON document.
+//
+// Histograms are Prometheus-style: a fixed ascending list of bucket upper
+// bounds plus an implicit +inf overflow bucket. Quantiles are estimated as
+// the upper bound of the bucket containing the q-th observation (the
+// overflow bucket reports the observed maximum), which is cheap, branchless
+// at observe() time, and deterministic — good enough to compare collective
+// latencies and payload sizes across runs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "simmpi/stats.hpp"
+#include "simnet/machine.hpp"
+#include "telemetry/json.hpp"
+
+namespace xg::telemetry {
+
+class Histogram {
+ public:
+  /// `bounds` are bucket upper bounds, strictly ascending and finite; an
+  /// implicit +inf bucket catches overflow.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Quantile estimate for q in [0, 1]: the upper bound of the bucket that
+  /// holds the ceil(q * count)-th observation; the overflow bucket reports
+  /// the observed maximum. Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// { "buckets": [{"le": bound, "count": cumulative}, ...], "count", "sum",
+  ///   "min", "max", "p50", "p95", "p99" }
+  [[nodiscard]] Json to_json() const;
+
+  /// Standard bounds for collective latencies in virtual seconds.
+  static std::vector<double> latency_bounds();
+  /// Standard bounds for per-rank collective payload sizes in bytes.
+  static std::vector<double> payload_bounds();
+
+ private:
+  std::vector<double> bounds_;        ///< finite upper bounds, ascending
+  std::vector<std::uint64_t> counts_;  ///< per-bucket (bounds_.size() + 1)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Insertion-ordered collection of named metrics. Not thread-safe: intended
+/// to be filled from a finished RunResult (or a bench loop), not from inside
+/// the simulated ranks.
+class MetricsRegistry {
+ public:
+  static constexpr int kSchemaVersion = 1;
+
+  /// Add `delta` to a (created-on-first-use) counter.
+  void add_counter(const std::string& name, std::uint64_t delta = 1);
+  /// Set a (created-on-first-use) gauge.
+  void set_gauge(const std::string& name, double value);
+  /// Get or create a histogram; `bounds` is only used on first creation.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  /// Schema-versioned snapshot:
+  /// { "schema": "xgyro.metrics", "schema_version": 1,
+  ///   "counters": {...}, "gauges": {...}, "histograms": {...} }
+  [[nodiscard]] Json snapshot() const;
+
+ private:
+  std::vector<std::pair<std::string, std::uint64_t>> counters_;
+  std::vector<std::pair<std::string, double>> gauges_;
+  /// deque: histogram() hands out references that must survive later
+  /// insertions.
+  std::deque<std::pair<std::string, Histogram>> histograms_;
+};
+
+/// Derive the standard run metrics from a finished simulated run:
+///  - counters: trace rows, spans, intra-/inter-node bytes (by link class,
+///    via mpi::summarize_traffic), per-kind fault counts, collectives
+///    verified by the invariant monitor;
+///  - gauges: makespan, rank count;
+///  - histograms: collective latency (per-member t_end - t_start) and
+///    per-rank payload bytes, from the trace stream.
+/// Traffic counters require the run to have enable_traffic set; they are
+/// omitted when no per-destination counters were recorded.
+MetricsRegistry collect_run_metrics(const mpi::RunResult& result,
+                                    const net::Placement& placement);
+
+}  // namespace xg::telemetry

@@ -23,6 +23,7 @@ mpi::RunResult run_cgyro_job(const gyro::Input& input,
   return mpi::run_simulation(
       machine, nranks,
       [&](mpi::Proc& proc) {
+        mpi::ScopedSpan job_span(proc, "cgyro.job");
         auto layout = gyro::make_cgyro_layout(proc.world(), decomp);
         gyro::Simulation sim(input, decomp, std::move(layout), proc,
                              options.mode);
@@ -48,6 +49,7 @@ mpi::RunResult run_xgyro_job(const EnsembleInput& ensemble,
   return mpi::run_simulation(
       machine, ensemble.n_sims() * ranks_per_sim,
       [&](mpi::Proc& proc) {
+        mpi::ScopedSpan job_span(proc, "xgyro.job");
         EnsembleDriver driver(ensemble, decomp, proc, options.mode);
         driver.initialize();
         for (int i = 0; i < options.n_report_intervals; ++i) {

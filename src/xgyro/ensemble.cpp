@@ -163,6 +163,9 @@ EnsembleDriver::EnsembleDriver(EnsembleInput input,
   }
   auto layout =
       make_xgyro_layout_grouped(world_, group_of_sim, decomp_, &sim_index_);
+  // Attribute this rank's trace rows and spans to its ensemble member, so
+  // the Chrome trace groups tracks per member (one pid per simulation).
+  proc.set_trace_member(sim_index_);
   group_ = group_of_sim[sim_index_];
   group_size_ = layout.n_sims_sharing;
   sim_ = std::make_unique<gyro::Simulation>(input_.members[sim_index_], decomp_,

@@ -204,6 +204,48 @@ TEST(TimingLog, RenderParseRoundTripIsExact) {
   }
 }
 
+TEST(TimingLog, ParseToleratesExtraWhitespace) {
+  const std::string text =
+      "  # xgyro timing v1  \n"
+      "\n"
+      "   # phase comm compute total\n"
+      "str_comm \t 1.0e-2   0.0\t2.0e-2   \n"
+      "\t# makespan   3.5e+0\n"
+      "\n";
+  double makespan = 0;
+  const auto rows = parse_timing_log(text, &makespan);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].phase, "str_comm");
+  EXPECT_DOUBLE_EQ(rows[0].comm_s, 1.0e-2);
+  EXPECT_DOUBLE_EQ(rows[0].total_s, 2.0e-2);
+  EXPECT_DOUBLE_EQ(makespan, 3.5);
+}
+
+TEST(TimingLog, ParseWithoutMakespanLeavesOutputUntouched) {
+  const std::string text =
+      "# xgyro timing v1\n"
+      "str 0.0 1.0 1.0\n";
+  double makespan = -1.0;  // sentinel: must survive a log with no makespan
+  const auto rows = parse_timing_log(text, &makespan);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(makespan, -1.0);
+}
+
+TEST(TimingLog, ParseRejectsNonFiniteValues) {
+  // strtod accepts "nan"/"inf" spellings; a timing log carrying them is
+  // corrupt and must be rejected, not propagated into Fig. 2 reductions.
+  EXPECT_THROW(parse_timing_log("# xgyro timing v1\nstr nan 0.0 1.0\n"),
+               InputError);
+  EXPECT_THROW(parse_timing_log("# xgyro timing v1\nstr 0.0 inf 1.0\n"),
+               InputError);
+  EXPECT_THROW(parse_timing_log("# xgyro timing v1\nstr 0.0 0.0 -inf\n"),
+               InputError);
+  double makespan = 0;
+  EXPECT_THROW(
+      parse_timing_log("# xgyro timing v1\n# makespan nan\n", &makespan),
+      InputError);
+}
+
 TEST(TimingLog, FileRoundTrip) {
   const std::string path = ::testing::TempDir() + "xg_timing.log";
   std::vector<TimingRow> rows{{"nl_comm", 0.5, 0.0, 0.5}};

@@ -5,7 +5,9 @@
 
 #include <atomic>
 #include <cmath>
+#include <map>
 #include <numeric>
+#include <set>
 
 #include "simmpi/comm.hpp"
 #include "simmpi/runtime.hpp"
@@ -719,18 +721,23 @@ TEST(Trace, CollectivesAreRecordedWithParticipants) {
     auto sub = world.split(p.world_rank() % 2, p.world_rank(), "half");
     sub.alltoall_virtual(64);
   });
-  // One AllReduce on world + the split's internal allgather + one AllToAll
-  // per sub-communicator (2 subs).
+  // Every member records its own row: the world AllReduce yields 4 rows
+  // (one per rank), each 2-rank sub-communicator's AllToAll yields 2 rows.
+  // Rows with local_rank == 0 are the canonical one-per-collective view.
   int n_allreduce = 0, n_alltoall = 0, n_allgather = 0;
+  int n_allreduce_canonical = 0, n_alltoall_canonical = 0;
   for (const auto& e : res.trace) {
+    EXPECT_GE(e.local_rank, 0);
     switch (e.kind) {
       case TraceEvent::Kind::kAllReduce:
         ++n_allreduce;
+        if (e.local_rank == 0) ++n_allreduce_canonical;
         EXPECT_EQ(e.participants, 4);
         EXPECT_EQ(e.payload_bytes, 1024u);
         break;
       case TraceEvent::Kind::kAllToAll:
         ++n_alltoall;
+        if (e.local_rank == 0) ++n_alltoall_canonical;
         EXPECT_EQ(e.participants, 2);
         EXPECT_EQ(e.comm_label, "half");
         break;
@@ -741,9 +748,21 @@ TEST(Trace, CollectivesAreRecordedWithParticipants) {
         break;
     }
   }
-  EXPECT_EQ(n_allreduce, 1);
-  EXPECT_EQ(n_alltoall, 2);
+  EXPECT_EQ(n_allreduce, 4);
+  EXPECT_EQ(n_alltoall, 4);
+  EXPECT_EQ(n_allreduce_canonical, 1);
+  EXPECT_EQ(n_alltoall_canonical, 2);
   EXPECT_GE(n_allgather, 1);
+
+  // All member rows of one collective instance share (comm_context, seq)
+  // and report distinct local ranks.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::set<int>> groups;
+  for (const auto& e : res.trace) {
+    if (e.kind != TraceEvent::Kind::kAllReduce) continue;
+    groups[{e.comm_context, e.seq}].insert(e.local_rank);
+  }
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups.begin()->second.size(), 4u);
 }
 
 TEST(Gpu, KernelChargesLaunchOverheadOnlyWithGpu) {
