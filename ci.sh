@@ -5,28 +5,33 @@
 #   2. address+UB-sanitized preset build (compile-time gate)
 #   3. end-to-end determinism check (identical-seed runs bitwise equal)
 #   4. telemetry artifact smoke (trace/report/metrics export + validation)
+#   5. docs consistency (USER_GUIDE flags vs --help both ways; every guide
+#      command runs; documented CLI error paths behave as documented)
 #
-# Steps 3 and 4 are also registered with ctest (check_determinism_script,
-# trace_export_smoke); they rerun here standalone so a failure prints its
-# own transcript even when ctest is skipped.
+# Steps 3–5 are also registered with ctest (check_determinism_script,
+# trace_export_smoke, docs_consistency_check); they rerun here standalone so
+# a failure prints its own transcript even when ctest is skipped.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-echo "=== [1/4] default build + ctest ==="
+echo "=== [1/5] default build + ctest ==="
 cmake --preset default
 cmake --build --preset default -j "$JOBS"
 ctest --preset default
 
-echo "=== [2/4] sanitized build ==="
+echo "=== [2/5] sanitized build ==="
 cmake --preset sanitize
 cmake --build --preset sanitize -j "$JOBS"
 
-echo "=== [3/4] determinism check ==="
+echo "=== [3/5] determinism check ==="
 bash scripts/check_determinism.sh build
 
-echo "=== [4/4] telemetry trace-export smoke ==="
+echo "=== [4/5] telemetry trace-export smoke ==="
 bash scripts/trace_smoke.sh build
+
+echo "=== [5/5] docs consistency check ==="
+bash scripts/docs_check.sh build
 
 echo "ci.sh: all gates passed"

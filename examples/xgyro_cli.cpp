@@ -10,35 +10,29 @@
 //                        --ranks-per-sim 4 --intervals 2
 //                        --timing-out out.xgyro.timing
 //
-// Options:
-//   --input FILE        input file (repeat for an ensemble)
-//   --ensemble FILE     input.xgyro-style manifest (N_SIM / DIR_i keys)
-//   --ranks N           total ranks for a single simulation   [default 4]
-//   --ranks-per-sim N   ranks per ensemble member             [default 4]
-//   --nodes N           nodes of the Frontier-like machine    [default: fit]
-//   --mode real|model   real data or paper-scale model mode   [default real]
-//   --intervals N       reporting intervals to run            [default 1]
-//   --timing-out FILE   write an out.xgyro.timing-style log
-//   --grouped           allow mixed physics: members grouped by cmat
-//                       fingerprint, one shared tensor per group
-//   --restart-write DIR write binary checkpoints after the run (real mode)
-//   --restart-read DIR  resume from checkpoints before the run (real mode)
-//   --faults SPEC       deterministic fault injection, e.g.
-//                       "seed=42;straggler=2x3.0;delay=0.3x5e-6;kill=1@0.02"
-//                       (see src/simmpi/fault.hpp for the full grammar)
-//   --watchdog SECONDS  deadlock watchdog timeout (real time; 0 disables)
-//   --no-invariants     disable the per-collective invariant monitor
-//   --trace-out FILE    write a Chrome trace-event JSON timeline (open with
-//                       ui.perfetto.dev or chrome://tracing)
-//   --report FILE       write a structured run report (xgyro.report JSON;
-//                       diff two with `xgyro_report --json A B`)
-//   --metrics-out FILE  write a metrics snapshot (counters/gauges/histograms)
+//   # checkpointed run surviving an injected rank kill
+//   ./examples/xgyro_cli --ensemble examples/inputs/input.xgyro
+//                        --ranks-per-sim 2 --intervals 4
+//                        --checkpoint-dir ckpt --faults "seed=1;kill=1@0.01"
+//
+// Run with --help for the full flag reference (docs/USER_GUIDE.md documents
+// every flag, the fault-spec grammar, and the exit codes; the two are kept
+// consistent by scripts/docs_check.sh).
+//
+// Exit status: 0 success (including recovered runs); 1 usage, input, or
+// configuration error; 2 structured failure (RankFailure / DeadlockError)
+// that was not recovered.
+#include <cerrno>
+#include <climits>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.hpp"
 #include "gyro/restart.hpp"
 #include "gyro/simulation.hpp"
 #include "gyro/timing_log.hpp"
@@ -67,54 +61,168 @@ struct Options {
   std::string metrics_out;
   bool grouped = false;
   std::string restart_write, restart_read;
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;
+  int max_recoveries = 3;
+  bool resume = false;
   xg::mpi::FaultPlan faults;
   double watchdog_timeout_s = 60.0;
   bool check_invariants = true;
 };
 
+/// Strict numeric parsing: the whole value must be a number in range.
+/// (std::stoi would accept "4x" and throw std::invalid_argument — an
+/// uncaught exception class — on "abc".)
+int parse_int(const std::string& flag, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(value.c_str(), &end, 10);
+  if (value.empty() || end == nullptr || *end != '\0' || errno == ERANGE ||
+      v < INT_MIN || v > INT_MAX) {
+    throw xg::InputError(xg::strprintf("%s: '%s' is not an integer",
+                                       flag.c_str(), value.c_str()));
+  }
+  return static_cast<int>(v);
+}
+
+double parse_double(const std::string& flag, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (value.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+    throw xg::InputError(xg::strprintf("%s: '%s' is not a number",
+                                       flag.c_str(), value.c_str()));
+  }
+  return v;
+}
+
+void print_help() {
+  std::printf(
+      "usage: xgyro_cli (--input FILE [--input FILE ...] | --ensemble "
+      "FILE) [options]\n\n"
+      "  --input FILE        input file (repeat for an ensemble)\n"
+      "  --ensemble FILE     input.xgyro-style manifest (N_SIM / DIR_i)\n"
+      "  --ranks N           total ranks for a single simulation [4]\n"
+      "  --ranks-per-sim N   ranks per ensemble member [4]\n"
+      "  --nodes N           nodes of the Frontier-like machine [fit]\n"
+      "  --mode real|model   real data or paper-scale model mode [real]\n"
+      "  --intervals N       reporting intervals to run [1]\n"
+      "  --timing-out FILE   write an out.xgyro.timing-style log\n"
+      "  --trace-out FILE    write a Chrome trace-event JSON timeline\n"
+      "                      (open with ui.perfetto.dev or "
+      "chrome://tracing)\n"
+      "  --report FILE       write a structured run report "
+      "(xgyro.report JSON)\n"
+      "  --metrics-out FILE  write a metrics snapshot "
+      "(xgyro.metrics JSON)\n"
+      "  --grouped           allow mixed physics: members grouped by\n"
+      "                      cmat fingerprint, one shared tensor each\n"
+      "  --restart-write DIR write decomposition-specific restart files\n"
+      "                      after the run (real mode; legacy format)\n"
+      "  --restart-read DIR  resume from restart files before the run\n"
+      "  --checkpoint-dir DIR  elastic snapshots: write a validated,\n"
+      "                      atomically-committed snapshot every\n"
+      "                      --checkpoint-every intervals and recover\n"
+      "                      from rank failures/deadlocks (real mode)\n"
+      "  --checkpoint-every N  reporting intervals between snapshots [1]\n"
+      "  --max-recoveries N  recoveries allowed before giving up [3]\n"
+      "  --resume            restore from the newest valid snapshot in\n"
+      "                      --checkpoint-dir before stepping\n"
+      "  --faults SPEC       deterministic fault injection, e.g.\n"
+      "                      "
+      "\"seed=42;straggler=2x3.0;delay=0.3x5e-6;kill=1@0.02\"\n"
+      "  --watchdog SECONDS  deadlock watchdog timeout (0 disables)\n"
+      "  --no-invariants     disable the collective invariant monitor\n"
+      "  --help              print this reference and exit\n"
+      "\n"
+      "exit status:\n"
+      "  0  success, including runs that recovered from faults\n"
+      "  1  usage, input, or configuration error\n"
+      "  2  structured failure (rank kill / deadlock) not recovered\n");
+}
+
 Options parse_args(int argc, char** argv) {
   Options o;
+  std::set<std::string> seen;
   auto need_value = [&](int i) {
     if (i + 1 >= argc) {
       throw xg::InputError(xg::strprintf("missing value after %s", argv[i]));
     }
     return std::string(argv[i + 1]);
   };
+  // Every flag except --input (repeatable by design: one per ensemble
+  // member) may appear at most once; a repeat is a conflict, not a silent
+  // last-one-wins.
+  auto once = [&](const std::string& flag) {
+    if (!seen.insert(flag).second) {
+      throw xg::InputError(
+          xg::strprintf("duplicate %s (give each option at most once)",
+                        flag.c_str()));
+    }
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--input") {
       o.inputs.push_back(need_value(i++));
     } else if (a == "--ensemble") {
+      once(a);
       o.manifest = need_value(i++);
     } else if (a == "--ranks") {
-      o.ranks = std::stoi(need_value(i++));
+      once(a);
+      o.ranks = parse_int(a, need_value(i++));
     } else if (a == "--ranks-per-sim") {
-      o.ranks_per_sim = std::stoi(need_value(i++));
+      once(a);
+      o.ranks_per_sim = parse_int(a, need_value(i++));
     } else if (a == "--nodes") {
-      o.nodes = std::stoi(need_value(i++));
+      once(a);
+      o.nodes = parse_int(a, need_value(i++));
     } else if (a == "--intervals") {
-      o.intervals = std::stoi(need_value(i++));
+      once(a);
+      o.intervals = parse_int(a, need_value(i++));
     } else if (a == "--timing-out") {
+      once(a);
       o.timing_out = need_value(i++);
     } else if (a == "--trace-out") {
+      once(a);
       o.trace_out = need_value(i++);
     } else if (a == "--report") {
+      once(a);
       o.report_out = need_value(i++);
     } else if (a == "--metrics-out") {
+      once(a);
       o.metrics_out = need_value(i++);
     } else if (a == "--grouped") {
+      once(a);
       o.grouped = true;
     } else if (a == "--restart-write") {
+      once(a);
       o.restart_write = need_value(i++);
     } else if (a == "--restart-read") {
+      once(a);
       o.restart_read = need_value(i++);
+    } else if (a == "--checkpoint-dir") {
+      once(a);
+      o.checkpoint_dir = need_value(i++);
+    } else if (a == "--checkpoint-every") {
+      once(a);
+      o.checkpoint_every = parse_int(a, need_value(i++));
+    } else if (a == "--max-recoveries") {
+      once(a);
+      o.max_recoveries = parse_int(a, need_value(i++));
+    } else if (a == "--resume") {
+      once(a);
+      o.resume = true;
     } else if (a == "--faults") {
+      once(a);
       o.faults = xg::mpi::FaultPlan::parse(need_value(i++));
     } else if (a == "--watchdog") {
-      o.watchdog_timeout_s = std::stod(need_value(i++));
+      once(a);
+      o.watchdog_timeout_s = parse_double(a, need_value(i++));
     } else if (a == "--no-invariants") {
+      once(a);
       o.check_invariants = false;
     } else if (a == "--mode") {
+      once(a);
       const std::string m = need_value(i++);
       if (m == "real") {
         o.mode = xg::gyro::Mode::kReal;
@@ -124,43 +232,50 @@ Options parse_args(int argc, char** argv) {
         throw xg::InputError("--mode must be 'real' or 'model'");
       }
     } else if (a == "--help" || a == "-h") {
-      std::printf(
-          "usage: xgyro_cli (--input FILE [--input FILE ...] | --ensemble "
-          "FILE) [options]\n\n"
-          "  --input FILE        input file (repeat for an ensemble)\n"
-          "  --ensemble FILE     input.xgyro-style manifest (N_SIM / DIR_i)\n"
-          "  --ranks N           total ranks for a single simulation [4]\n"
-          "  --ranks-per-sim N   ranks per ensemble member [4]\n"
-          "  --nodes N           nodes of the Frontier-like machine [fit]\n"
-          "  --mode real|model   real data or paper-scale model mode [real]\n"
-          "  --intervals N       reporting intervals to run [1]\n"
-          "  --timing-out FILE   write an out.xgyro.timing-style log\n"
-          "  --trace-out FILE    write a Chrome trace-event JSON timeline\n"
-          "                      (open with ui.perfetto.dev or "
-          "chrome://tracing)\n"
-          "  --report FILE       write a structured run report "
-          "(xgyro.report JSON)\n"
-          "  --metrics-out FILE  write a metrics snapshot "
-          "(xgyro.metrics JSON)\n"
-          "  --grouped           allow mixed physics: members grouped by\n"
-          "                      cmat fingerprint, one shared tensor each\n"
-          "  --restart-write DIR write binary checkpoints after the run\n"
-          "  --restart-read DIR  resume from checkpoints before the run\n"
-          "  --faults SPEC       deterministic fault injection, e.g.\n"
-          "                      "
-          "\"seed=42;straggler=2x3.0;delay=0.3x5e-6;kill=1@0.02\"\n"
-          "  --watchdog SECONDS  deadlock watchdog timeout (0 disables)\n"
-          "  --no-invariants     disable the collective invariant monitor\n");
+      print_help();
       std::exit(0);
     } else {
       throw xg::InputError(xg::strprintf("unknown option '%s'", a.c_str()));
     }
   }
+
   if (o.inputs.empty() && o.manifest.empty()) {
     throw xg::InputError("need --input FILE (repeatable) or --ensemble FILE");
   }
   if (!o.inputs.empty() && !o.manifest.empty()) {
     throw xg::InputError("--input and --ensemble are mutually exclusive");
+  }
+  if (o.ranks < 1) throw xg::InputError("--ranks must be >= 1");
+  if (o.ranks_per_sim < 1) throw xg::InputError("--ranks-per-sim must be >= 1");
+  if (o.nodes < 0) throw xg::InputError("--nodes must be >= 0");
+  if (o.intervals < 1) throw xg::InputError("--intervals must be >= 1");
+  if (o.checkpoint_every < 1) {
+    throw xg::InputError("--checkpoint-every must be >= 1");
+  }
+  if (o.max_recoveries < 0) {
+    throw xg::InputError("--max-recoveries must be >= 0");
+  }
+  if (o.watchdog_timeout_s < 0.0) {
+    throw xg::InputError("--watchdog must be >= 0");
+  }
+  if (o.checkpoint_dir.empty()) {
+    for (const char* f : {"--checkpoint-every", "--max-recoveries", "--resume"}) {
+      if (seen.count(f) != 0) {
+        throw xg::InputError(
+            xg::strprintf("%s requires --checkpoint-dir", f));
+      }
+    }
+  } else {
+    if (o.mode != xg::gyro::Mode::kReal) {
+      throw xg::InputError(
+          "--checkpoint-dir requires --mode real (model mode carries no "
+          "restorable state)");
+    }
+    if (!o.restart_read.empty() || !o.restart_write.empty()) {
+      throw xg::InputError(
+          "--checkpoint-dir and --restart-read/--restart-write are mutually "
+          "exclusive (elastic snapshots supersede the legacy restart files)");
+    }
   }
   return o;
 }
@@ -208,7 +323,57 @@ int main(int argc, char** argv) {
     std::vector<MemberReport> reports;
     std::mutex mu;
 
-    if (ensemble_mode) {
+    const bool elastic = !opt.checkpoint_dir.empty();
+    std::vector<campaign::RecoveryEvent> recoveries;
+    std::uint64_t snapshots_committed = 0, snapshots_rejected = 0;
+    net::MachineSpec final_machine = machine;
+
+    if (elastic) {
+      // Elastic path: single simulations and ensembles both run through the
+      // campaign executor, which snapshots periodically and replans/resumes
+      // on RankFailure or DeadlockError.
+      xgyro::EnsembleInput batch;
+      if (!opt.manifest.empty()) {
+        batch = manifest_ensemble;
+      } else if (ensemble_mode) {
+        batch = xgyro::EnsembleInput::load(opt.inputs, !opt.grouped);
+      } else {
+        batch.members.push_back(gyro::Input::load(opt.inputs.front()));
+      }
+      std::printf("%s: %d member(s) x %d ranks on %d node(s), %s mode "
+                  "(elastic checkpoints in %s)\n",
+                  ensemble_mode ? "XGYRO" : "CGYRO", batch.n_sims(),
+                  ensemble_mode ? opt.ranks_per_sim : opt.ranks, nodes,
+                  opt.mode == gyro::Mode::kReal ? "real" : "model",
+                  opt.checkpoint_dir.c_str());
+
+      campaign::RecoveryOptions ropts_elastic;
+      ropts_elastic.checkpoint_dir = opt.checkpoint_dir;
+      ropts_elastic.checkpoint_every = opt.checkpoint_every;
+      ropts_elastic.max_recoveries = opt.max_recoveries;
+      ropts_elastic.resume = opt.resume;
+      ropts_elastic.faults = opt.faults;
+      ropts_elastic.check_invariants = opt.check_invariants;
+      ropts_elastic.watchdog_timeout_s = opt.watchdog_timeout_s;
+      ropts_elastic.enable_trace = ropts.enable_trace;
+      ropts_elastic.enable_traffic = ropts.enable_traffic;
+      ropts_elastic.sharing = opt.grouped
+                                  ? xgyro::SharingPolicy::kGroupByFingerprint
+                                  : xgyro::SharingPolicy::kSingleGroup;
+      ropts_elastic.cgyro_layout = !ensemble_mode;
+
+      const auto r = campaign::run_job_elastic(
+          batch, machine, ensemble_mode ? opt.ranks_per_sim : opt.ranks,
+          opt.intervals, opt.mode, ropts_elastic);
+      result = r.run;
+      final_machine = r.machine;
+      recoveries = r.recoveries;
+      snapshots_committed = r.snapshots_committed;
+      snapshots_rejected = r.snapshots_rejected;
+      for (int m = 0; m < batch.n_sims(); ++m) {
+        reports.push_back({batch.members[m].tag, r.diagnostics[m]});
+      }
+    } else if (ensemble_mode) {
       const auto ensemble =
           !opt.manifest.empty()
               ? manifest_ensemble
@@ -276,6 +441,24 @@ int main(int argc, char** argv) {
     }
     std::printf("\n%s", gyro::format_timing(result, xgyro::solver_phases()).c_str());
 
+    if (elastic) {
+      std::printf(
+          "checkpointing: %llu snapshot(s) committed, %llu corrupt snapshot(s) "
+          "skipped, %zu recovery event(s)\n",
+          static_cast<unsigned long long>(snapshots_committed),
+          static_cast<unsigned long long>(snapshots_rejected),
+          recoveries.size());
+      for (size_t i = 0; i < recoveries.size(); ++i) {
+        const auto& ev = recoveries[i];
+        std::printf(
+            "  recovery %zu: %s (rank %d at t=%.3e s, phase %s) -> resumed "
+            "at interval %lld on %d node(s), %d ranks/sim\n",
+            i + 1, ev.kind.c_str(), ev.world_rank, ev.virtual_time_s,
+            ev.phase.c_str(), static_cast<long long>(ev.resumed_interval),
+            ev.nodes_after, ev.ranks_per_sim_after);
+      }
+    }
+
     if (!result.fault_stats.empty()) {
       std::uint64_t delayed = 0;
       double delay_s = 0.0, straggle_s = 0.0;
@@ -303,14 +486,30 @@ int main(int argc, char** argv) {
                   opt.trace_out.c_str());
     }
     if (!opt.report_out.empty() || !opt.metrics_out.empty()) {
-      const net::Placement placement(machine);
+      const net::Placement placement(final_machine);
       if (!opt.report_out.empty()) {
-        telemetry::write_run_report(
-            opt.report_out,
-            telemetry::build_run_report(result, placement,
-                                        xgyro::solver_phases(),
-                                        ensemble_mode ? "xgyro" : "cgyro",
-                                        n_members));
+        telemetry::RunReport report = telemetry::build_run_report(
+            result, placement, xgyro::solver_phases(),
+            ensemble_mode ? "xgyro" : "cgyro", n_members);
+        if (elastic) {
+          report.have_recovery = true;
+          report.snapshots_committed = snapshots_committed;
+          report.snapshots_rejected = snapshots_rejected;
+          for (const auto& ev : recoveries) {
+            telemetry::RunReport::RecoveryRecord rec;
+            rec.kind = ev.kind;
+            rec.world_rank = ev.world_rank;
+            rec.virtual_time_s = ev.virtual_time_s;
+            rec.phase = ev.phase;
+            rec.resumed_interval = ev.resumed_interval;
+            rec.nodes_before = ev.nodes_before;
+            rec.nodes_after = ev.nodes_after;
+            rec.ranks_per_sim_before = ev.ranks_per_sim_before;
+            rec.ranks_per_sim_after = ev.ranks_per_sim_after;
+            report.recoveries.push_back(std::move(rec));
+          }
+        }
+        telemetry::write_run_report(opt.report_out, report);
         std::printf("run report written to %s\n", opt.report_out.c_str());
       }
       if (!opt.metrics_out.empty()) {

@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# docs_check.sh BUILD_DIR
+#
+# Keeps docs/USER_GUIDE.md and the binaries consistent, both ways:
+#
+#   1. Flag parity: every --flag printed by `xgyro_cli --help` must appear
+#      in the guide's marked reference block, and every --flag in the block
+#      must exist in --help (same for xgyro_report's usage text).
+#   2. Every `sh`-tagged fenced command block in the guide parses
+#      (bash -n) and — unless its first line marks it as a build step —
+#      executes successfully, in order, in a scratch directory with the
+#      built binaries on PATH and examples/inputs copied in.
+#   3. CLI error paths: duplicate flags, malformed numbers, and conflicting
+#      combinations exit 1 with a single-line diagnostic; --help exits 0.
+#
+# Registered with ctest as `docs_consistency_check` and run as gate 5 of
+# ci.sh. Run from the repository root.
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+GUIDE=docs/USER_GUIDE.md
+CLI="$BUILD_DIR/examples/xgyro_cli"
+REPORT="$BUILD_DIR/examples/xgyro_report"
+for f in "$GUIDE" "$CLI" "$REPORT"; do
+  if [[ ! -e "$f" ]]; then
+    echo "docs_check: missing $f" >&2
+    exit 1
+  fi
+done
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+fail() { echo "docs_check: $*" >&2; exit 1; }
+
+extract_flags() {  # stdin -> sorted unique --flags
+  grep -oE -- '--[a-z][a-z-]*' | sort -u
+}
+
+marker_block() {  # $1 = marker name -> lines between begin/end markers
+  awk "/<!-- $1:begin -->/{f=1;next} /<!-- $1:end -->/{f=0} f" "$GUIDE"
+}
+
+# --- 1. flag parity, both directions -------------------------------------
+
+"$CLI" --help > "$WORK/cli.help"
+extract_flags < "$WORK/cli.help" > "$WORK/cli.help.flags"
+marker_block xgyro_cli-flags | extract_flags > "$WORK/cli.guide.flags"
+if ! diff -u "$WORK/cli.help.flags" "$WORK/cli.guide.flags" > "$WORK/cli.diff"; then
+  cat "$WORK/cli.diff" >&2
+  fail "xgyro_cli --help and $GUIDE disagree on the flag set (left: --help, right: guide)"
+fi
+
+"$REPORT" > "$WORK/report.help" 2>&1 || true   # usage text, nonzero exit
+extract_flags < "$WORK/report.help" > "$WORK/report.help.flags"
+marker_block xgyro_report-flags | extract_flags > "$WORK/report.guide.flags"
+if ! diff -u "$WORK/report.help.flags" "$WORK/report.guide.flags" > "$WORK/report.diff"; then
+  cat "$WORK/report.diff" >&2
+  fail "xgyro_report usage and $GUIDE disagree on the flag set"
+fi
+
+# --- 2. every sh fence parses; non-build fences execute -------------------
+
+SCRATCH="$WORK/scratch"
+mkdir -p "$SCRATCH/examples"
+cp -r examples/inputs "$SCRATCH/examples/inputs"
+BIN_PATH="$(cd "$BUILD_DIR" && pwd)/examples:$(cd "$BUILD_DIR" && pwd)/bench"
+
+awk '/^```sh$/{f=1;n++;next} /^```$/{f=0} f{print n "\t" $0}' "$GUIDE" \
+  > "$WORK/fences.tsv"
+N_FENCES=$(cut -f1 "$WORK/fences.tsv" | sort -u | wc -l)
+[[ "$N_FENCES" -ge 8 ]] || fail "expected >= 8 sh fences in $GUIDE, found $N_FENCES"
+
+RUN_SCRIPT="$WORK/guide_commands.sh"
+{
+  echo "set -euo pipefail"
+  echo "cd '$SCRATCH'"
+  echo "export PATH='$BIN_PATH':\$PATH"
+} > "$RUN_SCRIPT"
+for i in $(cut -f1 "$WORK/fences.tsv" | sort -un); do
+  FENCE="$WORK/fence.$i"
+  awk -F'\t' -v i="$i" '$1 == i {sub(/^[0-9]+\t/, ""); print}' \
+    "$WORK/fences.tsv" > "$FENCE"
+  bash -n "$FENCE" || fail "sh fence #$i in $GUIDE does not parse"
+  if head -1 "$FENCE" | grep -q "build step"; then
+    continue  # parse-checked only; CI builds before running this script
+  fi
+  cat "$FENCE" >> "$RUN_SCRIPT"
+done
+bash "$RUN_SCRIPT" > "$WORK/guide.out" 2>&1 \
+  || { cat "$WORK/guide.out" >&2; fail "a guide command failed (transcript above)"; }
+
+# --- 3. documented error paths -------------------------------------------
+
+expect_error() {  # $1 = description, rest = args; wants exit 1 + one stderr line
+  local desc=$1; shift
+  local rc=0
+  "$CLI" "$@" > "$WORK/err.out" 2> "$WORK/err.err" || rc=$?
+  [[ "$rc" -eq 1 ]] || fail "$desc: expected exit 1, got $rc"
+  [[ "$(wc -l < "$WORK/err.err")" -eq 1 ]] \
+    || { cat "$WORK/err.err" >&2; fail "$desc: expected a single-line diagnostic"; }
+  grep -q "^xgyro_cli: " "$WORK/err.err" || fail "$desc: diagnostic not prefixed"
+}
+
+expect_error "duplicate flag"        --input x --ranks 2 --ranks 4
+expect_error "malformed integer"     --input x --ranks abc
+expect_error "malformed trailing"    --input x --ranks 4x
+expect_error "input+ensemble"        --input x --ensemble y
+expect_error "resume w/o ckpt dir"   --input x --resume
+expect_error "ckpt in model mode"    --input x --checkpoint-dir d --mode model
+expect_error "ckpt+legacy restart"   --input x --checkpoint-dir d --restart-read r
+expect_error "unknown flag"          --input x --bogus
+expect_error "bad intervals"         --input x --intervals 0
+
+"$CLI" --help > /dev/null || fail "--help must exit 0"
+
+echo "docs_check: $N_FENCES guide fences and both flag references verified"

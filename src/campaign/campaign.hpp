@@ -56,10 +56,28 @@ struct MemberResult {
   gyro::Diagnostics diagnostics;
 };
 
+/// One successful recovery of the elastic executor: what failed, where the
+/// run resumed from, and how the allocation/decomposition changed.
+struct RecoveryEvent {
+  std::string kind;             ///< "rank_failure" or "deadlock"
+  int job = -1;                 ///< campaign job index (-1 standalone)
+  int world_rank = -1;          ///< failed rank (rank_failure only)
+  double virtual_time_s = 0.0;  ///< virtual time of the failure
+  std::string phase;            ///< solver phase at failure
+  std::int64_t resumed_interval = 0;  ///< 0 = restarted from scratch
+  int nodes_before = 0, nodes_after = 0;
+  int ranks_per_sim_before = 0, ranks_per_sim_after = 0;
+};
+
 struct CampaignResult {
   CampaignPlan plan;
   std::vector<mpi::RunResult> job_runs;  ///< one DES result per job
   std::vector<MemberResult> members;     ///< diagnostics per member
+
+  // Elastic-executor accounting (empty/zero under plain run_campaign).
+  std::vector<RecoveryEvent> recoveries;
+  std::uint64_t snapshots_committed = 0;
+  std::uint64_t snapshots_rejected = 0;  ///< corrupt snapshots skipped
 
   /// Campaign cost: Σ over jobs of seconds-per-reporting-step (the Fig. 2
   /// quantity; init time excluded, as in the paper).
@@ -69,5 +87,58 @@ struct CampaignResult {
 /// Execute a plan job by job on the simulated machine.
 CampaignResult run_campaign(const CampaignSpec& spec, const CampaignPlan& plan,
                             gyro::Mode mode);
+
+/// Knobs of the elastic executor (run_job_elastic / run_campaign_elastic).
+struct RecoveryOptions {
+  /// Snapshot directory; empty disables checkpointing (recovery then
+  /// restarts the job from scratch). run_campaign_elastic nests per-job
+  /// snapshots under <checkpoint_dir>/job-<j>.
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;  ///< report intervals between snapshots
+  /// Recoveries allowed per job before the failure is rethrown. 0 makes
+  /// the elastic executor behave exactly like the plain one.
+  int max_recoveries = 3;
+  /// Restore from the newest valid snapshot before the first attempt (the
+  /// CLI --resume flag); recovery attempts always resume when they can.
+  bool resume = false;
+  mpi::FaultPlan faults;
+  bool check_invariants = true;
+  double watchdog_timeout_s = 60.0;
+  bool enable_trace = false;
+  bool enable_traffic = false;
+  xgyro::SharingPolicy sharing = xgyro::SharingPolicy::kSingleGroup;
+  /// Single-member jobs only: run the classic CGYRO layout instead of a
+  /// k = 1 ensemble layout (what xgyro_cli uses for --input runs).
+  bool cgyro_layout = false;
+};
+
+struct ElasticJobResult {
+  mpi::RunResult run;  ///< the final (successful) attempt
+  std::vector<gyro::Diagnostics> diagnostics;  ///< per batch member
+  std::vector<RecoveryEvent> recoveries;
+  std::uint64_t snapshots_committed = 0;
+  std::uint64_t snapshots_rejected = 0;
+  net::MachineSpec machine;  ///< surviving allocation of the final attempt
+  int ranks_per_sim = 0;     ///< decomposition of the final attempt
+};
+
+/// Run one job with elastic recovery: on RankFailure the failed rank's node
+/// is dropped from the allocation, the decomposition is replanned for the
+/// survivors (keeping the current ranks-per-sim when it still fits), the
+/// fired kill clause is stripped from the fault plan, and the job resumes
+/// from the newest valid snapshot (or from scratch without checkpointing).
+/// DeadlockError retries on the same allocation. After max_recoveries
+/// failures the error propagates unchanged.
+ElasticJobResult run_job_elastic(const xgyro::EnsembleInput& batch,
+                                 const net::MachineSpec& machine,
+                                 int ranks_per_sim, int n_report_intervals,
+                                 gyro::Mode mode,
+                                 const RecoveryOptions& opts = {});
+
+/// run_campaign with per-job elastic recovery; recovery events and snapshot
+/// counters are aggregated into the CampaignResult.
+CampaignResult run_campaign_elastic(const CampaignSpec& spec,
+                                    const CampaignPlan& plan, gyro::Mode mode,
+                                    const RecoveryOptions& opts);
 
 }  // namespace xg::campaign

@@ -109,6 +109,15 @@ class Simulation {
   void set_steps_taken(int steps) { steps_ = steps; }
   [[nodiscard]] int share_index() const { return comms_.share_index; }
   [[nodiscard]] int sim_rank() const { return comms_.sim.rank(); }
+  /// Global index of this rank's first velocity row / toroidal column —
+  /// the slice coordinates the elastic checkpoint layer records so state
+  /// written under one (pv, pt) can be restored under another.
+  [[nodiscard]] int iv_global_offset() const {
+    return comms_.nv.rank() * nv_loc();
+  }
+  [[nodiscard]] int it_global_offset() const {
+    return comms_.t.rank() * nt_loc();
+  }
   /// The communicator cmat is distributed over (nv comm in CGYRO, the
   /// ensemble-wide one in XGYRO).
   [[nodiscard]] mpi::Comm& coll_comm() { return comms_.coll; }

@@ -64,6 +64,17 @@ struct FaultPlan {
   /// Per-rank RNG seed: splitmix64-expanded so adjacent ranks decorrelate.
   [[nodiscard]] std::uint64_t rank_seed(int rank) const;
 
+  /// Copy of this plan with the kill clause removed. Elastic recovery treats
+  /// a fired kill as a transient fault: the resumed attempt keeps the
+  /// stragglers, jitter, and message delays (same seed) but must not die
+  /// again at the same virtual time — the restarted clock begins at zero.
+  [[nodiscard]] FaultPlan without_kill() const {
+    FaultPlan plan = *this;
+    plan.kill_rank = -1;
+    plan.kill_time_s = 0.0;
+    return plan;
+  }
+
   /// Parse the spec grammar above; throws InputError with context on any
   /// malformed component. An empty spec yields an inactive plan.
   static FaultPlan parse(const std::string& spec);

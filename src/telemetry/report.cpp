@@ -71,6 +71,28 @@ Json report_to_json(const RunReport& report) {
                   .set("intra_bytes", Json(report.intra_bytes))
                   .set("inter_bytes", Json(report.inter_bytes));
   }
+  Json recovery;  // null unless the run used the elastic executor
+  if (report.have_recovery) {
+    Json events = Json::array();
+    for (const auto& ev : report.recoveries) {
+      events.push(Json::object()
+                      .set("kind", Json(ev.kind))
+                      .set("world_rank", Json(ev.world_rank))
+                      .set("virtual_time_s", Json(ev.virtual_time_s))
+                      .set("phase", Json(ev.phase))
+                      .set("resumed_interval", Json(ev.resumed_interval))
+                      .set("nodes_before", Json(ev.nodes_before))
+                      .set("nodes_after", Json(ev.nodes_after))
+                      .set("ranks_per_sim_before",
+                           Json(ev.ranks_per_sim_before))
+                      .set("ranks_per_sim_after",
+                           Json(ev.ranks_per_sim_after)));
+    }
+    recovery = Json::object()
+                   .set("snapshots_committed", Json(report.snapshots_committed))
+                   .set("snapshots_rejected", Json(report.snapshots_rejected))
+                   .set("events", std::move(events));
+  }
   return Json::object()
       .set("schema", Json("xgyro.report"))
       .set("schema_version", Json(RunReport::kSchemaVersion))
@@ -93,6 +115,7 @@ Json report_to_json(const RunReport& report) {
                         .set("spans", Json(report.spans))
                         .set("max_collective_skew_s",
                              Json(report.max_collective_skew_s)))
+      .set("recovery", std::move(recovery))
       .set("metrics", report.metrics);
 }
 
@@ -140,6 +163,31 @@ RunReport report_from_json(const Json& doc) {
       static_cast<std::uint64_t>(trace.at("collectives").as_int());
   rep.spans = static_cast<std::uint64_t>(trace.at("spans").as_int());
   rep.max_collective_skew_s = trace.at("max_collective_skew_s").as_double();
+  // Optional since schema additions stay backward compatible: reports
+  // written before the elastic executor existed simply lack the key.
+  const Json* recovery = doc.find("recovery");
+  if (recovery != nullptr && !recovery->is_null()) {
+    rep.have_recovery = true;
+    rep.snapshots_committed = static_cast<std::uint64_t>(
+        recovery->at("snapshots_committed").as_int());
+    rep.snapshots_rejected = static_cast<std::uint64_t>(
+        recovery->at("snapshots_rejected").as_int());
+    for (const auto& e : recovery->at("events").elems()) {
+      RunReport::RecoveryRecord ev;
+      ev.kind = e.at("kind").as_string();
+      ev.world_rank = static_cast<int>(e.at("world_rank").as_int());
+      ev.virtual_time_s = e.at("virtual_time_s").as_double();
+      ev.phase = e.at("phase").as_string();
+      ev.resumed_interval = e.at("resumed_interval").as_int();
+      ev.nodes_before = static_cast<int>(e.at("nodes_before").as_int());
+      ev.nodes_after = static_cast<int>(e.at("nodes_after").as_int());
+      ev.ranks_per_sim_before =
+          static_cast<int>(e.at("ranks_per_sim_before").as_int());
+      ev.ranks_per_sim_after =
+          static_cast<int>(e.at("ranks_per_sim_after").as_int());
+      rep.recoveries.push_back(std::move(ev));
+    }
+  }
   rep.metrics = doc.at("metrics");
   return rep;
 }

@@ -23,6 +23,15 @@ struct JobOptions {
   bool check_invariants = true;
   /// Deadlock watchdog timeout (real seconds; 0 disables).
   double watchdog_timeout_s = 60.0;
+  /// Periodic elastic snapshots (see src/checkpoint): empty disables. Real
+  /// mode only — model mode carries no restorable state.
+  std::string checkpoint_dir;
+  /// Report intervals between snapshots (the final interval is always
+  /// snapshotted so a completed job leaves a resumable image).
+  int checkpoint_every = 1;
+  /// Restore from the latest valid snapshot in checkpoint_dir before
+  /// stepping; already-completed intervals are skipped.
+  bool resume = false;
 };
 
 /// One CGYRO job: a single simulation on `nranks` ranks of `machine`

@@ -1,0 +1,447 @@
+// Checkpoint/restart property tests:
+//  * snapshot → restore → N more steps is bit-identical to an uninterrupted
+//    2N-step run, across different decompositions and ensemble sizes;
+//  * truncated and bit-flipped shards are rejected with a structured error
+//    and find_latest_valid falls back to the previous valid snapshot;
+//  * the elastic executor survives an injected rank kill, replans on the
+//    surviving nodes, and reproduces the fault-free physics.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "checkpoint/checkpoint.hpp"
+#include "gyro/simulation.hpp"
+#include "simmpi/fault.hpp"
+#include "simmpi/runtime.hpp"
+#include "simnet/machine.hpp"
+#include "util/error.hpp"
+#include "xgyro/ensemble.hpp"
+
+namespace xg::ckpt {
+namespace {
+
+namespace fs = std::filesystem;
+
+using gyro::Decomposition;
+using gyro::Diagnostics;
+using gyro::Input;
+using gyro::Mode;
+using gyro::Simulation;
+
+/// Fresh scratch directory per test, removed on destruction.
+struct TempDir {
+  explicit TempDir(const std::string& name)
+      : path((fs::temp_directory_path() / ("xg_ckpt_" + name)).string()) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string path;
+};
+
+/// Synthetic single-member snapshot contents for the pure-library tests:
+/// a 2x3x4 grid whose value at (iv, ic, it) encodes the global coordinates.
+std::complex<double> cell_value(int iv, int ic, int it) {
+  return {static_cast<double>(100 * iv + 10 * ic + it), 0.25};
+}
+
+MemberMeta synthetic_meta(std::int64_t steps) {
+  MemberMeta m;
+  m.tag = "synthetic";
+  m.cmat_fingerprint = 0xfeedbeefu;
+  m.nv = 2;
+  m.nc = 3;
+  m.nt = 4;
+  m.steps = steps;
+  return m;
+}
+
+std::vector<std::complex<double>> slice_payload(const Slice& s) {
+  std::vector<std::complex<double>> data;
+  data.reserve(s.elems());
+  for (int iv = s.iv0; iv < s.iv0 + s.nv_loc; ++iv) {
+    for (int ic = 0; ic < s.nc; ++ic) {
+      for (int it = s.it0; it < s.it0 + s.nt_loc; ++it) {
+        data.push_back(cell_value(iv, ic, it));
+      }
+    }
+  }
+  return data;
+}
+
+/// Commit one synthetic full-grid snapshot (two shards, split over iv).
+void commit_synthetic(CheckpointWriter& writer, std::int64_t interval) {
+  for (int r = 0; r < 2; ++r) {
+    const Slice s{0, r, 1, 3, 0, 4};
+    writer.add_shard(interval, s, synthetic_meta(interval * 5),
+                     slice_payload(s));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pure library properties
+
+TEST(Checkpoint, WriterCommitsAtomicallyAndPrunes) {
+  const TempDir dir("prune");
+  CheckpointWriter writer(dir.path, /*n_ranks=*/2, /*keep_last=*/2);
+  commit_synthetic(writer, 1);
+  commit_synthetic(writer, 2);
+  commit_synthetic(writer, 3);
+  EXPECT_EQ(writer.snapshots_committed(), 3u);
+  EXPECT_FALSE(fs::exists(fs::path(dir.path) / snapshot_dirname(1)));
+  EXPECT_TRUE(fs::exists(fs::path(dir.path) / snapshot_dirname(2)));
+  EXPECT_TRUE(fs::exists(fs::path(dir.path) / snapshot_dirname(3)));
+
+  const auto scan = find_latest_valid(dir.path);
+  ASSERT_TRUE(scan.latest_valid.has_value());
+  EXPECT_EQ(scan.latest_valid->interval, 3);
+  EXPECT_TRUE(scan.rejected.empty());
+}
+
+TEST(Checkpoint, EmptyDirHasNoSnapshot) {
+  const TempDir dir("empty");
+  const auto scan = find_latest_valid(dir.path);
+  EXPECT_FALSE(scan.latest_valid.has_value());
+  EXPECT_TRUE(scan.rejected.empty());
+}
+
+TEST(Checkpoint, RestoreSliceCrossDecomposition) {
+  // Written split over iv (2 shards); read back split over it — every
+  // overlap rectangle must land on the right global coordinates.
+  const TempDir dir("xdecomp");
+  CheckpointWriter writer(dir.path, 2);
+  commit_synthetic(writer, 7);
+
+  const auto scan = find_latest_valid(dir.path);
+  ASSERT_TRUE(scan.latest_valid.has_value());
+  const auto manifest = load_manifest(scan.latest_valid->path);
+  for (int half = 0; half < 2; ++half) {
+    const Slice want{0, 0, 2, 3, 2 * half, 2};
+    std::vector<std::complex<double>> out(want.elems());
+    const auto steps = restore_slice(scan.latest_valid->path, manifest, want,
+                                     0xfeedbeefu, out);
+    EXPECT_EQ(steps, 35);
+    EXPECT_EQ(out, slice_payload(want));
+  }
+}
+
+TEST(Checkpoint, FingerprintMismatchRejected) {
+  const TempDir dir("fingerprint");
+  CheckpointWriter writer(dir.path, 2);
+  commit_synthetic(writer, 1);
+  const auto scan = find_latest_valid(dir.path);
+  ASSERT_TRUE(scan.latest_valid.has_value());
+  const auto manifest = load_manifest(scan.latest_valid->path);
+  const Slice want{0, 0, 2, 3, 0, 4};
+  std::vector<std::complex<double>> out(want.elems());
+  EXPECT_THROW(
+      restore_slice(scan.latest_valid->path, manifest, want, 0xbad, out),
+      CheckpointError);
+}
+
+TEST(Checkpoint, TruncatedShardFallsBackToOlderSnapshot) {
+  const TempDir dir("truncate");
+  CheckpointWriter writer(dir.path, 2, /*keep_last=*/4);
+  commit_synthetic(writer, 1);
+  commit_synthetic(writer, 2);
+  // Truncate one shard of the newest snapshot.
+  const fs::path snap = fs::path(dir.path) / snapshot_dirname(2);
+  for (const auto& e : fs::directory_iterator(snap)) {
+    if (e.path().extension() == ".shard") {
+      fs::resize_file(e.path(), 10);
+      break;
+    }
+  }
+  EXPECT_THROW(validate_snapshot(snap.string()), CheckpointError);
+  const auto scan = find_latest_valid(dir.path);
+  ASSERT_TRUE(scan.latest_valid.has_value());
+  EXPECT_EQ(scan.latest_valid->interval, 1);
+  ASSERT_EQ(scan.rejected.size(), 1u);
+  EXPECT_NE(scan.rejected.front().find(snapshot_dirname(2)),
+            std::string::npos);
+}
+
+TEST(Checkpoint, BitFlippedPayloadRejected) {
+  const TempDir dir("bitflip");
+  CheckpointWriter writer(dir.path, 2);
+  commit_synthetic(writer, 1);
+  const fs::path snap = fs::path(dir.path) / snapshot_dirname(1);
+  for (const auto& e : fs::directory_iterator(snap)) {
+    if (e.path().extension() == ".shard") {
+      std::fstream f(e.path(), std::ios::in | std::ios::out |
+                                   std::ios::binary);
+      f.seekg(70);  // inside the payload, past the 64-byte header
+      char c = 0;
+      f.read(&c, 1);
+      c = static_cast<char>(c ^ 0x40);
+      f.seekp(70);
+      f.write(&c, 1);
+      break;
+    }
+  }
+  EXPECT_THROW(validate_snapshot(snap.string()), CheckpointError);
+  const auto scan = find_latest_valid(dir.path);
+  EXPECT_FALSE(scan.latest_valid.has_value());
+  EXPECT_EQ(scan.rejected.size(), 1u);
+}
+
+TEST(Checkpoint, StagingDirsIgnored) {
+  const TempDir dir("staging");
+  fs::create_directories(fs::path(dir.path) / "ckpt-00000009.tmp");
+  const auto scan = find_latest_valid(dir.path);
+  EXPECT_FALSE(scan.latest_valid.has_value());
+  EXPECT_TRUE(scan.rejected.empty());
+}
+
+TEST(Checkpoint, RanksMustAgreeOnMemberMetadata) {
+  const TempDir dir("disagree");
+  CheckpointWriter writer(dir.path, 2);
+  const Slice a{0, 0, 1, 3, 0, 4};
+  writer.add_shard(5, a, synthetic_meta(25), slice_payload(a));
+  const Slice b{0, 1, 1, 3, 0, 4};
+  MemberMeta wrong = synthetic_meta(25);
+  wrong.cmat_fingerprint = 1;
+  EXPECT_THROW(writer.add_shard(5, b, wrong, slice_payload(b)),
+               CheckpointError);
+}
+
+// ---------------------------------------------------------------------------
+// Solver round trips
+
+/// Uninterrupted reference run: hash + diagnostics after n intervals.
+std::pair<std::uint64_t, Diagnostics> run_uninterrupted(const Input& in,
+                                                        int nranks,
+                                                        int n_intervals) {
+  std::uint64_t hash = 0;
+  Diagnostics diag;
+  const auto d = Decomposition::choose(in, nranks);
+  mpi::run_simulation(net::testbox(1, nranks), nranks, [&](mpi::Proc& p) {
+    auto layout = gyro::make_cgyro_layout(p.world(), d);
+    Simulation sim(in, d, std::move(layout), p, Mode::kReal);
+    sim.initialize();
+    Diagnostics local;
+    for (int i = 0; i < n_intervals; ++i) local = sim.advance_report_interval();
+    const auto h = sim.state_hash();
+    if (p.world_rank() == 0) {
+      hash = h;
+      diag = local;
+    }
+  });
+  return {hash, diag};
+}
+
+TEST(CheckpointRoundTrip, CrossDecompositionBitExact) {
+  const Input in = Input::small_test(2);
+  const auto [full_hash, full_diag] = run_uninterrupted(in, 1, 2);
+
+  // Snapshot after one interval under a 4-rank decomposition…
+  const TempDir dir("sim_xdecomp");
+  {
+    CheckpointWriter writer(dir.path, 4);
+    const auto d = Decomposition::choose(in, 4);
+    mpi::run_simulation(net::testbox(1, 4), 4, [&](mpi::Proc& p) {
+      auto layout = gyro::make_cgyro_layout(p.world(), d);
+      Simulation sim(in, d, std::move(layout), p, Mode::kReal);
+      sim.initialize();
+      sim.advance_report_interval();
+      snapshot_rank(writer, 1, sim, 0);
+    });
+    EXPECT_EQ(writer.snapshots_committed(), 1u);
+  }
+
+  // …restore under a single rank and finish the run.
+  const auto scan = find_latest_valid(dir.path);
+  ASSERT_TRUE(scan.latest_valid.has_value());
+  const auto manifest = load_manifest(scan.latest_valid->path);
+  std::uint64_t resumed_hash = 0;
+  Diagnostics resumed_diag;
+  const auto d1 = Decomposition::choose(in, 1);
+  mpi::run_simulation(net::testbox(1, 1), 1, [&](mpi::Proc& p) {
+    auto layout = gyro::make_cgyro_layout(p.world(), d1);
+    Simulation sim(in, d1, std::move(layout), p, Mode::kReal);
+    sim.initialize();
+    restore_rank(scan.latest_valid->path, manifest, sim, 0);
+    resumed_diag = sim.advance_report_interval();
+    resumed_hash = sim.state_hash();
+  });
+
+  EXPECT_EQ(resumed_hash, full_hash);
+  EXPECT_EQ(resumed_diag.steps, full_diag.steps);
+  EXPECT_EQ(resumed_diag.phi_rms, full_diag.phi_rms);
+  EXPECT_EQ(resumed_diag.flux_proxy, full_diag.flux_proxy);
+}
+
+TEST(CheckpointRoundTrip, EnsembleWriteStandaloneRestore) {
+  // Snapshot a k=2 ensemble, then finish each member standalone (k=1): the
+  // result must match that member's uninterrupted standalone run.
+  const Input base = Input::small_test(1);
+  const auto ensemble =
+      xgyro::EnsembleInput::sweep(base, 2, [](Input& in, int i) {
+        in.seed = 7 + i;
+        in.tag = "m" + std::to_string(i);
+      });
+
+  const TempDir dir("sim_xk");
+  {
+    CheckpointWriter writer(dir.path, 4);
+    const auto d = Decomposition::choose(base, 2, 2);
+    mpi::run_simulation(net::testbox(1, 4), 4, [&](mpi::Proc& p) {
+      xgyro::EnsembleDriver driver(ensemble, d, p, Mode::kReal,
+                                   xgyro::SharingPolicy::kSingleGroup);
+      driver.initialize();
+      driver.advance_report_interval();
+      snapshot_rank(writer, 1, driver.simulation(), driver.sim_index());
+    });
+  }
+
+  const auto scan = find_latest_valid(dir.path);
+  ASSERT_TRUE(scan.latest_valid.has_value());
+  const auto manifest = load_manifest(scan.latest_valid->path);
+  ASSERT_EQ(manifest.members.size(), 2u);
+  for (int m = 0; m < 2; ++m) {
+    const auto [want_hash, want_diag] =
+        run_uninterrupted(ensemble.members[m], 1, 2);
+    std::uint64_t got = 0;
+    const auto d1 = Decomposition::choose(ensemble.members[m], 1);
+    mpi::run_simulation(net::testbox(1, 1), 1, [&](mpi::Proc& p) {
+      auto layout = gyro::make_cgyro_layout(p.world(), d1);
+      Simulation sim(ensemble.members[m], d1, std::move(layout), p,
+                     Mode::kReal);
+      sim.initialize();
+      restore_rank(scan.latest_valid->path, manifest, sim, m);
+      sim.advance_report_interval();
+      got = sim.state_hash();
+    });
+    EXPECT_EQ(got, want_hash) << "member " << m;
+    (void)want_diag;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Elastic recovery
+
+TEST(ElasticRecovery, SpareNodeKeepsPhysicsBitIdentical) {
+  const Input base = Input::small_test(1);
+  const auto batch =
+      xgyro::EnsembleInput::sweep(base, 2, [](Input& in, int i) {
+        in.seed = 3 + i;
+        in.tag = "e" + std::to_string(i);
+      });
+  // 4 nodes x 2 ranks; the job needs 4 ranks, so losing a node leaves
+  // enough capacity to keep the decomposition (and hence the physics
+  // bit-for-bit).
+  const auto machine = net::testbox(4, 2);
+
+  campaign::RecoveryOptions opts;
+  const auto clean =
+      campaign::run_job_elastic(batch, machine, 2, 4, Mode::kReal, opts);
+  ASSERT_EQ(clean.diagnostics.size(), 2u);
+  EXPECT_TRUE(clean.recoveries.empty());
+
+  const TempDir dir("elastic_spare");
+  opts.checkpoint_dir = dir.path;
+  opts.faults.seed = 11;
+  opts.faults.kill_rank = 1;
+  // Late enough that at least one snapshot has committed, so the recovery
+  // resumes instead of restarting from scratch.
+  opts.faults.kill_time_s = 0.75 * clean.run.makespan_s;
+  const auto faulty =
+      campaign::run_job_elastic(batch, machine, 2, 4, Mode::kReal, opts);
+
+  ASSERT_EQ(faulty.recoveries.size(), 1u);
+  const auto& ev = faulty.recoveries.front();
+  EXPECT_EQ(ev.kind, "rank_failure");
+  EXPECT_EQ(ev.world_rank, 1);
+  EXPECT_EQ(ev.nodes_after, ev.nodes_before - 1);
+  EXPECT_EQ(ev.ranks_per_sim_after, 2);
+  EXPECT_GE(ev.resumed_interval, 1);
+  EXPECT_GT(faulty.snapshots_committed, 0u);
+  EXPECT_EQ(faulty.machine.n_nodes, machine.n_nodes - 1);
+
+  // Same decomposition ⇒ the recovered physics is bit-identical.
+  for (size_t m = 0; m < 2; ++m) {
+    EXPECT_EQ(faulty.diagnostics[m].steps, clean.diagnostics[m].steps);
+    EXPECT_EQ(faulty.diagnostics[m].phi_rms, clean.diagnostics[m].phi_rms);
+    EXPECT_EQ(faulty.diagnostics[m].flux_proxy,
+              clean.diagnostics[m].flux_proxy);
+  }
+}
+
+TEST(ElasticRecovery, ShrinkReplansToFewerRanksPerSim) {
+  const Input in = Input::small_test(1);
+  xgyro::EnsembleInput batch;
+  batch.members.push_back(in);
+  // 2 nodes x 2 ranks, job uses all 4: losing a node forces a smaller
+  // decomposition for the survivor.
+  const auto machine = net::testbox(2, 2);
+
+  campaign::RecoveryOptions opts;
+  opts.cgyro_layout = true;
+  const auto clean =
+      campaign::run_job_elastic(batch, machine, 4, 4, Mode::kReal, opts);
+
+  const TempDir dir("elastic_shrink");
+  opts.checkpoint_dir = dir.path;
+  opts.faults.seed = 5;
+  opts.faults.kill_rank = 2;
+  opts.faults.kill_time_s = 0.75 * clean.run.makespan_s;
+  const auto faulty =
+      campaign::run_job_elastic(batch, machine, 4, 4, Mode::kReal, opts);
+
+  ASSERT_EQ(faulty.recoveries.size(), 1u);
+  EXPECT_LT(faulty.recoveries.front().ranks_per_sim_after, 4);
+  EXPECT_GE(faulty.recoveries.front().resumed_interval, 1);
+  EXPECT_LT(faulty.ranks_per_sim, 4);
+  // Different decomposition ⇒ different reduction order; physics agrees to
+  // rounding, not bit-for-bit.
+  EXPECT_EQ(faulty.diagnostics[0].steps, clean.diagnostics[0].steps);
+  EXPECT_NEAR(faulty.diagnostics[0].phi_rms, clean.diagnostics[0].phi_rms,
+              1e-10 * clean.diagnostics[0].phi_rms);
+}
+
+TEST(ElasticRecovery, ResumeSkipsCompletedIntervals) {
+  const Input in = Input::small_test(1);
+  xgyro::EnsembleInput batch;
+  batch.members.push_back(in);
+  const auto machine = net::testbox(1, 2);
+
+  const TempDir dir("elastic_resume");
+  campaign::RecoveryOptions opts;
+  opts.cgyro_layout = true;
+  opts.checkpoint_dir = dir.path;
+  const auto first =
+      campaign::run_job_elastic(batch, machine, 2, 2, Mode::kReal, opts);
+  EXPECT_GT(first.snapshots_committed, 0u);
+
+  opts.resume = true;
+  const auto second =
+      campaign::run_job_elastic(batch, machine, 2, 2, Mode::kReal, opts);
+  // Everything was already done: no new snapshots, same diagnostics.
+  EXPECT_EQ(second.snapshots_committed, 0u);
+  EXPECT_EQ(second.diagnostics[0].steps, first.diagnostics[0].steps);
+  EXPECT_EQ(second.diagnostics[0].phi_rms, first.diagnostics[0].phi_rms);
+}
+
+TEST(ElasticRecovery, ExhaustedRecoveriesRethrow) {
+  const Input in = Input::small_test(1);
+  xgyro::EnsembleInput batch;
+  batch.members.push_back(in);
+  campaign::RecoveryOptions opts;
+  opts.cgyro_layout = true;
+  opts.max_recoveries = 0;
+  opts.faults.seed = 1;
+  opts.faults.kill_rank = 0;
+  opts.faults.kill_time_s = 1e-9;
+  EXPECT_THROW(campaign::run_job_elastic(batch, net::testbox(2, 2), 2, 1,
+                                         Mode::kReal, opts),
+               mpi::RankFailure);
+}
+
+}  // namespace
+}  // namespace xg::ckpt
