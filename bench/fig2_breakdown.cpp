@@ -10,9 +10,13 @@
 // simulated machine (see DESIGN.md §2); the comparison targets are the
 // *shape*: XGYRO wins, the win is concentrated in str_comm, compute phases
 // are work-conserving.
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 
+#include "analysis/critical_path.hpp"
+#include "analysis/divergence.hpp"
+#include "analysis/waitwork.hpp"
 #include "gyro/simulation.hpp"
 #include "gyro/timing_log.hpp"
 #include "perfmodel/perfmodel.hpp"
@@ -27,9 +31,16 @@ int main(int argc, char** argv) {
   // 100-step reporting interval at a wall cost of a few minutes of DES.
   // --artifacts DIR writes out.cgyro.timing / out.xgyro.timing files, the
   // same kind of artifact the paper published as its data (reference [5]).
+  // --check-analysis runs only the XGYRO job (traced) and verifies the
+  // analysis engine on this configuration: the critical path must tile the
+  // makespan within 1% and the perf-model divergence gate must pass at the
+  // default tolerance.
   int steps = 25;
   std::string artifacts;
-  for (int i = 1; i < argc - 1; ++i) {
+  bool check_analysis = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--check-analysis") check_analysis = true;
+    if (i >= argc - 1) continue;
     if (std::string(argv[i]) == "--steps") steps = std::atoi(argv[i + 1]);
     if (std::string(argv[i]) == "--artifacts") artifacts = argv[i + 1];
   }
@@ -47,6 +58,42 @@ int main(int argc, char** argv) {
         in.species[0].a_ln_t = 2.0 + 0.25 * i;
         in.tag = strprintf("nl03c_v%d", i);
       });
+
+  if (check_analysis) {
+    std::printf("=== Fig. 2 configuration: analysis engine check ===\n");
+    std::printf("case: nl03c-like, k=%d, %d nodes (%d ranks), %d "
+                "steps/report\n\n",
+                k, nodes, total_ranks, steps);
+    xgyro::JobOptions aopts;
+    aopts.mode = gyro::Mode::kModel;
+    aopts.enable_trace = true;
+    const auto run =
+        xgyro::run_xgyro_job(ensemble, machine, total_ranks / k, aopts);
+
+    const auto cpath = analysis::compute_critical_path(run);
+    std::printf("%s\n", analysis::format_critical_path(cpath).c_str());
+    const double coverage_err =
+        run.makespan_s > 0.0
+            ? std::fabs(cpath.covered_s - run.makespan_s) / run.makespan_s
+            : 1.0;
+    const bool coverage_ok = coverage_err <= 0.01;
+    std::printf("critical-path coverage: |%.9f - %.9f| / makespan = %.3e "
+                "(must be <= 1%%): %s\n",
+                cpath.covered_s, run.makespan_s, coverage_err,
+                coverage_ok ? "PASS" : "FAIL");
+
+    const auto waitwork = analysis::analyze_waitwork(run);
+    std::printf("\n%s", analysis::format_waitwork(waitwork).c_str());
+
+    const auto decomp = gyro::Decomposition::choose(base, total_ranks / k, k);
+    const auto div =
+        analysis::check_divergence(run, base, decomp, k, machine, 1);
+    std::printf("\n%s", analysis::format_divergence(div).c_str());
+
+    const bool ok = coverage_ok && div.pass;
+    std::printf("\nanalysis check: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+  }
 
   std::printf("=== Fig. 2: CGYRO sequential vs XGYRO ensemble ===\n");
   std::printf("case: nl03c-like (nc=%d nv=%d nt=%d), %d variants, %d nodes "

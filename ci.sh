@@ -7,31 +7,37 @@
 #   4. telemetry artifact smoke (trace/report/metrics export + validation)
 #   5. docs consistency (USER_GUIDE flags vs --help both ways; every guide
 #      command runs; documented CLI error paths behave as documented)
+#   6. benchmark baseline smoke (every BENCH_*.json validates and detects
+#      an injected +10% slowdown)
 #
-# Steps 3–5 are also registered with ctest (check_determinism_script,
-# trace_export_smoke, docs_consistency_check); they rerun here standalone so
-# a failure prints its own transcript even when ctest is skipped.
+# Steps 3–6 are also registered with ctest (check_determinism_script,
+# trace_export_smoke, docs_consistency_check, bench_baseline_smoke); they
+# rerun here standalone so a failure prints its own transcript even when
+# ctest is skipped.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-echo "=== [1/5] default build + ctest ==="
+echo "=== [1/6] default build + ctest ==="
 cmake --preset default
 cmake --build --preset default -j "$JOBS"
 ctest --preset default
 
-echo "=== [2/5] sanitized build ==="
+echo "=== [2/6] sanitized build ==="
 cmake --preset sanitize
 cmake --build --preset sanitize -j "$JOBS"
 
-echo "=== [3/5] determinism check ==="
+echo "=== [3/6] determinism check ==="
 bash scripts/check_determinism.sh build
 
-echo "=== [4/5] telemetry trace-export smoke ==="
+echo "=== [4/6] telemetry trace-export smoke ==="
 bash scripts/trace_smoke.sh build
 
-echo "=== [5/5] docs consistency check ==="
+echo "=== [5/6] docs consistency check ==="
 bash scripts/docs_check.sh build
+
+echo "=== [6/6] bench baseline smoke ==="
+./build/examples/xgyro_bench_check --smoke .
 
 echo "ci.sh: all gates passed"

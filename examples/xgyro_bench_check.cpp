@@ -1,0 +1,195 @@
+// xgyro_bench_check — record and enforce benchmark baselines.
+//
+//   # gate a fresh bench run against a recorded baseline:
+//   ./examples/xgyro_bench_check BENCH_node_scaling.json candidate.json
+//
+//   # record a baseline from a bench's --json payload:
+//   ./examples/xgyro_bench_check --record node_scaling
+//        --payload candidate.json --out BENCH_node_scaling.json
+//        [--tol 0.02] [--tol-for series.0.efficiency=0.05]
+//        [--ignore cells_per_s]
+//
+//   # prove a baseline detects a 10% regression (identity must pass,
+//   # a +10% perturbation of every metric must fail):
+//   ./examples/xgyro_bench_check --self-test BENCH_node_scaling.json
+//
+//   # validate + self-test every BENCH_*.json in a directory (the ci gate):
+//   ./examples/xgyro_bench_check --smoke .
+//
+// Exit status: 0 pass, 1 comparison failure / invalid baseline / usage
+// error.
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analysis/baseline.hpp"
+#include "telemetry/json.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+/// Strict numeric parse (std::stod would throw std::invalid_argument — an
+/// exception class the Error handler below does not catch).
+double parse_frac(const char* flag, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (value.empty() || end == nullptr || *end != '\0' || errno == ERANGE ||
+      !(v >= 0.0)) {
+    throw xg::InputError(xg::strprintf(
+        "%s: '%s' is not a non-negative number", flag, value.c_str()));
+  }
+  return v;
+}
+
+void usage(std::FILE* out = stderr) {
+  std::fprintf(
+      out,
+      "usage: xgyro_bench_check BASELINE_JSON CANDIDATE_JSON\n"
+      "       xgyro_bench_check --record NAME --payload FILE --out FILE\n"
+      "                         [--tol FRAC] [--tol-for PATH=FRAC ...]\n"
+      "                         [--ignore SUBSTRING ...]\n"
+      "       xgyro_bench_check --self-test BASELINE_JSON\n"
+      "       xgyro_bench_check --smoke DIR\n"
+      "       xgyro_bench_check --help\n");
+}
+
+int run_self_test(const std::string& path) {
+  using namespace xg;
+  const auto st =
+      analysis::self_test_baseline(telemetry::load_json_file(path));
+  std::printf("%s: identity %s, +10%% perturbation %s, %d gated metric(s)\n",
+              path.c_str(), st.identity_pass ? "passes" : "FAILS",
+              st.perturbed_fails ? "detected" : "NOT DETECTED",
+              st.gated_metrics);
+  if (!st.ok()) {
+    throw Error(strprintf(
+        "baseline '%s' failed its self-test (a 10%% regression would %s)",
+        path.c_str(), st.perturbed_fails ? "be detected" : "ship silently"));
+  }
+  return 0;
+}
+
+int run_smoke(const std::string& dir) {
+  using namespace xg;
+  std::vector<std::string> baselines;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+        name.substr(name.size() - 5) == ".json") {
+      baselines.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    throw Error(strprintf("--smoke: cannot read directory '%s': %s",
+                          dir.c_str(), ec.message().c_str()));
+  }
+  if (baselines.empty()) {
+    throw Error(strprintf("--smoke: no BENCH_*.json baselines in '%s'",
+                          dir.c_str()));
+  }
+  std::sort(baselines.begin(), baselines.end());
+  for (const auto& path : baselines) run_self_test(path);
+  std::printf("smoke: %zu baseline(s) validated\n", baselines.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xg;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.empty() || args[0] == "--help" || args[0] == "-h") {
+      usage(args.empty() ? stderr : stdout);
+      return args.empty() ? 1 : 0;
+    }
+
+    if (args[0] == "--self-test") {
+      if (args.size() != 2) { usage(); return 1; }
+      return run_self_test(args[1]);
+    }
+    if (args[0] == "--smoke") {
+      if (args.size() != 2) { usage(); return 1; }
+      return run_smoke(args[1]);
+    }
+
+    if (args[0] == "--record") {
+      std::string name, payload_path, out_path;
+      double default_tol = analysis::kDefaultBaselineTolerance;
+      std::vector<std::pair<std::string, double>> tol_overrides;
+      std::vector<std::string> ignore;
+      if (args.size() < 2) { usage(); return 1; }
+      name = args[1];
+      for (std::size_t i = 2; i < args.size(); ++i) {
+        auto need_value = [&](const char* flag) {
+          if (i + 1 >= args.size()) {
+            throw InputError(strprintf("missing value after %s", flag));
+          }
+          return args[++i];
+        };
+        if (args[i] == "--payload") {
+          payload_path = need_value("--payload");
+        } else if (args[i] == "--out") {
+          out_path = need_value("--out");
+        } else if (args[i] == "--tol") {
+          default_tol = parse_frac("--tol", need_value("--tol"));
+        } else if (args[i] == "--tol-for") {
+          const std::string spec = need_value("--tol-for");
+          const auto eq = spec.rfind('=');
+          if (eq == std::string::npos || eq == 0) {
+            throw InputError("--tol-for expects PATH=FRAC");
+          }
+          tol_overrides.emplace_back(
+              spec.substr(0, eq),
+              parse_frac("--tol-for", spec.substr(eq + 1)));
+        } else if (args[i] == "--ignore") {
+          ignore.push_back(need_value("--ignore"));
+        } else {
+          throw InputError(
+              strprintf("unknown --record option '%s'", args[i].c_str()));
+        }
+      }
+      if (payload_path.empty() || out_path.empty()) {
+        throw InputError("--record needs --payload FILE and --out FILE");
+      }
+      const telemetry::Json baseline = analysis::make_baseline(
+          name, telemetry::load_json_file(payload_path), default_tol,
+          tol_overrides, ignore);
+      // Refuse to record a baseline that could not catch a regression.
+      const auto st = analysis::self_test_baseline(baseline);
+      if (!st.ok()) {
+        throw Error(strprintf(
+            "refusing to record '%s': baseline fails its own self-test "
+            "(identity %s, perturbation %s, %d gated metric(s))",
+            name.c_str(), st.identity_pass ? "ok" : "fails",
+            st.perturbed_fails ? "detected" : "undetected",
+            st.gated_metrics));
+      }
+      telemetry::write_json_file(out_path, baseline);
+      std::printf("baseline '%s' recorded to %s\n", name.c_str(),
+                  out_path.c_str());
+      return 0;
+    }
+
+    if (args.size() != 2) { usage(); return 1; }
+    const auto check =
+        analysis::check_baseline(telemetry::load_json_file(args[0]),
+                                 telemetry::load_json_file(args[1]));
+    std::printf("%s", analysis::format_baseline_check(check).c_str());
+    if (!check.pass) {
+      throw Error(strprintf("bench '%s' regressed against baseline %s",
+                            check.bench.c_str(), args[0].c_str()));
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "xgyro_bench_check: %s\n", e.what());
+    return 1;
+  }
+}

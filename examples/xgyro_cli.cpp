@@ -32,6 +32,9 @@
 #include <string>
 #include <vector>
 
+#include "analysis/critical_path.hpp"
+#include "analysis/divergence.hpp"
+#include "analysis/waitwork.hpp"
 #include "campaign/campaign.hpp"
 #include "gyro/restart.hpp"
 #include "gyro/simulation.hpp"
@@ -68,6 +71,9 @@ struct Options {
   xg::mpi::FaultPlan faults;
   double watchdog_timeout_s = 60.0;
   bool check_invariants = true;
+  bool analyze = false;
+  bool perfmodel_check = false;
+  double perfmodel_tol = xg::analysis::kDefaultDivergenceTolerance;
 };
 
 /// Strict numeric parsing: the whole value must be a number in range.
@@ -133,6 +139,13 @@ void print_help() {
       "\"seed=42;straggler=2x3.0;delay=0.3x5e-6;kill=1@0.02\"\n"
       "  --watchdog SECONDS  deadlock watchdog timeout (0 disables)\n"
       "  --no-invariants     disable the collective invariant monitor\n"
+      "  --analyze           trace the run and print its critical path and\n"
+      "                      per-phase wait/work decomposition (embedded in\n"
+      "                      --report / --metrics-out artifacts too)\n"
+      "  --perfmodel-check   compare measured per-phase costs against the\n"
+      "                      closed-form perfmodel prediction; a divergence\n"
+      "                      beyond tolerance exits 1\n"
+      "  --perfmodel-tol X   divergence gate ratio bound [3.0]\n"
       "  --help              print this reference and exit\n"
       "\n"
       "exit status:\n"
@@ -221,6 +234,15 @@ Options parse_args(int argc, char** argv) {
     } else if (a == "--no-invariants") {
       once(a);
       o.check_invariants = false;
+    } else if (a == "--analyze") {
+      once(a);
+      o.analyze = true;
+    } else if (a == "--perfmodel-check") {
+      once(a);
+      o.perfmodel_check = true;
+    } else if (a == "--perfmodel-tol") {
+      once(a);
+      o.perfmodel_tol = parse_double(a, need_value(i++));
     } else if (a == "--mode") {
       once(a);
       const std::string m = need_value(i++);
@@ -257,6 +279,14 @@ Options parse_args(int argc, char** argv) {
   }
   if (o.watchdog_timeout_s < 0.0) {
     throw xg::InputError("--watchdog must be >= 0");
+  }
+  if (seen.count("--perfmodel-tol") != 0 && !o.perfmodel_check) {
+    throw xg::InputError("--perfmodel-tol requires --perfmodel-check");
+  }
+  if (o.perfmodel_tol < 1.0) {
+    throw xg::InputError(
+        "--perfmodel-tol must be >= 1 (it bounds the measured/predicted "
+        "ratio on both sides)");
   }
   if (o.checkpoint_dir.empty()) {
     for (const char* f : {"--checkpoint-every", "--max-recoveries", "--resume"}) {
@@ -307,9 +337,10 @@ int main(int argc, char** argv) {
     ropts.check_invariants = opt.check_invariants;
     ropts.watchdog_timeout_s = opt.watchdog_timeout_s;
     // Telemetry artifacts need the trace stream; the report and metrics also
-    // aggregate the traffic matrix. Both stay off unless requested.
+    // aggregate the traffic matrix. Both stay off unless requested. The
+    // analysis engine works entirely from the trace, so --analyze implies it.
     ropts.enable_trace = !opt.trace_out.empty() || !opt.report_out.empty() ||
-                         !opt.metrics_out.empty();
+                         !opt.metrics_out.empty() || opt.analyze;
     ropts.enable_traffic = !opt.report_out.empty() || !opt.metrics_out.empty();
     if (opt.faults.active()) {
       std::printf("%s\n", opt.faults.describe().c_str());
@@ -474,6 +505,38 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(result.collectives_checked));
     }
 
+    analysis::CriticalPath cpath;
+    analysis::WaitWorkSummary waitwork;
+    if (opt.analyze) {
+      cpath = analysis::compute_critical_path(result);
+      waitwork = analysis::analyze_waitwork(result);
+      std::printf("\n%s", analysis::format_critical_path(cpath).c_str());
+      std::printf("\n%s", analysis::format_waitwork(waitwork).c_str());
+    }
+
+    telemetry::Json divergence_doc;  // null unless --perfmodel-check ran
+    bool divergence_failed = false;
+    if (opt.perfmodel_check) {
+      // Replay the closed-form prediction for the *initial* configuration;
+      // an elastic run that replanned onto a different layout is expected
+      // to diverge from it.
+      const gyro::Input analysis_input =
+          !opt.manifest.empty() ? manifest_ensemble.members.front()
+                                : gyro::Input::load(opt.inputs.front());
+      const int k = ensemble_mode ? n_members : 1;
+      const int ranks_per_sim = ensemble_mode ? opt.ranks_per_sim : opt.ranks;
+      const auto analysis_decomp =
+          ensemble_mode
+              ? gyro::Decomposition::choose(analysis_input, ranks_per_sim, k)
+              : gyro::Decomposition::choose(analysis_input, ranks_per_sim);
+      const analysis::DivergenceReport div = analysis::check_divergence(
+          result, analysis_input, analysis_decomp, k, machine, opt.intervals,
+          opt.perfmodel_tol);
+      std::printf("\n%s", analysis::format_divergence(div).c_str());
+      divergence_doc = analysis::divergence_json(div);
+      divergence_failed = !div.pass;
+    }
+
     if (!opt.timing_out.empty()) {
       gyro::write_timing_log(
           opt.timing_out,
@@ -487,10 +550,27 @@ int main(int argc, char** argv) {
     }
     if (!opt.report_out.empty() || !opt.metrics_out.empty()) {
       const net::Placement placement(final_machine);
+      telemetry::MetricsRegistry registry =
+          telemetry::collect_run_metrics(result, placement);
+      if (opt.analyze) analysis::record_waitwork_metrics(waitwork, registry);
       if (!opt.report_out.empty()) {
         telemetry::RunReport report = telemetry::build_run_report(
             result, placement, xgyro::solver_phases(),
-            ensemble_mode ? "xgyro" : "cgyro", n_members);
+            ensemble_mode ? "xgyro" : "cgyro", n_members,
+            /*with_metrics=*/false);
+        report.metrics = registry.snapshot();
+        if (opt.analyze || opt.perfmodel_check) {
+          telemetry::Json analysis_doc = telemetry::Json::object();
+          if (opt.analyze) {
+            analysis_doc.set("critical_path",
+                             analysis::critical_path_json(cpath));
+            analysis_doc.set("waitwork", analysis::waitwork_json(waitwork));
+          }
+          if (opt.perfmodel_check) {
+            analysis_doc.set("divergence", divergence_doc);
+          }
+          report.analysis = std::move(analysis_doc);
+        }
         if (elastic) {
           report.have_recovery = true;
           report.snapshots_committed = snapshots_committed;
@@ -513,11 +593,17 @@ int main(int argc, char** argv) {
         std::printf("run report written to %s\n", opt.report_out.c_str());
       }
       if (!opt.metrics_out.empty()) {
-        telemetry::write_json_file(
-            opt.metrics_out,
-            telemetry::collect_run_metrics(result, placement).snapshot());
+        telemetry::write_json_file(opt.metrics_out, registry.snapshot());
         std::printf("metrics written to %s\n", opt.metrics_out.c_str());
       }
+    }
+    if (divergence_failed) {
+      // Artifacts above are still written (the report records the failed
+      // gate); the exit status is what CI keys on.
+      throw Error(strprintf(
+          "perf-model divergence gate failed (tolerance %.2fx); see table "
+          "above",
+          opt.perfmodel_tol));
     }
     return 0;
   } catch (const mpi::RankFailure& e) {

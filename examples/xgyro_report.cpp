@@ -12,6 +12,10 @@
 //   # validate a Chrome trace artifact (xgyro_cli --trace-out):
 //   ./examples/xgyro_report --validate-trace trace.json
 //
+//   # re-render the analysis section of a report (xgyro_cli --analyze
+//   # --report ...): critical path, wait/work, perf-model divergence:
+//   ./examples/xgyro_report --analysis run.report.json
+//
 // Arguments (both diff modes): baseline artifact, ensemble artifact, number
 // of sequential CGYRO jobs the baseline stands for (default 8). Both modes
 // print the identical Fig. 2-style table for the same timing numbers.
@@ -20,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/divergence.hpp"
 #include "gyro/timing_log.hpp"
 #include "telemetry/report.hpp"
 #include "telemetry/trace.hpp"
@@ -32,7 +37,61 @@ void usage() {
                "usage: xgyro_report CGYRO_LOG XGYRO_LOG [n_sequential]\n"
                "       xgyro_report --json CGYRO_REPORT XGYRO_REPORT "
                "[n_sequential]\n"
-               "       xgyro_report --validate-trace TRACE_JSON\n");
+               "       xgyro_report --validate-trace TRACE_JSON\n"
+               "       xgyro_report --analysis REPORT_JSON\n");
+}
+
+/// Print the embedded analysis section of a run report written by
+/// `xgyro_cli --analyze [--perfmodel-check] --report FILE`.
+int print_analysis(const std::string& path) {
+  using namespace xg;
+  const telemetry::RunReport report = telemetry::load_run_report(path);
+  if (report.analysis.is_null()) {
+    throw InputError(
+        "report has no analysis section (re-run xgyro_cli with --analyze)");
+  }
+  std::printf("analysis for run '%s' (%d rank(s), %d member(s), makespan "
+              "%.6f s)\n\n",
+              report.label.c_str(), report.nranks, report.n_members,
+              report.makespan_s);
+  if (const auto* cp = report.analysis.find("critical_path"); cp != nullptr) {
+    const double makespan = cp->at("makespan_s").as_double();
+    const double covered = cp->at("covered_s").as_double();
+    std::printf("critical path: %.6f s of %.6f s makespan (%.2f%% covered), "
+                "ends on rank %lld\n",
+                covered, makespan,
+                makespan > 0.0 ? 100.0 * covered / makespan : 100.0,
+                static_cast<long long>(cp->at("end_rank").as_int()));
+    std::printf("  %-10s %14s %14s %14s\n", "phase", "work_s", "transfer_s",
+                "total_s");
+    for (const auto& [phase, share] : cp->at("by_phase").items()) {
+      std::printf("  %-10s %14.6f %14.6f %14.6f\n", phase.c_str(),
+                  share.at("work_s").as_double(),
+                  share.at("transfer_s").as_double(),
+                  share.at("total_s").as_double());
+    }
+  }
+  if (const auto* ww = report.analysis.find("waitwork"); ww != nullptr) {
+    std::printf("\nwait/work: %lld collective instance(s), wait %.6f "
+                "rank-s, transfer %.6f s, max skew %.9f s\n",
+                static_cast<long long>(ww->at("n_instances").as_int()),
+                ww->at("total_wait_s").as_double(),
+                ww->at("total_transfer_s").as_double(),
+                ww->at("max_skew_s").as_double());
+    for (const auto& [phase, agg] : ww->at("by_phase").items()) {
+      std::printf("  %-10s %6lld collectives  wait %.6f  transfer %.6f\n",
+                  phase.c_str(),
+                  static_cast<long long>(agg.at("instances").as_int()),
+                  agg.at("wait_s").as_double(),
+                  agg.at("transfer_s").as_double());
+    }
+  }
+  if (const auto* div = report.analysis.find("divergence"); div != nullptr) {
+    std::printf("\n%s", analysis::format_divergence(
+                            analysis::divergence_from_json(*div))
+                            .c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -48,11 +107,20 @@ int main(int argc, char** argv) {
       }
       const auto check =
           telemetry::check_chrome_trace(telemetry::load_json_file(args[1]));
-      std::printf("trace ok: %d track(s), %d complete event(s), %zu rank(s) "
-                  "with events\n",
+      std::printf("trace ok: %d track(s), %d complete event(s), %d collective "
+                  "instance(s), %zu rank(s) with events\n",
                   check.n_tracks, check.n_complete_events,
+                  check.n_collective_instances,
                   check.ranks_with_tracks.size());
       return 0;
+    }
+
+    if (!args.empty() && args[0] == "--analysis") {
+      if (args.size() != 2) {
+        usage();
+        return 1;
+      }
+      return print_analysis(args[1]);
     }
 
     const bool json_mode = !args.empty() && args[0] == "--json";

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# bench_baseline.sh BUILD_DIR [OUT_DIR]
+#
+# (Re-)record the benchmark baselines gated by xgyro_bench_check: run each
+# bench in its canonical baseline configuration, wrap the JSON payload in a
+# BENCH_<name>.json document (schema xgyro.bench_baseline), and write it to
+# OUT_DIR (default: repo root, where `xgyro_bench_check --smoke .` and the
+# ci gate pick them up).
+#
+# DES benches (node_scaling, ensemble_scaling) report virtual seconds and
+# are bit-deterministic, so the default 2% tolerance gates every metric.
+# collision_apply_bench measures wall-clock rates; those are --ignore'd so
+# the baseline stays machine-independent while the configuration (nv,
+# n_cells, k values) is still gated.
+#
+# Recording refuses baselines that fail their own self-test (identity must
+# pass, a +10% perturbation must be detected), so anything this script
+# writes is a working regression gate. Compare a fresh run with:
+#   node_scaling --steps 2 --json candidate.json
+#   xgyro_bench_check BENCH_node_scaling.json candidate.json
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT_DIR=${2:-.}
+BENCH="$BUILD_DIR/bench"
+CHECK="$BUILD_DIR/examples/xgyro_bench_check"
+for bin in "$BENCH/node_scaling" "$BENCH/ensemble_scaling" \
+           "$BENCH/collision_apply_bench" "$CHECK"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "bench_baseline: missing binary $bin" >&2
+    exit 1
+  fi
+done
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+# Canonical baseline configurations. --steps 2 keeps the DES sweeps to
+# seconds; virtual-time results are step-proportional, so a reduced step
+# count loses no regression-detection power.
+"$BENCH/node_scaling" --steps 2 --json "$WORK/node_scaling.json" \
+  > "$WORK/node_scaling.out"
+"$BENCH/ensemble_scaling" --steps 2 --json "$WORK/ensemble_scaling.json" \
+  > "$WORK/ensemble_scaling.out"
+"$BENCH/collision_apply_bench" > "$WORK/collision_apply.json"
+
+"$CHECK" --record node_scaling \
+  --payload "$WORK/node_scaling.json" \
+  --out "$OUT_DIR/BENCH_node_scaling.json"
+"$CHECK" --record ensemble_scaling \
+  --payload "$WORK/ensemble_scaling.json" \
+  --out "$OUT_DIR/BENCH_ensemble_scaling.json"
+"$CHECK" --record collision_apply \
+  --payload "$WORK/collision_apply.json" \
+  --ignore cells_per_s --ignore speedup \
+  --out "$OUT_DIR/BENCH_collision_apply.json"
+
+"$CHECK" --smoke "$OUT_DIR"
+echo "bench_baseline: baselines recorded to $OUT_DIR"

@@ -5,7 +5,8 @@
 #
 #   1. Flag parity: every --flag printed by `xgyro_cli --help` must appear
 #      in the guide's marked reference block, and every --flag in the block
-#      must exist in --help (same for xgyro_report's usage text).
+#      must exist in --help (same for xgyro_report's usage text and
+#      xgyro_bench_check --help).
 #   2. Every `sh`-tagged fenced command block in the guide parses
 #      (bash -n) and — unless its first line marks it as a build step —
 #      executes successfully, in order, in a scratch directory with the
@@ -21,7 +22,8 @@ BUILD_DIR=${1:-build}
 GUIDE=docs/USER_GUIDE.md
 CLI="$BUILD_DIR/examples/xgyro_cli"
 REPORT="$BUILD_DIR/examples/xgyro_report"
-for f in "$GUIDE" "$CLI" "$REPORT"; do
+BENCH_CHECK="$BUILD_DIR/examples/xgyro_bench_check"
+for f in "$GUIDE" "$CLI" "$REPORT" "$BENCH_CHECK"; do
   if [[ ! -e "$f" ]]; then
     echo "docs_check: missing $f" >&2
     exit 1
@@ -56,6 +58,16 @@ marker_block xgyro_report-flags | extract_flags > "$WORK/report.guide.flags"
 if ! diff -u "$WORK/report.help.flags" "$WORK/report.guide.flags" > "$WORK/report.diff"; then
   cat "$WORK/report.diff" >&2
   fail "xgyro_report usage and $GUIDE disagree on the flag set"
+fi
+
+"$BENCH_CHECK" --help > "$WORK/bench_check.help"
+extract_flags < "$WORK/bench_check.help" > "$WORK/bench_check.help.flags"
+marker_block xgyro_bench_check-flags | extract_flags \
+  > "$WORK/bench_check.guide.flags"
+if ! diff -u "$WORK/bench_check.help.flags" "$WORK/bench_check.guide.flags" \
+    > "$WORK/bench_check.diff"; then
+  cat "$WORK/bench_check.diff" >&2
+  fail "xgyro_bench_check --help and $GUIDE disagree on the flag set"
 fi
 
 # --- 2. every sh fence parses; non-build fences execute -------------------
@@ -110,7 +122,10 @@ expect_error "ckpt in model mode"    --input x --checkpoint-dir d --mode model
 expect_error "ckpt+legacy restart"   --input x --checkpoint-dir d --restart-read r
 expect_error "unknown flag"          --input x --bogus
 expect_error "bad intervals"         --input x --intervals 0
+expect_error "tol w/o perfmodel"     --input x --perfmodel-tol 3.0
+expect_error "tol below one"         --input x --perfmodel-check --perfmodel-tol 0.5
+expect_error "malformed tol"         --input x --perfmodel-check --perfmodel-tol abc
 
 "$CLI" --help > /dev/null || fail "--help must exit 0"
 
-echo "docs_check: $N_FENCES guide fences and both flag references verified"
+echo "docs_check: $N_FENCES guide fences and all three flag references verified"

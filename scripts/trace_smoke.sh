@@ -32,8 +32,15 @@ trap 'rm -rf "$WORK"' EXIT
 "$CLI" --input examples/inputs/member_a/input.cgyro --ranks 2 --intervals 1 \
        --report "$WORK/cgyro.report.json" > "$WORK/cgyro.stdout"
 
-# The trace must be a valid Chrome trace document with per-rank tracks.
-"$REPORT" --validate-trace "$WORK/trace.json"
+# The trace must be a valid Chrome trace document with per-rank tracks —
+# and a non-empty one: a schema-valid file with zero complete events (or
+# zero collective instances) means the exporter silently dropped the run,
+# which "trace ok" alone would wave through.
+"$REPORT" --validate-trace "$WORK/trace.json" | tee "$WORK/validate.out"
+if grep -Eq "0 complete event|0 collective instance" "$WORK/validate.out"; then
+  echo "trace_smoke: trace validated but is empty (zero rows)" >&2
+  exit 1
+fi
 
 # Diffing the two reports prints the Fig. 2-style table + regression deltas.
 "$REPORT" --json "$WORK/cgyro.report.json" "$WORK/xgyro.report.json" 4 \

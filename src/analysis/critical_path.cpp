@@ -1,0 +1,255 @@
+#include "analysis/critical_path.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/format.hpp"
+
+namespace xg::analysis {
+
+using telemetry::Json;
+
+namespace {
+
+/// "str_comm" → "str": the compute gap feeding a comm phase belongs to the
+/// matching compute phase.
+std::string strip_comm(const std::string& phase) {
+  constexpr const char* kSuffix = "_comm";
+  constexpr std::size_t kSuffixLen = 5;
+  if (phase.size() > kSuffixLen &&
+      phase.compare(phase.size() - kSuffixLen, kSuffixLen, kSuffix) == 0) {
+    return phase.substr(0, phase.size() - kSuffixLen);
+  }
+  return phase;
+}
+
+struct RankEvents {
+  /// This rank's collective rows, ascending by (t_end, t_start).
+  std::vector<const mpi::TraceEvent*> rows;
+};
+
+}  // namespace
+
+const char* path_segment_kind_name(PathSegment::Kind kind) {
+  switch (kind) {
+    case PathSegment::Kind::kInit: return "init";
+    case PathSegment::Kind::kWork: return "work";
+    case PathSegment::Kind::kTransfer: return "transfer";
+  }
+  return "?";
+}
+
+CriticalPath compute_critical_path(const mpi::RunResult& result) {
+  CriticalPath path;
+  path.makespan_s = result.makespan_s;
+
+  // Start from the last-finishing rank (ties toward the lower rank).
+  int end_rank = -1;
+  int end_member = -1;
+  double end_time = 0.0;
+  for (const auto& r : result.ranks) {
+    if (end_rank < 0 || r.final_time_s > end_time) {
+      end_rank = r.world_rank;
+      end_time = r.final_time_s;
+    }
+  }
+  path.end_rank = end_rank;
+
+  std::map<int, RankEvents> by_rank;
+  std::map<int, int> member_of;  // world rank → ensemble member
+  for (const auto& e : result.trace) {
+    by_rank[e.world_rank].rows.push_back(&e);
+    member_of[e.world_rank] = e.member;
+  }
+  for (auto& [rank, ev] : by_rank) {
+    std::sort(ev.rows.begin(), ev.rows.end(),
+              [](const mpi::TraceEvent* a, const mpi::TraceEvent* b) {
+                if (a->t_end != b->t_end) return a->t_end < b->t_end;
+                return a->t_start < b->t_start;
+              });
+  }
+  if (const auto it = member_of.find(end_rank); it != member_of.end()) {
+    end_member = it->second;
+  }
+
+  std::vector<PathSegment> segments;  // built backward, reversed at the end
+  auto emit = [&segments](PathSegment seg) {
+    if (seg.t_end > seg.t_start) segments.push_back(std::move(seg));
+  };
+
+  int rank = end_rank;
+  int member = end_member;
+  double cursor = end_time;
+  // Phase of the collective immediately after the current gap; the run ends
+  // in the report phase, so the tail gap is report time.
+  std::string later_phase = "report";
+  // Guard against zero-duration collective cycles at one timestamp: never
+  // re-process an instance, and cap the walk at the trace size.
+  std::uint64_t last_ctx = 0, last_seq = 0;
+  bool have_last = false;
+  std::size_t steps = 0;
+  const std::size_t max_steps = result.trace.size() + 2;
+
+  while (cursor > 0.0 && rank >= 0 && ++steps <= max_steps) {
+    // Latest collective row on `rank` ending at or before the cursor.
+    const mpi::TraceEvent* e = nullptr;
+    if (const auto it = by_rank.find(rank); it != by_rank.end()) {
+      for (auto rit = it->second.rows.rbegin(); rit != it->second.rows.rend();
+           ++rit) {
+        const mpi::TraceEvent* cand = *rit;
+        if (cand->t_end > cursor) continue;
+        if (have_last && cand->comm_context == last_ctx &&
+            cand->seq == last_seq) {
+          continue;
+        }
+        e = cand;
+        break;
+      }
+    }
+    if (e == nullptr) break;  // no earlier collective: rest is init
+
+    if (e->t_end < cursor) {
+      emit({PathSegment::Kind::kWork, rank, member, later_phase, e->t_end,
+            cursor, "", 0});
+    }
+
+    // Transfer: the bandwidth-bound part after every member has arrived.
+    // Non-synchronizing collectives (bcast trees) can let this rank exit
+    // before the group's last arrival, so clamp into [t_start, t_end].
+    const double join =
+        std::clamp(e->last_arrival_s, e->t_start, e->t_end);
+    emit({PathSegment::Kind::kTransfer, rank, member, e->phase, join, e->t_end,
+          e->comm_label, e->seq});
+
+    // Jump to the member the collective waited on.
+    const int prev_rank = rank;
+    if (e->last_arriver >= 0 && e->last_arrival_s >= e->t_start) {
+      rank = e->last_arriver;
+      if (const auto it = member_of.find(rank); it != member_of.end()) {
+        member = it->second;
+      }
+    }
+    if (rank != prev_rank) ++path.rank_switches;
+    cursor = join;
+    later_phase = strip_comm(e->phase);
+    last_ctx = e->comm_context;
+    last_seq = e->seq;
+    have_last = true;
+  }
+
+  if (cursor > 0.0) {
+    emit({PathSegment::Kind::kInit, rank, member, "init", 0.0, cursor, "", 0});
+  }
+
+  std::reverse(segments.begin(), segments.end());
+  path.segments = std::move(segments);
+
+  for (const auto& seg : path.segments) {
+    const double d = seg.duration_s();
+    path.covered_s += d;
+    path.seconds_by_rank[seg.world_rank] += d;
+    path.seconds_by_member[seg.member] += d;
+    PhasePathShare& share = path.by_phase[seg.phase];
+    switch (seg.kind) {
+      case PathSegment::Kind::kInit: path.init_s += d; share.work_s += d; break;
+      case PathSegment::Kind::kWork: path.work_s += d; share.work_s += d; break;
+      case PathSegment::Kind::kTransfer:
+        path.transfer_s += d;
+        share.transfer_s += d;
+        break;
+    }
+  }
+  return path;
+}
+
+Json critical_path_json(const CriticalPath& path, int max_segments) {
+  Json by_phase = Json::object();
+  for (const auto& [phase, share] : path.by_phase) {
+    by_phase.set(phase, Json::object()
+                            .set("work_s", Json(share.work_s))
+                            .set("transfer_s", Json(share.transfer_s))
+                            .set("total_s", Json(share.total_s())));
+  }
+  Json by_rank = Json::object();
+  for (const auto& [rank, s] : path.seconds_by_rank) {
+    by_rank.set(strprintf("%d", rank), Json(s));
+  }
+  Json by_member = Json::object();
+  for (const auto& [member, s] : path.seconds_by_member) {
+    by_member.set(strprintf("%d", member), Json(s));
+  }
+
+  Json segs = Json::array();
+  const int limit = max_segments < 0 ? 0 : max_segments;
+  int emitted = 0;
+  for (const auto& seg : path.segments) {
+    if (emitted >= limit) break;
+    ++emitted;
+    Json row = Json::object()
+                   .set("kind", Json(path_segment_kind_name(seg.kind)))
+                   .set("rank", Json(seg.world_rank))
+                   .set("member", Json(seg.member))
+                   .set("phase", Json(seg.phase))
+                   .set("t_start_s", Json(seg.t_start))
+                   .set("t_end_s", Json(seg.t_end));
+    if (seg.kind == PathSegment::Kind::kTransfer) {
+      row.set("comm", Json(seg.comm_label)).set("seq", Json(seg.seq));
+    }
+    segs.push(std::move(row));
+  }
+
+  return Json::object()
+      .set("makespan_s", Json(path.makespan_s))
+      .set("covered_s", Json(path.covered_s))
+      .set("end_rank", Json(path.end_rank))
+      .set("work_s", Json(path.work_s))
+      .set("transfer_s", Json(path.transfer_s))
+      .set("init_s", Json(path.init_s))
+      .set("rank_switches", Json(path.rank_switches))
+      .set("n_segments", Json(static_cast<std::int64_t>(path.segments.size())))
+      .set("segments_truncated",
+           Json(static_cast<std::size_t>(emitted) < path.segments.size()))
+      .set("by_phase", std::move(by_phase))
+      .set("by_rank", std::move(by_rank))
+      .set("by_member", std::move(by_member))
+      .set("segments", std::move(segs));
+}
+
+std::string format_critical_path(const CriticalPath& path) {
+  std::string out;
+  out += strprintf("critical path: %.6f s of %.6f s makespan (%.2f%% covered)\n",
+                   path.covered_s, path.makespan_s,
+                   path.makespan_s > 0.0
+                       ? 100.0 * path.covered_s / path.makespan_s
+                       : 100.0);
+  out += strprintf(
+      "  work %.6f s   transfer %.6f s   init %.6f s   segments %zu   "
+      "rank switches %d (ends on rank %d)\n",
+      path.work_s, path.transfer_s, path.init_s, path.segments.size(),
+      path.rank_switches, path.end_rank);
+  out += strprintf("  %-10s %14s %14s %14s %7s\n", "phase", "work_s",
+                   "transfer_s", "total_s", "share");
+  for (const auto& [phase, share] : path.by_phase) {
+    out += strprintf("  %-10s %14.6f %14.6f %14.6f %6.1f%%\n", phase.c_str(),
+                     share.work_s, share.transfer_s, share.total_s(),
+                     path.covered_s > 0.0
+                         ? 100.0 * share.total_s() / path.covered_s
+                         : 0.0);
+  }
+
+  // The rank chain that matters: top contributors by time on the path.
+  std::vector<std::pair<int, double>> ranks(path.seconds_by_rank.begin(),
+                                            path.seconds_by_rank.end());
+  std::sort(ranks.begin(), ranks.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  out += "  top ranks on path:";
+  const std::size_t top = std::min<std::size_t>(ranks.size(), 4);
+  for (std::size_t i = 0; i < top; ++i) {
+    out += strprintf(" rank %d (%.6f s)%s", ranks[i].first, ranks[i].second,
+                     i + 1 < top ? "," : "");
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace xg::analysis

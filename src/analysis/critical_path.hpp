@@ -1,0 +1,92 @@
+// Critical-path extraction from a traced simulated run.
+//
+// The critical path is the chain of compute gaps and collective dependency
+// edges that bounds the makespan: walk backward from the last-finishing
+// rank; each collective on the walk contributes a pure-transfer segment
+// (last arrival → exit), then the walk jumps to the last-arriving member —
+// the rank whose lateness the collective was actually waiting on — and
+// continues from its entry time (the Scalasca-style backward replay). Gaps
+// between consecutive collectives on a rank are work segments. The segments
+// tile [0, makespan] exactly, so per-phase attribution sums to the makespan
+// by construction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simmpi/stats.hpp"
+#include "telemetry/json.hpp"
+
+namespace xg::analysis {
+
+/// One interval of the critical path. Segments are disjoint, ascending, and
+/// cover [0, makespan].
+struct PathSegment {
+  enum class Kind {
+    kInit,      ///< before the first collective the walk reaches
+    kWork,      ///< compute gap between collectives on one rank
+    kTransfer,  ///< collective last-arrival → exit (bandwidth-bound part)
+  };
+  Kind kind{};
+  int world_rank = -1;
+  int member = -1;
+  /// Phase attribution. Transfer segments carry the collective's own phase
+  /// (e.g. "str_comm"); work gaps carry the following collective's phase
+  /// with the "_comm" suffix stripped (the compute that feeds a str_comm
+  /// AllReduce is str compute); the tail gap after the last collective is
+  /// "report", the head gap "init".
+  std::string phase;
+  double t_start = 0.0;
+  double t_end = 0.0;
+  /// Transfer segments only: which collective instance.
+  std::string comm_label;
+  std::uint64_t seq = 0;
+
+  [[nodiscard]] double duration_s() const { return t_end - t_start; }
+};
+
+const char* path_segment_kind_name(PathSegment::Kind kind);
+
+/// Per-phase attribution of critical-path time.
+struct PhasePathShare {
+  double work_s = 0.0;
+  double transfer_s = 0.0;
+
+  [[nodiscard]] double total_s() const { return work_s + transfer_s; }
+};
+
+struct CriticalPath {
+  double makespan_s = 0.0;
+  /// Sum of segment durations; equals makespan_s up to FP rounding.
+  double covered_s = 0.0;
+  int end_rank = -1;  ///< the last-finishing rank the walk starts from
+  double work_s = 0.0;
+  double transfer_s = 0.0;
+  double init_s = 0.0;
+  int rank_switches = 0;  ///< how often the path jumped between ranks
+  std::vector<PathSegment> segments;          ///< ascending in time
+  std::map<std::string, PhasePathShare> by_phase;
+  std::map<int, double> seconds_by_rank;
+  std::map<int, double> seconds_by_member;  ///< -1 = unattributed ranks
+};
+
+/// Extract the critical path from `result.trace` (requires the run to have
+/// been traced; an untraced run yields a single init segment covering the
+/// whole makespan). Trace rows must carry arrival annotations, which
+/// Runtime::run applies automatically.
+CriticalPath compute_critical_path(const mpi::RunResult& result);
+
+/// { "makespan_s", "covered_s", "end_rank", "work_s", "transfer_s", ...,
+///   "by_phase": {phase: {work_s, transfer_s}},
+///   "by_rank": {...}, "by_member": {...}, "segments": [...] }.
+/// At most `max_segments` segment rows are emitted (earliest first), with
+/// "segments_truncated" flagging the cut; pass 0 to omit segments entirely.
+telemetry::Json critical_path_json(const CriticalPath& path,
+                                   int max_segments = 1000);
+
+/// Human-readable summary: totals, per-phase table, dominant ranks.
+std::string format_critical_path(const CriticalPath& path);
+
+}  // namespace xg::analysis

@@ -1,0 +1,146 @@
+#include "analysis/waitwork.hpp"
+
+#include <algorithm>
+
+#include "util/format.hpp"
+
+namespace xg::analysis {
+
+using telemetry::Json;
+
+WaitWorkSummary analyze_waitwork(const mpi::RunResult& result) {
+  WaitWorkSummary summary;
+
+  std::map<std::pair<std::uint64_t, std::uint64_t>, CollectiveWaitWork> groups;
+  for (const auto& e : result.trace) {
+    auto [it, inserted] = groups.try_emplace({e.comm_context, e.seq});
+    CollectiveWaitWork& w = it->second;
+    if (inserted) {
+      w.comm_context = e.comm_context;
+      w.seq = e.seq;
+      w.comm_label = e.comm_label;
+      w.phase = e.phase;
+      w.kind = e.kind;
+      w.participants = e.participants;
+      w.first_arrival_s = e.t_start;
+      // Arrival annotations are identical on every row of the group.
+      w.last_arrival_s = e.last_arrival_s;
+      w.arrival_skew_s = e.arrival_skew_s;
+      w.last_arriver = e.last_arriver;
+    } else {
+      w.first_arrival_s = std::min(w.first_arrival_s, e.t_start);
+    }
+    ++w.rows;
+    w.wait_s += std::max(0.0, e.last_arrival_s - e.t_start);
+    w.transfer_s =
+        std::max(w.transfer_s, std::max(0.0, e.t_end - e.last_arrival_s));
+  }
+
+  summary.instances.reserve(groups.size());
+  for (auto& [key, w] : groups) summary.instances.push_back(std::move(w));
+  std::sort(summary.instances.begin(), summary.instances.end(),
+            [](const CollectiveWaitWork& a, const CollectiveWaitWork& b) {
+              if (a.first_arrival_s != b.first_arrival_s) {
+                return a.first_arrival_s < b.first_arrival_s;
+              }
+              if (a.comm_context != b.comm_context) {
+                return a.comm_context < b.comm_context;
+              }
+              return a.seq < b.seq;
+            });
+
+  for (std::size_t i = 0; i < summary.instances.size(); ++i) {
+    const CollectiveWaitWork& w = summary.instances[i];
+    PhaseWaitWork& p = summary.by_phase[w.phase];
+    ++p.instances;
+    p.wait_s += w.wait_s;
+    p.transfer_s += w.transfer_s;
+    p.max_skew_s = std::max(p.max_skew_s, w.arrival_skew_s);
+    summary.total_wait_s += w.wait_s;
+    summary.total_transfer_s += w.transfer_s;
+    if (w.arrival_skew_s > summary.max_skew_s || summary.worst_instance < 0) {
+      summary.max_skew_s = w.arrival_skew_s;
+      summary.worst_instance = static_cast<int>(i);
+    }
+  }
+  return summary;
+}
+
+Json waitwork_json(const WaitWorkSummary& summary) {
+  Json by_phase = Json::object();
+  for (const auto& [phase, p] : summary.by_phase) {
+    by_phase.set(phase, Json::object()
+                            .set("instances", Json(p.instances))
+                            .set("wait_s", Json(p.wait_s))
+                            .set("transfer_s", Json(p.transfer_s))
+                            .set("max_skew_s", Json(p.max_skew_s)));
+  }
+  Json doc =
+      Json::object()
+          .set("n_instances",
+               Json(static_cast<std::int64_t>(summary.instances.size())))
+          .set("total_wait_s", Json(summary.total_wait_s))
+          .set("total_transfer_s", Json(summary.total_transfer_s))
+          .set("max_skew_s", Json(summary.max_skew_s))
+          .set("by_phase", std::move(by_phase));
+  if (summary.worst_instance >= 0) {
+    const CollectiveWaitWork& w =
+        summary.instances[static_cast<std::size_t>(summary.worst_instance)];
+    doc.set("worst",
+            Json::object()
+                .set("comm", Json(w.comm_label))
+                .set("seq", Json(w.seq))
+                .set("kind", Json(mpi::trace_kind_name(w.kind)))
+                .set("phase", Json(w.phase))
+                .set("arrival_skew_s", Json(w.arrival_skew_s))
+                .set("last_arriver", Json(w.last_arriver))
+                .set("wait_s", Json(w.wait_s))
+                .set("transfer_s", Json(w.transfer_s)));
+  }
+  return doc;
+}
+
+void record_waitwork_metrics(const WaitWorkSummary& summary,
+                             telemetry::MetricsRegistry& registry) {
+  for (const auto& w : summary.instances) {
+    registry.add_counter(strprintf("analysis.collectives.%s", w.phase.c_str()));
+    registry
+        .histogram(strprintf("analysis.wait_s.%s", w.phase.c_str()),
+                   telemetry::Histogram::latency_bounds())
+        .observe(w.wait_s);
+    registry
+        .histogram(strprintf("analysis.skew_s.%s", w.phase.c_str()),
+                   telemetry::Histogram::latency_bounds())
+        .observe(w.arrival_skew_s);
+  }
+  registry.set_gauge("analysis.total_wait_s", summary.total_wait_s);
+  registry.set_gauge("analysis.total_transfer_s", summary.total_transfer_s);
+  registry.set_gauge("analysis.max_skew_s", summary.max_skew_s);
+}
+
+std::string format_waitwork(const WaitWorkSummary& summary) {
+  std::string out;
+  out += strprintf(
+      "wait/work: %zu collective instances, wait %.6f rank-s, transfer %.6f s\n",
+      summary.instances.size(), summary.total_wait_s,
+      summary.total_transfer_s);
+  out += strprintf("  %-10s %10s %14s %14s %14s\n", "phase", "collectives",
+                   "wait_s", "transfer_s", "max_skew_s");
+  for (const auto& [phase, p] : summary.by_phase) {
+    out += strprintf("  %-10s %10d %14.6f %14.6f %14.9f\n", phase.c_str(),
+                     p.instances, p.wait_s, p.transfer_s, p.max_skew_s);
+  }
+  if (summary.worst_instance >= 0) {
+    const CollectiveWaitWork& w =
+        summary.instances[static_cast<std::size_t>(summary.worst_instance)];
+    out += strprintf(
+        "  worst straggler: %s seq %llu (%s, phase %s) skew %.9f s, last "
+        "arriver rank %d\n",
+        w.comm_label.c_str(), static_cast<unsigned long long>(w.seq),
+        mpi::trace_kind_name(w.kind), w.phase.c_str(), w.arrival_skew_s,
+        w.last_arriver);
+  }
+  return out;
+}
+
+}  // namespace xg::analysis

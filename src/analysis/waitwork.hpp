@@ -1,0 +1,79 @@
+// Wait/work decomposition of every collective instance in a traced run.
+//
+// Grouping per-member trace rows by (comm_context, seq) splits each
+// collective's cost into the part that is imbalance (members blocked waiting
+// for the last arriver) and the part that is actual data movement (last
+// arrival → exit). Aggregated per phase, this is the imbalance accounting of
+// the paper's Fig. 2 argument: the str AllReduce shrinks because both its
+// transfer AND the wait it synchronizes shrink with shared cmat.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simmpi/stats.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace xg::analysis {
+
+/// One collective instance, decomposed.
+struct CollectiveWaitWork {
+  std::uint64_t comm_context = 0;
+  std::uint64_t seq = 0;
+  std::string comm_label;
+  std::string phase;
+  mpi::TraceEvent::Kind kind{};
+  int participants = 0;
+  int rows = 0;  ///< member rows recorded (≤ participants)
+  double first_arrival_s = 0.0;
+  double last_arrival_s = 0.0;
+  double arrival_skew_s = 0.0;  ///< last − first arrival
+  int last_arriver = -1;        ///< world rank whose lateness gated the op
+  /// Sum over members of (last_arrival − own arrival): total blocked
+  /// rank-seconds attributable to imbalance.
+  double wait_s = 0.0;
+  /// Max over members of (exit − last arrival), clamped at 0: the
+  /// bandwidth-bound cost once everyone arrived.
+  double transfer_s = 0.0;
+};
+
+struct PhaseWaitWork {
+  int instances = 0;
+  double wait_s = 0.0;      ///< summed blocked rank-seconds
+  double transfer_s = 0.0;  ///< summed per-instance max transfer
+  double max_skew_s = 0.0;
+};
+
+struct WaitWorkSummary {
+  std::vector<CollectiveWaitWork> instances;  ///< ascending by first arrival
+  std::map<std::string, PhaseWaitWork> by_phase;
+  double total_wait_s = 0.0;
+  double total_transfer_s = 0.0;
+  double max_skew_s = 0.0;
+  /// The single worst instance by arrival skew (-1 when trace is empty).
+  int worst_instance = -1;
+};
+
+/// Decompose all collective instances in `result.trace`.
+WaitWorkSummary analyze_waitwork(const mpi::RunResult& result);
+
+/// { "total_wait_s", "total_transfer_s", "max_skew_s",
+///   "by_phase": {phase: {instances, wait_s, transfer_s, max_skew_s}},
+///   "worst": {...} } — instance rows are not embedded (they can number in
+/// the thousands); use the metrics histograms for distributions.
+telemetry::Json waitwork_json(const WaitWorkSummary& summary);
+
+/// Record per-phase imbalance distributions into `registry`:
+/// histograms "analysis.wait_s.<phase>" and "analysis.skew_s.<phase>"
+/// (latency bounds), counters "analysis.collectives.<phase>", and gauges
+/// "analysis.total_wait_s" / "analysis.total_transfer_s".
+void record_waitwork_metrics(const WaitWorkSummary& summary,
+                             telemetry::MetricsRegistry& registry);
+
+/// Human-readable per-phase wait/transfer table with the worst straggler.
+std::string format_waitwork(const WaitWorkSummary& summary);
+
+}  // namespace xg::analysis

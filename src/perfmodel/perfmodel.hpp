@@ -54,6 +54,14 @@ struct PhaseEstimate {
   }
 };
 
+/// Closed-form per-phase costs for one reporting interval of a k-member run
+/// with decomposition `d` on `spec` (k = 1 is plain CGYRO). This is the
+/// prediction the analysis engine's divergence report replays against
+/// measured per-phase DES costs.
+PhaseEstimate estimate_phases(const gyro::Input& input,
+                              const gyro::Decomposition& d, int k,
+                              const net::MachineSpec& spec);
+
 /// One evaluated deployment option.
 struct PlanPoint {
   int nodes = 0;

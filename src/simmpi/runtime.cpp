@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <map>
 #include <thread>
 
 #include "simmpi/comm.hpp"
@@ -416,6 +417,7 @@ RunResult Runtime::run(const std::function<void(Proc&)>& body) {
                 if (a.t_start != b.t_start) return a.t_start < b.t_start;
                 return a.world_rank < b.world_rank;
               });
+    annotate_collective_arrivals(result.trace);
     result.spans = std::move(spans_);
     std::sort(result.spans.begin(), result.spans.end(),
               [](const SpanEvent& a, const SpanEvent& b) {
@@ -431,6 +433,39 @@ RunResult run_simulation(const net::MachineSpec& spec, int nranks,
                          const std::function<void(Proc&)>& body,
                          RuntimeOptions opts) {
   return Runtime(spec, nranks, opts).run(body);
+}
+
+void annotate_collective_arrivals(std::vector<TraceEvent>& trace) {
+  struct Arrival {
+    double min_start = 0.0;
+    double max_start = 0.0;
+    int last_arriver = -1;
+    bool seen = false;
+  };
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Arrival> groups;
+  for (const auto& e : trace) {
+    Arrival& a = groups[{e.comm_context, e.seq}];
+    if (!a.seen) {
+      a.seen = true;
+      a.min_start = a.max_start = e.t_start;
+      a.last_arriver = e.world_rank;
+      continue;
+    }
+    a.min_start = std::min(a.min_start, e.t_start);
+    // Ties go to the lower world rank: trace is sorted by (t_start, rank),
+    // but annotation must not depend on that, so compare explicitly.
+    if (e.t_start > a.max_start ||
+        (e.t_start == a.max_start && e.world_rank < a.last_arriver)) {
+      a.max_start = e.t_start;
+      a.last_arriver = e.world_rank;
+    }
+  }
+  for (auto& e : trace) {
+    const Arrival& a = groups.at({e.comm_context, e.seq});
+    e.arrival_skew_s = a.max_start - a.min_start;
+    e.last_arrival_s = a.max_start;
+    e.last_arriver = a.last_arriver;
+  }
 }
 
 const char* trace_kind_name(TraceEvent::Kind kind) {

@@ -81,9 +81,26 @@ struct TraceEvent {
   double t_start = 0.0;
   double t_end = 0.0;
   std::string phase;
+
+  // --- cross-member arrival attribution, filled by
+  // annotate_collective_arrivals() once every member's row is available
+  // (rows are recorded independently per rank, so these cannot be known at
+  // record time). They expose the DES dependency structure of the
+  // collective: no member can leave before the last arriver enters, so
+  // `last_arrival_s` is the join point a critical-path walk jumps through.
+  double arrival_skew_s = 0.0;  ///< group max t_start - min t_start
+  double last_arrival_s = 0.0;  ///< group max t_start (the dependency edge)
+  int last_arriver = -1;        ///< world rank of the last-arriving member
 };
 
 const char* trace_kind_name(TraceEvent::Kind kind);
+
+/// Group `trace` rows by (comm_context, seq) and fill each row's
+/// arrival_skew_s / last_arrival_s / last_arriver from the group's entry
+/// times (ties broken toward the lower world rank). Runtime::run applies
+/// this to every traced run; exposed for tools that re-annotate merged or
+/// synthetic traces.
+void annotate_collective_arrivals(std::vector<TraceEvent>& trace);
 
 /// One instrumented scoped region of virtual time on one rank, recorded by
 /// mpi::ScopedSpan (collision apply, FFT bracket, transposes, field

@@ -116,7 +116,8 @@ Json report_to_json(const RunReport& report) {
                         .set("max_collective_skew_s",
                              Json(report.max_collective_skew_s)))
       .set("recovery", std::move(recovery))
-      .set("metrics", report.metrics);
+      .set("metrics", report.metrics)
+      .set("analysis", report.analysis);
 }
 
 RunReport report_from_json(const Json& doc) {
@@ -189,6 +190,10 @@ RunReport report_from_json(const Json& doc) {
     }
   }
   rep.metrics = doc.at("metrics");
+  // Optional like "recovery": older reports lack the key entirely.
+  if (const Json* analysis = doc.find("analysis"); analysis != nullptr) {
+    rep.analysis = *analysis;
+  }
   return rep;
 }
 

@@ -61,6 +61,13 @@ struct RunReport {
 
   /// Embedded metrics snapshot (null when metrics were not collected).
   Json metrics;
+
+  /// Embedded analysis section (null unless the run was analyzed): an
+  /// object with "critical_path", "waitwork", and optionally "divergence"
+  /// sub-documents as produced by the src/analysis engine. Serialized under
+  /// the optional "analysis" key; reports written before the analysis
+  /// engine existed parse with a null section.
+  Json analysis;
 };
 
 /// Assemble a report from a finished run. `phases` is the presentation

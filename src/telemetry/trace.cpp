@@ -119,6 +119,9 @@ Json chrome_trace_json(const mpi::RunResult& result) {
                     .set("args", Json::object().set("phase", Json(s.phase))));
   }
   for (const auto& e : result.trace) {
+    // comm_context is a 64-bit hash; Json stores integers as int64 and falls
+    // back to double above INT64_MAX, so serialize it as a hex string to
+    // keep (ctx, seq) grouping exact for the validator.
     events.push(
         Json::object()
             .set("ph", Json("X"))
@@ -129,13 +132,19 @@ Json chrome_trace_json(const mpi::RunResult& result) {
             .set("tid", Json(e.world_rank))
             .set("ts", Json(e.t_start * kSecToUs))
             .set("dur", Json((e.t_end - e.t_start) * kSecToUs))
-            .set("args", Json::object()
-                             .set("comm", Json(e.comm_label))
-                             .set("seq", Json(e.seq))
-                             .set("local_rank", Json(e.local_rank))
-                             .set("participants", Json(e.participants))
-                             .set("payload_bytes", Json(e.payload_bytes))
-                             .set("phase", Json(e.phase))));
+            .set("args",
+                 Json::object()
+                     .set("comm", Json(e.comm_label))
+                     .set("ctx", Json(strprintf(
+                                     "%016llx", static_cast<unsigned long long>(
+                                                    e.comm_context))))
+                     .set("seq", Json(e.seq))
+                     .set("local_rank", Json(e.local_rank))
+                     .set("participants", Json(e.participants))
+                     .set("payload_bytes", Json(e.payload_bytes))
+                     .set("phase", Json(e.phase))
+                     .set("arrival_skew_us", Json(e.arrival_skew_s * kSecToUs))
+                     .set("last_arriver", Json(e.last_arriver))));
   }
 
   return Json::object()
@@ -167,6 +176,14 @@ TraceCheck check_chrome_trace(const Json& doc) {
   TraceCheck check;
   std::set<std::pair<int, int>> named_tracks;   // (pid, tid) with thread_name
   std::set<std::pair<int, int>> event_tracks;   // (pid, tid) with an X row
+  // Per-collective-instance consistency: all rows sharing a (ctx, seq) key
+  // must agree on `participants`, and no instance may have more rows than
+  // participants. Keyed by the hex ctx string so 64-bit contexts stay exact.
+  struct InstanceAgg {
+    std::int64_t participants = -1;
+    int rows = 0;
+  };
+  std::map<std::pair<std::string, std::int64_t>, InstanceAgg> instances;
   for (const auto& e : events.elems()) {
     const std::string& ph = e.at("ph").as_string();
     const int pid = static_cast<int>(e.at("pid").as_int());
@@ -188,7 +205,41 @@ TraceCheck check_chrome_trace(const Json& doc) {
     (void)e.at("name").as_string();
     event_tracks.insert({pid, tid});
     ++check.n_complete_events;
+
+    // Collective rows carry ctx/seq/participants args; older traces without
+    // them (pre-analysis schema additions) skip the group check.
+    if (const Json* args = e.find("args"); args != nullptr) {
+      const Json* ctx = args->find("ctx");
+      const Json* seq = args->find("seq");
+      const Json* participants = args->find("participants");
+      if (ctx != nullptr && seq != nullptr && participants != nullptr) {
+        InstanceAgg& agg =
+            instances[{ctx->as_string(), seq->as_int()}];
+        const std::int64_t p = participants->as_int();
+        if (agg.participants < 0) {
+          agg.participants = p;
+        } else if (agg.participants != p) {
+          throw InputError(strprintf(
+              "trace: collective ctx %s seq %lld has mismatched participant "
+              "counts across members (%lld vs %lld)",
+              ctx->as_string().c_str(),
+              static_cast<long long>(seq->as_int()),
+              static_cast<long long>(agg.participants),
+              static_cast<long long>(p)));
+        }
+        ++agg.rows;
+        if (agg.rows > agg.participants) {
+          throw InputError(strprintf(
+              "trace: collective ctx %s seq %lld has %d rows but only %lld "
+              "participants",
+              ctx->as_string().c_str(),
+              static_cast<long long>(seq->as_int()), agg.rows,
+              static_cast<long long>(agg.participants)));
+        }
+      }
+    }
   }
+  check.n_collective_instances = static_cast<int>(instances.size());
 
   check.n_tracks = static_cast<int>(named_tracks.size());
   std::set<int> ranks;

@@ -56,6 +56,8 @@ void write_chrome_trace(const std::string& path, const mpi::RunResult& result);
 struct TraceCheck {
   int n_tracks = 0;          ///< distinct (pid, tid) pairs with metadata rows
   int n_complete_events = 0; ///< "X" rows
+  /// Distinct (ctx, seq) collective instances seen in event args.
+  int n_collective_instances = 0;
   /// Distinct tids that have at least one complete event AND a thread_name
   /// metadata row — "one complete track per rank".
   std::vector<int> ranks_with_tracks;
@@ -63,7 +65,10 @@ struct TraceCheck {
 
 /// Validate a parsed Chrome trace document: schema fields, event
 /// well-formedness (ph/ts/dur/pid/tid present, ts/dur finite and
-/// non-negative), metadata coverage. Throws xg::InputError on any violation.
+/// non-negative), metadata coverage, and collective-instance consistency
+/// (all rows of one (ctx, seq) instance must agree on `participants`, and an
+/// instance may not have more rows than participants). Throws xg::InputError
+/// on any violation.
 TraceCheck check_chrome_trace(const Json& doc);
 
 }  // namespace xg::telemetry

@@ -132,6 +132,45 @@ TEST(Planner, XgyroBeatsCgyroSumOnNl03c) {
               0.05 * xg.per_report.coll);
 }
 
+TEST(Planner, PerPhaseGoldenValuesK1VsK8OnFrontierLike) {
+  // Golden values for estimate_phases on the Fig. 2 operating point
+  // (nl03c-like, 32-node frontier-like machine): k=1 on all 256 ranks vs
+  // the 8-member ensemble at 32 ranks each. These pin the closed forms so a
+  // model change shows up as an explicit golden update, and they encode the
+  // paper's qualitative ordering: with shared cmat the ensemble's str
+  // AllReduce, collision apply, and coll transpose all cost less than 8
+  // sequential single runs.
+  const auto in = gyro::Input::nl03c_like();
+  const auto machine = nl03c_machine(32);
+  const auto d1 = gyro::Decomposition::choose(in, 256);
+  const auto d8 = gyro::Decomposition::choose(in, 32, 8);
+  const auto p1 = estimate_phases(in, d1, 1, machine);
+  const auto p8 = estimate_phases(in, d8, 8, machine);
+
+  auto near = [](double value, double golden) {
+    EXPECT_NEAR(value, golden, 1e-6 * golden);
+  };
+  near(p1.str, 0.033973862);
+  near(p1.str_comm, 0.365829120);
+  near(p1.nl, 0.016515072);
+  near(p1.nl_comm, 1.564120320);
+  near(p1.coll, 0.271790899);
+  near(p1.coll_comm, 0.313115520);
+  near(p8.str, 0.271790899);
+  near(p8.str_comm, 0.019977216);
+  near(p8.nl, 0.132120576);
+  near(p8.nl_comm, 9.491354880);
+  near(p8.coll, 1.087163597);
+  near(p8.coll_comm, 2.294924160);
+
+  // Paper ordering, campaign-normalized (k=8 run vs 8 sequential k=1 runs):
+  // str_comm collapses (the shared-cmat AllReduce), coll halves (batched
+  // apply goes flops-bound), the coll transpose shrinks.
+  EXPECT_LT(p8.str_comm, 8.0 * p1.str_comm);
+  EXPECT_LT(p8.coll, 8.0 * p1.coll);
+  EXPECT_LT(p8.coll_comm, 8.0 * p1.coll_comm);
+}
+
 TEST(Planner, PhaseEstimatesTrackDesWithinFactorThree) {
   // The closed forms are navigation aids, not truth — but they must stay in
   // the DES's ballpark at a small operating point so the capacity planner

@@ -303,6 +303,46 @@ TEST(ChromeTrace, ValidatorRejectsBrokenDocuments) {
   EXPECT_THROW((void)check_chrome_trace(doc), InputError);
 }
 
+TEST(ChromeTrace, ValidatorRejectsMismatchedParticipantCounts) {
+  // Every member row of one collective instance carries the communicator
+  // size; rows of the same (ctx, seq) disagreeing on it is a merge/export
+  // corruption the validator must reject (xgyro_report --validate-trace).
+  const auto res = traced_xgyro_run();
+  const std::string path = ::testing::TempDir() + "xg_trace_mismatch.json";
+  write_chrome_trace(path, res);
+  const Json doc = load_json_file(path);
+  EXPECT_GT(check_chrome_trace(doc).n_collective_instances, 0);
+
+  // Bump "participants" on the first collective row only: its instance
+  // group now disagrees across members.
+  Json events = Json::array();
+  bool tampered = false;
+  for (const auto& e : doc.at("traceEvents").elems()) {
+    const Json* args = e.find("args");
+    if (!tampered && args != nullptr && args->find("participants") != nullptr) {
+      Json new_args = Json::object();
+      for (const auto& [key, value] : args->items()) {
+        new_args.set(key, key == "participants" ? Json(value.as_int() + 1)
+                                                : value);
+      }
+      Json row = Json::object();
+      for (const auto& [key, value] : e.items()) {
+        row.set(key, key == "args" ? std::move(new_args) : value);
+      }
+      events.push(std::move(row));
+      tampered = true;
+    } else {
+      events.push(e);
+    }
+  }
+  ASSERT_TRUE(tampered);
+  Json bad = Json::object();
+  for (const auto& [key, value] : doc.items()) {
+    bad.set(key, key == "traceEvents" ? std::move(events) : value);
+  }
+  EXPECT_THROW((void)check_chrome_trace(bad), InputError);
+}
+
 TEST(ChromeTrace, WriteToUnwritablePathThrows) {
   const auto res = traced_xgyro_run();
   EXPECT_THROW(write_chrome_trace("/nonexistent-dir-xg/t.json", res), Error);
