@@ -1,42 +1,110 @@
-// Micro-benchmark behind the paper's §2.1 argument: AllReduce cost vs the
-// number of participating processes, at the field-solve payload size, on
-// the simulated Frontier-like network. Reports the DES virtual time (the
-// modeled quantity) as a counter alongside the host-side wall time of the
-// simulation itself.
-#include <benchmark/benchmark.h>
+// AllReduce scaling with the tuned collective selector vs the legacy fixed
+// algorithms (paper §2.1: AllReduce cost grows with participating
+// processes; the selector is how we keep that growth logarithmic).
+//
+// For each node count the DES runs one world-sized AllReduce at the
+// field-solve payload twice — once with the tuned decision table (the
+// default selector) and once with the legacy recursive-doubling/ring
+// crossover — and reports both virtual times plus the speedup. The tuned
+// time must never lose, and must strictly win at the largest node count
+// (that's the bandwidth-bound regime where the legacy ring's 2(P−1) rounds
+// drown in latency).
+//
+//   ./bench/allreduce_scaling [--json FILE] [--smoke]
+//
+// --smoke shrinks the sweep to one small cell and keeps the same gate.
+// Exit status: 0 pass, 1 gate failure.
+#include <cstdio>
+#include <cstring>
+#include <string>
 
-#include "perfmodel/perfmodel.hpp"
+#include "simmpi/coll.hpp"
 #include "simmpi/comm.hpp"
 #include "simmpi/runtime.hpp"
 #include "simnet/machine.hpp"
+#include "telemetry/json.hpp"
+#include "util/format.hpp"
 
 namespace {
 
-void BM_AllReduceParticipants(benchmark::State& state) {
-  const int participants = static_cast<int>(state.range(0));
-  const std::uint64_t bytes = static_cast<std::uint64_t>(state.range(1));
-  const auto spec = xg::net::frontier_like((participants + 7) / 8);
-  // Note: no DoNotOptimize(virt) — this benchmark library's GCC inline-asm
-  // constraint ("+m,r") corrupts doubles at -O2, and the DES run has thread
-  // side effects the optimizer cannot elide anyway.
-  double virt = 0.0;
-  for (auto _ : state) {
-    const auto res = xg::mpi::run_simulation(
-        spec, participants,
-        [&](xg::mpi::Proc& p) { p.world().allreduce_virtual(bytes); });
-    virt = res.makespan_s;
-  }
-  state.counters["virtual_us"] = virt * 1e6;
-  state.counters["virtual_us_per_rank"] = virt * 1e6 / participants;
-  state.counters["closedform_us"] =
-      xg::perfmodel::estimate_allreduce(spec, participants, bytes,
-                                        participants > 8) * 1e6;
+/// DES virtual time of one world AllReduce under `selector`.
+double time_allreduce(int nodes, std::uint64_t bytes,
+                      const xg::mpi::CollSelector& selector) {
+  const auto spec = xg::net::frontier_like(nodes);
+  xg::mpi::RuntimeOptions ropts;
+  ropts.coll_selector = std::shared_ptr<const xg::mpi::CollSelector>(
+      std::shared_ptr<void>(), &selector);
+  const auto res = xg::mpi::run_simulation(
+      spec, spec.total_ranks(),
+      [&](xg::mpi::Proc& p) { p.world().allreduce_virtual(bytes); }, ropts);
+  return res.makespan_s;
 }
 
 }  // namespace
 
-BENCHMARK(BM_AllReduceParticipants)
-    ->ArgsProduct({{2, 4, 8, 16, 32, 64}, {16 * 1024, 512 * 1024}})
-    ->Unit(benchmark::kMillisecond);
+int main(int argc, char** argv) {
+  using namespace xg;
+  std::string json_out;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
 
-BENCHMARK_MAIN();
+  // 512 KiB is the nl03c-like field payload (nc · nt/pt · 16 bytes); the
+  // smoke cell uses 1 MiB on 4 nodes where the legacy ring already loses.
+  std::vector<int> node_counts = {32, 64, 128, 256};
+  std::uint64_t bytes = 512 * 1024;
+  if (smoke) {
+    node_counts = {4};
+    bytes = 1024 * 1024;
+  }
+
+  std::printf("=== World AllReduce, tuned selector vs legacy algorithms ===\n");
+  std::printf("%-7s %8s %12s %12s %12s %9s\n", "nodes", "ranks", "payload",
+              "tuned_us", "legacy_us", "speedup");
+
+  bool pass = true;
+  double last_speedup = 0.0;
+  telemetry::Json series = telemetry::Json::array();
+  for (const int nodes : node_counts) {
+    const int ranks = net::frontier_like(nodes).total_ranks();
+    const double tuned = time_allreduce(nodes, bytes, mpi::CollSelector::tuned());
+    const double legacy =
+        time_allreduce(nodes, bytes, mpi::CollSelector::legacy());
+    const double speedup = tuned > 0.0 ? legacy / tuned : 0.0;
+    last_speedup = speedup;
+    if (tuned > legacy) pass = false;  // tuned must never lose
+    std::printf("%-7d %8d %9llu B %12.3f %12.3f %8.2fx\n", nodes, ranks,
+                static_cast<unsigned long long>(bytes), tuned * 1e6,
+                legacy * 1e6, speedup);
+    series.push(telemetry::Json::object()
+                    .set("nodes", telemetry::Json(nodes))
+                    .set("participants", telemetry::Json(ranks))
+                    .set("bytes", telemetry::Json(bytes))
+                    .set("tuned_us", telemetry::Json(tuned * 1e6))
+                    .set("legacy_us", telemetry::Json(legacy * 1e6))
+                    .set("speedup", telemetry::Json(speedup)));
+  }
+  // The largest point is the regime the selector exists for: a strict win
+  // there is the gate, not a nice-to-have.
+  if (last_speedup <= 1.0) pass = false;
+
+  std::printf("\ntuned selector %s (largest sweep point: %.2fx over "
+              "legacy)\n",
+              pass ? "PASSES" : "FAILS", last_speedup);
+  if (!json_out.empty()) {
+    telemetry::write_json_file(
+        json_out,
+        telemetry::Json::object()
+            .set("schema", telemetry::Json("xgyro.bench.allreduce_scaling"))
+            .set("schema_version", telemetry::Json(1))
+            .set("pass", telemetry::Json(pass))
+            .set("series", std::move(series)));
+    std::printf("json series written to %s\n", json_out.c_str());
+  }
+  return pass ? 0 : 1;
+}

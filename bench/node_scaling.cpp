@@ -6,13 +6,46 @@
 // counts: per-rank compute shrinks ∝ 1/nodes while communication time per
 // reporting step grows, degrading parallel efficiency — the regime that
 // makes ensemble sharing attractive in the first place.
+//
+// Every node count runs twice: with the tuned collective selector (the
+// default) and with the legacy fixed algorithms. The tuned run is the
+// reported series; the legacy run prices what the selector buys, and at the
+// largest node count — where the legacy ring AllReduce pays 2(P−1) latency
+// rounds — the tuned efficiency must strictly beat it (exit gate).
 #include <cstdio>
 
 #include "gyro/simulation.hpp"
 #include "perfmodel/perfmodel.hpp"
+#include "simmpi/coll.hpp"
 #include "telemetry/json.hpp"
 #include "util/format.hpp"
 #include "xgyro/driver.hpp"
+
+namespace {
+
+struct Point {
+  double total = 0.0;
+  double str_comm = 0.0;
+  double comm = 0.0;
+};
+
+Point run_point(const xg::gyro::Input& in, const xg::net::MachineSpec& machine,
+                const xg::mpi::CollSelector& selector) {
+  xg::xgyro::JobOptions opts;
+  opts.mode = xg::gyro::Mode::kModel;
+  opts.coll_selector = std::shared_ptr<const xg::mpi::CollSelector>(
+      std::shared_ptr<void>(), &selector);
+  const auto res =
+      xg::xgyro::run_cgyro_job(in, machine, machine.total_ranks(), opts);
+  Point p;
+  p.total = xg::xgyro::report_step_seconds(res);
+  p.str_comm = xg::xgyro::phase_seconds(res, "str_comm");
+  p.comm = p.str_comm + xg::xgyro::phase_seconds(res, "nl_comm") +
+           xg::xgyro::phase_seconds(res, "coll_comm");
+  return p;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace xg;
@@ -27,19 +60,25 @@ int main(int argc, char** argv) {
   }
   gyro::Input in = gyro::Input::nl03c_like();
   in.n_steps_per_report = steps;
+  // Doubling the energy grid (nv = 576 → 1152) keeps the case nl03c-shaped
+  // while giving the velocity dimension enough power-of-two headroom
+  // (pv = 128) to decompose onto 2048 ranks — the sweep's 256-node point.
+  in.n_energy = 16;
 
   std::printf("=== Strong scaling of one nl03c-like CGYRO simulation ===\n");
   std::printf("(paper §1 / ref [2]: compute scales, communication overhead "
               "grows with node count)\n\n");
-  std::printf("%-7s %-6s %10s %10s %10s %10s %12s %11s\n", "nodes", "pv",
+  std::printf("%-7s %-6s %10s %10s %10s %10s %12s %11s %11s\n", "nodes", "pv",
               "compute", "str_comm", "all_comm", "t/report", "node-seconds",
-              "efficiency");
+              "efficiency", "vs legacy");
 
   double base_node_seconds = -1.0;
   bool comm_grows = true;
+  bool tuned_wins_largest = false;
   double prev_comm = -1.0;
   telemetry::Json series = telemetry::Json::array();
-  for (const int nodes : {32, 64, 128}) {
+  const int largest = 256;
+  for (const int nodes : {32, 64, 128, largest}) {
     const auto machine = perfmodel::nl03c_machine(nodes);
     gyro::Decomposition d;
     try {
@@ -48,47 +87,55 @@ int main(int argc, char** argv) {
       std::printf("%-7d no valid decomposition\n", nodes);
       continue;
     }
-    xgyro::JobOptions opts;
-    opts.mode = gyro::Mode::kModel;
-    const auto res =
-        xgyro::run_cgyro_job(in, machine, machine.total_ranks(), opts);
-    const double total = xgyro::report_step_seconds(res);
-    const double comm = xgyro::phase_seconds(res, "str_comm") +
-                        xgyro::phase_seconds(res, "nl_comm") +
-                        xgyro::phase_seconds(res, "coll_comm");
-    const double compute = total - comm;
-    const double node_seconds = total * nodes;
+    const Point tuned = run_point(in, machine, mpi::CollSelector::tuned());
+    const Point legacy = run_point(in, machine, mpi::CollSelector::legacy());
+    const double compute = tuned.total - tuned.comm;
+    const double node_seconds = tuned.total * nodes;
     if (base_node_seconds < 0) base_node_seconds = node_seconds;
     const double efficiency = base_node_seconds / node_seconds;
-    std::printf("%-7d %-6d %10.3f %10.3f %10.3f %10.3f %12.3f %10.1f%%\n",
-                nodes, d.pv, compute, xgyro::phase_seconds(res, "str_comm"),
-                comm, total, node_seconds, 100.0 * efficiency);
-    const double comm_share = comm / total;
+    const double legacy_efficiency =
+        base_node_seconds / (legacy.total * nodes);
+    const double gain = tuned.total > 0.0 ? legacy.total / tuned.total : 0.0;
+    if (nodes == largest && tuned.total < legacy.total) {
+      tuned_wins_largest = true;
+    }
+    std::printf(
+        "%-7d %-6d %10.3f %10.3f %10.3f %10.3f %12.3f %10.1f%% %10.2fx\n",
+        nodes, d.pv, compute, tuned.str_comm, tuned.comm, tuned.total,
+        node_seconds, 100.0 * efficiency, gain);
+    const double comm_share = tuned.comm / tuned.total;
     if (prev_comm >= 0 && comm_share <= prev_comm) comm_grows = false;
     prev_comm = comm_share;
     series.push(telemetry::Json::object()
                     .set("nodes", telemetry::Json(nodes))
                     .set("pv", telemetry::Json(d.pv))
                     .set("compute_s", telemetry::Json(compute))
-                    .set("str_comm_s",
-                         telemetry::Json(xgyro::phase_seconds(res, "str_comm")))
-                    .set("comm_s", telemetry::Json(comm))
-                    .set("t_report_s", telemetry::Json(total))
+                    .set("str_comm_s", telemetry::Json(tuned.str_comm))
+                    .set("comm_s", telemetry::Json(tuned.comm))
+                    .set("t_report_s", telemetry::Json(tuned.total))
                     .set("node_seconds", telemetry::Json(node_seconds))
-                    .set("efficiency", telemetry::Json(efficiency)));
+                    .set("efficiency", telemetry::Json(efficiency))
+                    .set("legacy_t_report_s", telemetry::Json(legacy.total))
+                    .set("legacy_efficiency",
+                         telemetry::Json(legacy_efficiency))
+                    .set("selector_gain", telemetry::Json(gain)));
   }
 
   std::printf("\ncommunication share grows with node count: %s\n",
               comm_grows ? "YES (as in ref [2])" : "NO");
+  std::printf("tuned selector strictly beats legacy at %d nodes: %s\n",
+              largest, tuned_wins_largest ? "YES" : "NO");
   if (!json_out.empty()) {
     telemetry::write_json_file(
         json_out, telemetry::Json::object()
                       .set("schema", telemetry::Json("xgyro.bench.node_scaling"))
-                      .set("schema_version", telemetry::Json(1))
+                      .set("schema_version", telemetry::Json(2))
                       .set("steps_per_report", telemetry::Json(steps))
                       .set("comm_share_grows", telemetry::Json(comm_grows))
+                      .set("tuned_wins_largest",
+                           telemetry::Json(tuned_wins_largest))
                       .set("series", std::move(series)));
     std::printf("json series written to %s\n", json_out.c_str());
   }
-  return comm_grows ? 0 : 1;
+  return comm_grows && tuned_wins_largest ? 0 : 1;
 }

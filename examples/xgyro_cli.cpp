@@ -39,7 +39,9 @@
 #include "gyro/restart.hpp"
 #include "gyro/simulation.hpp"
 #include "gyro/timing_log.hpp"
+#include "simmpi/coll.hpp"
 #include "simnet/machine.hpp"
+#include "telemetry/colltable.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/report.hpp"
 #include "telemetry/trace.hpp"
@@ -74,6 +76,8 @@ struct Options {
   bool analyze = false;
   bool perfmodel_check = false;
   double perfmodel_tol = xg::analysis::kDefaultDivergenceTolerance;
+  std::string coll_select;  // "" = tuned
+  std::string coll_table;
 };
 
 /// Strict numeric parsing: the whole value must be a number in range.
@@ -139,6 +143,11 @@ void print_help() {
       "\"seed=42;straggler=2x3.0;delay=0.3x5e-6;kill=1@0.02\"\n"
       "  --watchdog SECONDS  deadlock watchdog timeout (0 disables)\n"
       "  --no-invariants     disable the collective invariant monitor\n"
+      "  --coll-select NAME  collective algorithm selector: 'tuned'\n"
+      "                      (topology-aware decision table, the default) or\n"
+      "                      'legacy' (fixed pre-selector algorithms)\n"
+      "  --coll-table FILE   JSON collective decision table (xgyro_colltune\n"
+      "                      output); rules override the tuned table\n"
       "  --analyze           trace the run and print its critical path and\n"
       "                      per-phase wait/work decomposition (embedded in\n"
       "                      --report / --metrics-out artifacts too)\n"
@@ -234,6 +243,12 @@ Options parse_args(int argc, char** argv) {
     } else if (a == "--no-invariants") {
       once(a);
       o.check_invariants = false;
+    } else if (a == "--coll-select") {
+      once(a);
+      o.coll_select = need_value(i++);
+    } else if (a == "--coll-table") {
+      once(a);
+      o.coll_table = need_value(i++);
     } else if (a == "--analyze") {
       once(a);
       o.analyze = true;
@@ -279,6 +294,15 @@ Options parse_args(int argc, char** argv) {
   }
   if (o.watchdog_timeout_s < 0.0) {
     throw xg::InputError("--watchdog must be >= 0");
+  }
+  if (!o.coll_select.empty() &&
+      xg::mpi::CollSelector::named(o.coll_select) == nullptr) {
+    throw xg::InputError("--coll-select must be 'tuned' or 'legacy'");
+  }
+  if (!o.coll_select.empty() && !o.coll_table.empty()) {
+    throw xg::InputError(
+        "--coll-select and --coll-table are mutually exclusive (a table is "
+        "already a selector)");
   }
   if (seen.count("--perfmodel-tol") != 0 && !o.perfmodel_check) {
     throw xg::InputError("--perfmodel-tol requires --perfmodel-check");
@@ -332,10 +356,22 @@ int main(int argc, char** argv) {
     XG_REQUIRE(machine.total_ranks() >= total_ranks,
                "not enough nodes for the requested rank count");
 
+    // Resolve the run's collective selector: a JSON table beats a named
+    // built-in; both default to the tuned table. The built-ins are statics,
+    // wrapped in a non-owning shared_ptr via the aliasing constructor.
+    std::shared_ptr<const mpi::CollSelector> selector;
+    if (!opt.coll_table.empty()) {
+      selector = telemetry::load_coll_table(opt.coll_table);
+    } else if (!opt.coll_select.empty()) {
+      selector = std::shared_ptr<const mpi::CollSelector>(
+          std::shared_ptr<void>(), mpi::CollSelector::named(opt.coll_select));
+    }
+
     mpi::RuntimeOptions ropts;
     ropts.faults = opt.faults;
     ropts.check_invariants = opt.check_invariants;
     ropts.watchdog_timeout_s = opt.watchdog_timeout_s;
+    ropts.coll_selector = selector;
     // Telemetry artifacts need the trace stream; the report and metrics also
     // aggregate the traffic matrix. Both stay off unless requested. The
     // analysis engine works entirely from the trace, so --analyze implies it.
@@ -388,6 +424,7 @@ int main(int argc, char** argv) {
       ropts_elastic.watchdog_timeout_s = opt.watchdog_timeout_s;
       ropts_elastic.enable_trace = ropts.enable_trace;
       ropts_elastic.enable_traffic = ropts.enable_traffic;
+      ropts_elastic.coll_selector = selector;
       ropts_elastic.sharing = opt.grouped
                                   ? xgyro::SharingPolicy::kGroupByFingerprint
                                   : xgyro::SharingPolicy::kSingleGroup;
@@ -531,7 +568,8 @@ int main(int argc, char** argv) {
               : gyro::Decomposition::choose(analysis_input, ranks_per_sim);
       const analysis::DivergenceReport div = analysis::check_divergence(
           result, analysis_input, analysis_decomp, k, machine, opt.intervals,
-          opt.perfmodel_tol);
+          opt.perfmodel_tol, analysis::kDefaultSignificanceFrac,
+          selector.get());
       std::printf("\n%s", analysis::format_divergence(div).c_str());
       divergence_doc = analysis::divergence_json(div);
       divergence_failed = !div.pass;

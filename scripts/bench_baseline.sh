@@ -25,7 +25,8 @@ OUT_DIR=${2:-.}
 BENCH="$BUILD_DIR/bench"
 CHECK="$BUILD_DIR/examples/xgyro_bench_check"
 for bin in "$BENCH/node_scaling" "$BENCH/ensemble_scaling" \
-           "$BENCH/collision_apply_bench" "$CHECK"; do
+           "$BENCH/allreduce_scaling" "$BENCH/collision_apply_bench" \
+           "$CHECK"; do
   if [[ ! -x "$bin" ]]; then
     echo "bench_baseline: missing binary $bin" >&2
     exit 1
@@ -43,6 +44,10 @@ trap 'rm -rf "$WORK"' EXIT
 "$BENCH/ensemble_scaling" --steps 2 --json "$WORK/ensemble_scaling.json" \
   > "$WORK/ensemble_scaling.out"
 "$BENCH/collision_apply_bench" > "$WORK/collision_apply.json"
+# Full sweep (32..256 nodes, tuned selector vs legacy algorithms): the
+# recorded speedups gate the selector's win itself.
+"$BENCH/allreduce_scaling" --json "$WORK/allreduce_scaling.json" \
+  > "$WORK/allreduce_scaling.out"
 
 "$CHECK" --record node_scaling \
   --payload "$WORK/node_scaling.json" \
@@ -50,6 +55,9 @@ trap 'rm -rf "$WORK"' EXIT
 "$CHECK" --record ensemble_scaling \
   --payload "$WORK/ensemble_scaling.json" \
   --out "$OUT_DIR/BENCH_ensemble_scaling.json"
+"$CHECK" --record allreduce_scaling \
+  --payload "$WORK/allreduce_scaling.json" \
+  --out "$OUT_DIR/BENCH_allreduce_scaling.json"
 "$CHECK" --record collision_apply \
   --payload "$WORK/collision_apply.json" \
   --ignore cells_per_s --ignore speedup \

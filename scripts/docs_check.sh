@@ -5,8 +5,8 @@
 #
 #   1. Flag parity: every --flag printed by `xgyro_cli --help` must appear
 #      in the guide's marked reference block, and every --flag in the block
-#      must exist in --help (same for xgyro_report's usage text and
-#      xgyro_bench_check --help).
+#      must exist in --help (same for xgyro_report's usage text,
+#      xgyro_bench_check --help, and xgyro_colltune --help).
 #   2. Every `sh`-tagged fenced command block in the guide parses
 #      (bash -n) and — unless its first line marks it as a build step —
 #      executes successfully, in order, in a scratch directory with the
@@ -23,7 +23,8 @@ GUIDE=docs/USER_GUIDE.md
 CLI="$BUILD_DIR/examples/xgyro_cli"
 REPORT="$BUILD_DIR/examples/xgyro_report"
 BENCH_CHECK="$BUILD_DIR/examples/xgyro_bench_check"
-for f in "$GUIDE" "$CLI" "$REPORT" "$BENCH_CHECK"; do
+COLLTUNE="$BUILD_DIR/examples/xgyro_colltune"
+for f in "$GUIDE" "$CLI" "$REPORT" "$BENCH_CHECK" "$COLLTUNE"; do
   if [[ ! -e "$f" ]]; then
     echo "docs_check: missing $f" >&2
     exit 1
@@ -68,6 +69,16 @@ if ! diff -u "$WORK/bench_check.help.flags" "$WORK/bench_check.guide.flags" \
     > "$WORK/bench_check.diff"; then
   cat "$WORK/bench_check.diff" >&2
   fail "xgyro_bench_check --help and $GUIDE disagree on the flag set"
+fi
+
+"$COLLTUNE" --help > "$WORK/colltune.help"
+extract_flags < "$WORK/colltune.help" > "$WORK/colltune.help.flags"
+marker_block xgyro_colltune-flags | extract_flags \
+  > "$WORK/colltune.guide.flags"
+if ! diff -u "$WORK/colltune.help.flags" "$WORK/colltune.guide.flags" \
+    > "$WORK/colltune.diff"; then
+  cat "$WORK/colltune.diff" >&2
+  fail "xgyro_colltune --help and $GUIDE disagree on the flag set"
 fi
 
 # --- 2. every sh fence parses; non-build fences execute -------------------
@@ -125,7 +136,9 @@ expect_error "bad intervals"         --input x --intervals 0
 expect_error "tol w/o perfmodel"     --input x --perfmodel-tol 3.0
 expect_error "tol below one"         --input x --perfmodel-check --perfmodel-tol 0.5
 expect_error "malformed tol"         --input x --perfmodel-check --perfmodel-tol abc
+expect_error "unknown selector"      --input x --coll-select quantum
+expect_error "select+table"          --input x --coll-select legacy --coll-table t.json
 
 "$CLI" --help > /dev/null || fail "--help must exit 0"
 
-echo "docs_check: $N_FENCES guide fences and all three flag references verified"
+echo "docs_check: $N_FENCES guide fences and all four flag references verified"

@@ -53,7 +53,8 @@ DivergenceReport check_divergence(const mpi::RunResult& result,
                                   const gyro::Decomposition& decomp, int k,
                                   const net::MachineSpec& machine,
                                   int n_report_intervals, double tolerance,
-                                  double significance_frac) {
+                                  double significance_frac,
+                                  const mpi::CollSelector* selector) {
   if (tolerance < 1.0) {
     throw InputError("divergence: tolerance must be >= 1 (it is a ratio bound)");
   }
@@ -61,7 +62,7 @@ DivergenceReport check_divergence(const mpi::RunResult& result,
     throw InputError("divergence: n_report_intervals must be >= 1");
   }
   const perfmodel::PhaseEstimate predicted =
-      perfmodel::estimate_phases(input, decomp, k, machine);
+      perfmodel::estimate_phases(input, decomp, k, machine, selector);
 
   DivergenceReport report;
   report.tolerance = tolerance;

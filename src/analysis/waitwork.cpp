@@ -21,6 +21,7 @@ WaitWorkSummary analyze_waitwork(const mpi::RunResult& result) {
       w.comm_label = e.comm_label;
       w.phase = e.phase;
       w.kind = e.kind;
+      w.alg = e.alg;
       w.participants = e.participants;
       w.first_arrival_s = e.t_start;
       // Arrival annotations are identical on every row of the group.
@@ -56,6 +57,12 @@ WaitWorkSummary analyze_waitwork(const mpi::RunResult& result) {
     p.wait_s += w.wait_s;
     p.transfer_s += w.transfer_s;
     p.max_skew_s = std::max(p.max_skew_s, w.arrival_skew_s);
+    PhaseWaitWork& a = summary.by_alg[strprintf(
+        "%s/%s", mpi::trace_kind_name(w.kind), mpi::coll_alg_name(w.alg))];
+    ++a.instances;
+    a.wait_s += w.wait_s;
+    a.transfer_s += w.transfer_s;
+    a.max_skew_s = std::max(a.max_skew_s, w.arrival_skew_s);
     summary.total_wait_s += w.wait_s;
     summary.total_transfer_s += w.transfer_s;
     if (w.arrival_skew_s > summary.max_skew_s || summary.worst_instance < 0) {
@@ -75,6 +82,14 @@ Json waitwork_json(const WaitWorkSummary& summary) {
                             .set("transfer_s", Json(p.transfer_s))
                             .set("max_skew_s", Json(p.max_skew_s)));
   }
+  Json by_alg = Json::object();
+  for (const auto& [alg, p] : summary.by_alg) {
+    by_alg.set(alg, Json::object()
+                        .set("instances", Json(p.instances))
+                        .set("wait_s", Json(p.wait_s))
+                        .set("transfer_s", Json(p.transfer_s))
+                        .set("max_skew_s", Json(p.max_skew_s)));
+  }
   Json doc =
       Json::object()
           .set("n_instances",
@@ -82,7 +97,8 @@ Json waitwork_json(const WaitWorkSummary& summary) {
           .set("total_wait_s", Json(summary.total_wait_s))
           .set("total_transfer_s", Json(summary.total_transfer_s))
           .set("max_skew_s", Json(summary.max_skew_s))
-          .set("by_phase", std::move(by_phase));
+          .set("by_phase", std::move(by_phase))
+          .set("by_alg", std::move(by_alg));
   if (summary.worst_instance >= 0) {
     const CollectiveWaitWork& w =
         summary.instances[static_cast<std::size_t>(summary.worst_instance)];
@@ -129,6 +145,12 @@ std::string format_waitwork(const WaitWorkSummary& summary) {
   for (const auto& [phase, p] : summary.by_phase) {
     out += strprintf("  %-10s %10d %14.6f %14.6f %14.9f\n", phase.c_str(),
                      p.instances, p.wait_s, p.transfer_s, p.max_skew_s);
+  }
+  out += strprintf("  %-28s %10s %14s %14s\n", "algorithm", "collectives",
+                   "wait_s", "transfer_s");
+  for (const auto& [alg, p] : summary.by_alg) {
+    out += strprintf("  %-28s %10d %14.6f %14.6f\n", alg.c_str(), p.instances,
+                     p.wait_s, p.transfer_s);
   }
   if (summary.worst_instance >= 0) {
     const CollectiveWaitWork& w =

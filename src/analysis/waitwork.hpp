@@ -26,6 +26,7 @@ struct CollectiveWaitWork {
   std::string comm_label;
   std::string phase;
   mpi::TraceEvent::Kind kind{};
+  mpi::CollAlg alg = mpi::CollAlg::kAuto;  ///< algorithm that ran
   int participants = 0;
   int rows = 0;  ///< member rows recorded (≤ participants)
   double first_arrival_s = 0.0;
@@ -50,6 +51,10 @@ struct PhaseWaitWork {
 struct WaitWorkSummary {
   std::vector<CollectiveWaitWork> instances;  ///< ascending by first arrival
   std::map<std::string, PhaseWaitWork> by_phase;
+  /// Per-algorithm attribution (key "kind/alg", e.g. "allreduce/ring"):
+  /// which schedule the selector picked and what it cost. This is how a
+  /// selector change (hierarchical vs flat) shows up in the wait/work books.
+  std::map<std::string, PhaseWaitWork> by_alg;
   double total_wait_s = 0.0;
   double total_transfer_s = 0.0;
   double max_skew_s = 0.0;
@@ -62,8 +67,9 @@ WaitWorkSummary analyze_waitwork(const mpi::RunResult& result);
 
 /// { "total_wait_s", "total_transfer_s", "max_skew_s",
 ///   "by_phase": {phase: {instances, wait_s, transfer_s, max_skew_s}},
-///   "worst": {...} } — instance rows are not embedded (they can number in
-/// the thousands); use the metrics histograms for distributions.
+///   "by_alg": {"kind/alg": {...}}, "worst": {...} } — instance rows are not
+/// embedded (they can number in the thousands); use the metrics histograms
+/// for distributions.
 telemetry::Json waitwork_json(const WaitWorkSummary& summary);
 
 /// Record per-phase imbalance distributions into `registry`:

@@ -234,6 +234,7 @@ ElasticJobResult run_job_elastic(const xgyro::EnsembleInput& batch,
     ropts.faults = faults;
     ropts.check_invariants = opts.check_invariants;
     ropts.watchdog_timeout_s = opts.watchdog_timeout_s;
+    ropts.coll_selector = opts.coll_selector;
 
     try {
       out.run = mpi::run_simulation(

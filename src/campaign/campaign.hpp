@@ -8,6 +8,7 @@
 // result is more simulations completed on the same compute budget").
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -106,6 +107,8 @@ struct RecoveryOptions {
   double watchdog_timeout_s = 60.0;
   bool enable_trace = false;
   bool enable_traffic = false;
+  /// Collective decision table for every attempt (nullptr = built-in tuned).
+  std::shared_ptr<const mpi::CollSelector> coll_selector;
   xgyro::SharingPolicy sharing = xgyro::SharingPolicy::kSingleGroup;
   /// Single-member jobs only: run the classic CGYRO layout instead of a
   /// k = 1 ensemble layout (what xgyro_cli uses for --input runs).

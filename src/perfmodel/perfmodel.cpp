@@ -21,6 +21,8 @@ int ceil_log2(int n) {
   return l;
 }
 
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
 }  // namespace
 
 double round_cost(const net::MachineSpec& spec, std::uint64_t bytes,
@@ -35,25 +37,198 @@ double round_cost(const net::MachineSpec& spec, std::uint64_t bytes,
          spec.recv_overhead_s;
 }
 
-double estimate_allreduce(const net::MachineSpec& spec, int participants,
-                          std::uint64_t bytes, bool internode, int nic_sharers) {
-  if (participants <= 1) return 0.0;
-  constexpr std::uint64_t kRingThreshold = 64 * 1024;
-  if (bytes >= kRingThreshold && participants > 2) {
-    // ring: 2(p−1) rounds of bytes/p chunks
-    const std::uint64_t chunk = bytes / participants;
-    return 2.0 * (participants - 1) *
-           round_cost(spec, chunk, internode, nic_sharers);
+namespace {
+
+using Kind = mpi::TraceEvent::Kind;
+
+/// Node-hierarchy shape of a `participants`-rank communicator under
+/// consecutive placement: `m` ranks per intra-node group, `L` node groups.
+struct HierShape {
+  int m = 1;
+  int L = 1;
+};
+
+HierShape hier_shape(const net::MachineSpec& spec, int participants,
+                     bool internode) {
+  HierShape h;
+  h.m = internode ? std::min(participants, spec.ranks_per_node) : participants;
+  h.L = internode ? ceil_div(participants, spec.ranks_per_node) : 1;
+  return h;
+}
+
+double estimate_allreduce_alg(const net::MachineSpec& spec, mpi::CollAlg alg,
+                              int p, std::uint64_t bytes, bool internode,
+                              int nic_sharers) {
+  const double rc = round_cost(spec, bytes, internode, nic_sharers);
+  switch (alg) {
+    case mpi::CollAlg::kLinear:
+      // linear reduce serializes p−1 receives at the root, then binomial
+      // bcast fans the result back out.
+      return (p - 1) * rc + ceil_log2(p) * rc;
+    case mpi::CollAlg::kBinomial:
+      return 2.0 * ceil_log2(p) * rc;
+    case mpi::CollAlg::kRecursiveDoubling:
+      return ceil_log2(p) * rc;
+    case mpi::CollAlg::kRing:
+    case mpi::CollAlg::kSegmentedRing:
+      // 2(p−1) rounds of bytes/p chunks; segmentation pipelines the same
+      // volume, so to first order it prices like plain ring.
+      return 2.0 * (p - 1) *
+             round_cost(spec, bytes / static_cast<std::uint64_t>(p), internode,
+                        nic_sharers);
+    case mpi::CollAlg::kRabenseifner: {
+      // Recursive halving + doubling: message size halves each of the
+      // ceil_log2(p) rounds in each direction.
+      double t = 0.0;
+      for (int l = 1; l <= ceil_log2(p); ++l) {
+        t += 2.0 * round_cost(spec, bytes >> l, internode, nic_sharers);
+      }
+      return t;
+    }
+    case mpi::CollAlg::kHierarchical: {
+      const HierShape h = hier_shape(spec, p, internode);
+      // Intra-node linear reduce to the leader (m−1 serialized receives),
+      // leader exchange at nic_sharers = 1 (simmpi's exclusive-NIC window)
+      // with the same ring/rdb split hierarchical scheduling uses, then
+      // intra-node binomial bcast.
+      const double intra = round_cost(spec, bytes, false);
+      double t = (h.m - 1) * intra + ceil_log2(h.m) * intra;
+      if (h.L > 1) {
+        const mpi::CollAlg inter = (bytes >= 64 * 1024 && h.L > 2)
+                                       ? mpi::CollAlg::kRing
+                                       : mpi::CollAlg::kRecursiveDoubling;
+        t += estimate_allreduce_alg(spec, inter, h.L, bytes, true, 1);
+      }
+      return t;
+    }
+    default:
+      throw InputError(strprintf("perfmodel: no allreduce formula for '%s'",
+                                 mpi::coll_alg_name(alg)));
   }
-  return ceil_log2(participants) * round_cost(spec, bytes, internode, nic_sharers);
+}
+
+double estimate_bcast_alg(const net::MachineSpec& spec, mpi::CollAlg alg, int p,
+                          std::uint64_t bytes, bool internode,
+                          int nic_sharers) {
+  const double rc = round_cost(spec, bytes, internode, nic_sharers);
+  switch (alg) {
+    case mpi::CollAlg::kLinear:
+      return (p - 1) * rc;
+    case mpi::CollAlg::kChain:
+      return (p - 1) * rc;
+    case mpi::CollAlg::kBinomial:
+      return ceil_log2(p) * rc;
+    case mpi::CollAlg::kHierarchical: {
+      const HierShape h = hier_shape(spec, p, internode);
+      double t = ceil_log2(h.m) * round_cost(spec, bytes, false);
+      if (h.L > 1) t += ceil_log2(h.L) * round_cost(spec, bytes, true, 1);
+      return t;
+    }
+    default:
+      throw InputError(strprintf("perfmodel: no bcast formula for '%s'",
+                                 mpi::coll_alg_name(alg)));
+  }
+}
+
+double estimate_allgather_alg(const net::MachineSpec& spec, mpi::CollAlg alg,
+                              int p, std::uint64_t block_bytes, bool internode,
+                              int nic_sharers) {
+  switch (alg) {
+    case mpi::CollAlg::kLinear:
+    case mpi::CollAlg::kRing:
+      return (p - 1) * round_cost(spec, block_bytes, internode, nic_sharers);
+    case mpi::CollAlg::kBruck: {
+      // Doubling rounds; round l moves min(2^l, p − 2^l) blocks.
+      double t = 0.0;
+      for (int k = 1; k < p; k *= 2) {
+        const std::uint64_t moved =
+            static_cast<std::uint64_t>(std::min(k, p - k)) * block_bytes;
+        t += round_cost(spec, moved, internode, nic_sharers);
+      }
+      return t;
+    }
+    default:
+      throw InputError(strprintf("perfmodel: no allgather formula for '%s'",
+                                 mpi::coll_alg_name(alg)));
+  }
+}
+
+double estimate_alltoall_alg(const net::MachineSpec& spec, mpi::CollAlg alg,
+                             int p, std::uint64_t bytes_per_pair,
+                             bool internode, int nic_sharers) {
+  switch (alg) {
+    case mpi::CollAlg::kLinear:
+    case mpi::CollAlg::kPairwise:
+      return (p - 1) * round_cost(spec, bytes_per_pair, internode, nic_sharers);
+    case mpi::CollAlg::kBruck:
+      // ceil_log2(p) rounds, each moving about half the local buffer.
+      return ceil_log2(p) *
+             round_cost(spec,
+                        bytes_per_pair * static_cast<std::uint64_t>(
+                                             ceil_div(p, 2)),
+                        internode, nic_sharers);
+    default:
+      throw InputError(strprintf("perfmodel: no alltoall formula for '%s'",
+                                 mpi::coll_alg_name(alg)));
+  }
+}
+
+}  // namespace
+
+double estimate_coll(const net::MachineSpec& spec, Kind kind, mpi::CollAlg alg,
+                     int participants, std::uint64_t bytes, bool internode,
+                     int nic_sharers) {
+  if (participants <= 1) return 0.0;
+  if (alg == mpi::CollAlg::kAuto) {
+    alg = mpi::CollSelector::tuned().choose(kind, bytes, participants,
+                                            internode);
+  }
+  switch (kind) {
+    case Kind::kAllReduce:
+      return estimate_allreduce_alg(spec, alg, participants, bytes, internode,
+                                    nic_sharers);
+    case Kind::kReduce:
+      // Same schedules as the reduce half of allreduce.
+      return alg == mpi::CollAlg::kLinear
+                 ? (participants - 1) *
+                       round_cost(spec, bytes, internode, nic_sharers)
+                 : ceil_log2(participants) *
+                       round_cost(spec, bytes, internode, nic_sharers);
+    case Kind::kBcast:
+      return estimate_bcast_alg(spec, alg, participants, bytes, internode,
+                                nic_sharers);
+    case Kind::kAllGather:
+      return estimate_allgather_alg(spec, alg, participants, bytes, internode,
+                                    nic_sharers);
+    case Kind::kAllToAll:
+      return estimate_alltoall_alg(spec, alg, participants, bytes, internode,
+                                   nic_sharers);
+    default:
+      throw InputError("perfmodel: estimate_coll supports the selector-governed "
+                       "collectives only");
+  }
+}
+
+double estimate_allreduce(const net::MachineSpec& spec, int participants,
+                          std::uint64_t bytes, bool internode, int nic_sharers,
+                          const mpi::CollSelector* selector) {
+  if (participants <= 1) return 0.0;
+  const mpi::CollAlg alg =
+      (selector != nullptr ? *selector : mpi::CollSelector::tuned())
+          .choose(Kind::kAllReduce, bytes, participants, internode);
+  return estimate_coll(spec, Kind::kAllReduce, alg, participants, bytes,
+                       internode, nic_sharers);
 }
 
 double estimate_alltoall(const net::MachineSpec& spec, int participants,
                          std::uint64_t bytes_per_pair, bool internode,
-                         int nic_sharers) {
+                         int nic_sharers, const mpi::CollSelector* selector) {
   if (participants <= 1) return 0.0;
-  return (participants - 1) *
-         round_cost(spec, bytes_per_pair, internode, nic_sharers);
+  const mpi::CollAlg alg =
+      (selector != nullptr ? *selector : mpi::CollSelector::tuned())
+          .choose(Kind::kAllToAll, bytes_per_pair, participants, internode);
+  return estimate_coll(spec, Kind::kAllToAll, alg, participants, bytes_per_pair,
+                       internode, nic_sharers);
 }
 
 net::MachineSpec nl03c_machine(int n_nodes) {
@@ -71,7 +246,8 @@ net::MachineSpec nl03c_machine(int n_nodes) {
 
 PhaseEstimate estimate_phases(const gyro::Input& input,
                               const gyro::Decomposition& d, int k,
-                              const net::MachineSpec& spec) {
+                              const net::MachineSpec& spec,
+                              const mpi::CollSelector* selector) {
   const gyro::ComputeModel cm;
   const double elems = static_cast<double>(input.nv()) / d.pv * input.nc() *
                        (static_cast<double>(input.nt()) / d.pt);
@@ -90,10 +266,11 @@ PhaseEstimate estimate_phases(const gyro::Input& input,
   const bool nv_internode = spans_nodes(spec, d.pv);
   // Solver communicators run bulk-synchronously with siblings on every
   // node, so the conservative full-node NIC share applies (sharers = -1).
-  e.str_comm = steps * 4.0 *
-               (estimate_allreduce(spec, d.pv, field_bytes * input.n_field,
-                                   nv_internode) +
-                estimate_allreduce(spec, d.pv, field_bytes, nv_internode));
+  e.str_comm =
+      steps * 4.0 *
+      (estimate_allreduce(spec, d.pv, field_bytes * input.n_field, nv_internode,
+                          -1, selector) +
+       estimate_allreduce(spec, d.pv, field_bytes, nv_internode, -1, selector));
 
   // --- nonlinear bracket ------------------------------------------------------
   if (input.nonlinear) {
@@ -111,9 +288,9 @@ PhaseEstimate estimate_phases(const gyro::Input& input,
         (input.nv() / d.pv) * 16;
     const double gather =
         (d.pt - 1) * round_cost(spec, field_bytes, internode);
-    e.nl_comm =
-        steps * 4.0 *
-        (gather + 2.0 * estimate_alltoall(spec, d.pt, block, internode));
+    e.nl_comm = steps * 4.0 *
+                (gather + 2.0 * estimate_alltoall(spec, d.pt, block, internode,
+                                                  -1, selector));
   }
 
   // --- collisions --------------------------------------------------------------
@@ -137,8 +314,9 @@ PhaseEstimate estimate_phases(const gyro::Input& input,
   // block — internode as soon as the job spans more than one node.
   const bool coll_internode =
       k > 1 ? spans_nodes(spec, k * d.pv * d.pt) : spans_nodes(spec, d.pv);
-  e.coll_comm = steps * 2.0 *
-                estimate_alltoall(spec, coll_p, coll_block, coll_internode);
+  e.coll_comm =
+      steps * 2.0 *
+      estimate_alltoall(spec, coll_p, coll_block, coll_internode, -1, selector);
   return e;
 }
 

@@ -12,6 +12,7 @@
 #include "cluster/memory.hpp"
 #include "gyro/decomposition.hpp"
 #include "gyro/input.hpp"
+#include "simmpi/coll.hpp"
 #include "simnet/machine.hpp"
 
 namespace xg::perfmodel {
@@ -21,17 +22,32 @@ namespace xg::perfmodel {
 double round_cost(const net::MachineSpec& spec, std::uint64_t bytes,
                   bool internode, int nic_sharers = -1);
 
-/// Closed-form AllReduce estimate matching simmpi's algorithm choice
-/// (recursive doubling below 64 KiB, ring at/above; ring needs p > 2).
+/// Closed-form cost of one collective instance scheduled with a specific
+/// algorithm. `bytes` follows the selector's decision-key convention
+/// (simmpi/coll.hpp): total buffer bytes for reduce-style collectives,
+/// per-rank block bytes for allgather, per-pair block bytes for alltoall.
+/// Hierarchical formulas assume consecutive rank→node placement (intra-node
+/// groups of `spec.ranks_per_node`, leaders exchanging at nic_sharers = 1 —
+/// the exclusive-NIC window simmpi grants them). Throws xg::InputError on an
+/// (kind, alg) pair the runtime cannot schedule.
+double estimate_coll(const net::MachineSpec& spec, mpi::TraceEvent::Kind kind,
+                     mpi::CollAlg alg, int participants, std::uint64_t bytes,
+                     bool internode, int nic_sharers = -1);
+
+/// Closed-form AllReduce estimate. The algorithm is resolved through
+/// `selector` (nullptr = the built-in tuned table, matching what a default
+/// simmpi run schedules) and priced with estimate_coll.
 double estimate_allreduce(const net::MachineSpec& spec, int participants,
                           std::uint64_t bytes, bool internode,
-                          int nic_sharers = -1);
+                          int nic_sharers = -1,
+                          const mpi::CollSelector* selector = nullptr);
 
-/// Closed-form pairwise-exchange AllToAll estimate (`bytes_per_pair` per
-/// destination).
+/// Closed-form AllToAll estimate (`bytes_per_pair` per destination),
+/// selector-resolved like estimate_allreduce.
 double estimate_alltoall(const net::MachineSpec& spec, int participants,
                          std::uint64_t bytes_per_pair, bool internode,
-                         int nic_sharers = -1);
+                         int nic_sharers = -1,
+                         const mpi::CollSelector* selector = nullptr);
 
 /// The machine the nl03c-scale experiments run on: Frontier-like topology
 /// with the per-rank capacity calibrated (5 GB) so that the published
@@ -57,10 +73,13 @@ struct PhaseEstimate {
 /// Closed-form per-phase costs for one reporting interval of a k-member run
 /// with decomposition `d` on `spec` (k = 1 is plain CGYRO). This is the
 /// prediction the analysis engine's divergence report replays against
-/// measured per-phase DES costs.
+/// measured per-phase DES costs. `selector` picks collective algorithms for
+/// the comm phases (nullptr = built-in tuned table); pass the selector the
+/// run used so prediction and measurement price the same schedules.
 PhaseEstimate estimate_phases(const gyro::Input& input,
                               const gyro::Decomposition& d, int k,
-                              const net::MachineSpec& spec);
+                              const net::MachineSpec& spec,
+                              const mpi::CollSelector* selector = nullptr);
 
 /// One evaluated deployment option.
 struct PlanPoint {

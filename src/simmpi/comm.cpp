@@ -4,24 +4,13 @@
 #include <map>
 #include <tuple>
 
+#include "simmpi/coll.hpp"
 #include "util/format.hpp"
 #include "util/hash.hpp"
 
 namespace xg::mpi {
 
 namespace {
-
-/// Largest power of two <= n (n >= 1).
-int pow2_floor(int n) {
-  int p = 1;
-  while (p * 2 <= n) p *= 2;
-  return p;
-}
-
-/// Balanced range partition: chunk c of n elements over P chunks.
-size_t chunk_lo(size_t n, int nchunks, int c) {
-  return n * static_cast<size_t>(c) / static_cast<size_t>(nchunks);
-}
 
 /// Max number of communicator members placed on any single node.
 int compute_nic_sharers(const net::Placement& place, const std::vector<int>& members) {
@@ -43,8 +32,10 @@ void Comm::send_bytes(int dst, int tag, const void* data, std::uint64_t bytes) {
                                   dst, size()));
   }
   XG_ASSERT_MSG(dst != myrank_, "send to self is not supported");
+  const int sharers = group_->nic_override > 0 ? group_->nic_override
+                                               : group_->nic_sharers;
   proc_->p2p_send(group_->members[dst], group_->context, tag, data, bytes,
-                  group_->nic_sharers);
+                  sharers);
 }
 
 void Comm::recv_bytes(int src, int tag, void* data, std::uint64_t bytes) {
@@ -67,8 +58,10 @@ Request Comm::isend_bytes(int dst, int tag, const void* data,
   XG_ASSERT_MSG(dst != myrank_, "isend to self is not supported");
   Request r;
   r.kind_ = Request::Kind::kSend;
+  const int sharers = group_->nic_override > 0 ? group_->nic_override
+                                               : group_->nic_sharers;
   r.send_complete_at_ = proc_->p2p_isend(group_->members[dst], group_->context,
-                                         tag, data, bytes, group_->nic_sharers);
+                                         tag, data, bytes, sharers);
   return r;
 }
 
@@ -118,52 +111,52 @@ void Comm::barrier() {
     send_virtual(0, dst, tag);
     recv_virtual(0, src, tag);
   }
-  finish_collective(TraceEvent::Kind::kBarrier, 0, t0, seq,
-                    /*has_hash=*/false, 0);
+  finish_collective(TraceEvent::Kind::kBarrier, CollAlg::kDissemination, 0, t0,
+                    seq, /*has_hash=*/false, 0);
 }
 
-void Comm::allreduce_virtual(std::uint64_t bytes, AllReduceAlg alg) {
+void Comm::allreduce_virtual(std::uint64_t bytes, CollAlg alg) {
   const double t0 = proc_->now();
   const std::uint64_t seq = collective_seq();
   detail::VirtualCollBuf buf(bytes);
-  detail::allreduce_impl(*this, buf, alg);
-  finish_collective(TraceEvent::Kind::kAllReduce, bytes, t0, seq,
+  const CollAlg ran = detail::allreduce_impl(*this, buf, alg);
+  finish_collective(TraceEvent::Kind::kAllReduce, ran, bytes, t0, seq,
                     /*has_hash=*/false, 0);
 }
 
-void Comm::reduce_virtual(std::uint64_t bytes, int root) {
+void Comm::reduce_virtual(std::uint64_t bytes, int root, CollAlg alg) {
   const double t0 = proc_->now();
   const std::uint64_t seq = collective_seq();
   detail::VirtualCollBuf buf(bytes);
-  detail::reduce_impl(*this, buf, root);
-  finish_collective(TraceEvent::Kind::kReduce, bytes, t0, seq,
+  const CollAlg ran = detail::reduce_impl(*this, buf, root, alg);
+  finish_collective(TraceEvent::Kind::kReduce, ran, bytes, t0, seq,
                     /*has_hash=*/false, 0);
 }
 
-void Comm::bcast_virtual(std::uint64_t bytes, int root) {
+void Comm::bcast_virtual(std::uint64_t bytes, int root, CollAlg alg) {
   const double t0 = proc_->now();
   const std::uint64_t seq = collective_seq();
   detail::VirtualCollBuf buf(bytes);
-  detail::bcast_impl(*this, buf, root);
-  finish_collective(TraceEvent::Kind::kBcast, bytes, t0, seq,
+  const CollAlg ran = detail::bcast_impl(*this, buf, root, alg);
+  finish_collective(TraceEvent::Kind::kBcast, ran, bytes, t0, seq,
                     /*has_hash=*/false, 0);
 }
 
-void Comm::alltoall_virtual(std::uint64_t bytes_per_pair) {
+void Comm::alltoall_virtual(std::uint64_t bytes_per_pair, CollAlg alg) {
   const double t0 = proc_->now();
   const std::uint64_t seq = collective_seq();
   detail::VirtualBlockBuf buf(bytes_per_pair);
-  detail::alltoall_impl(*this, buf);
-  finish_collective(TraceEvent::Kind::kAllToAll, bytes_per_pair, t0, seq,
+  const CollAlg ran = detail::alltoall_impl(*this, buf, alg);
+  finish_collective(TraceEvent::Kind::kAllToAll, ran, bytes_per_pair, t0, seq,
                     /*has_hash=*/false, 0);
 }
 
-void Comm::allgather_virtual(std::uint64_t bytes_per_rank) {
+void Comm::allgather_virtual(std::uint64_t bytes_per_rank, CollAlg alg) {
   const double t0 = proc_->now();
   const std::uint64_t seq = collective_seq();
   detail::VirtualBlockBuf buf(bytes_per_rank);
-  detail::allgather_impl(*this, buf);
-  finish_collective(TraceEvent::Kind::kAllGather, bytes_per_rank, t0, seq,
+  const CollAlg ran = detail::allgather_impl(*this, buf, alg);
+  finish_collective(TraceEvent::Kind::kAllGather, ran, bytes_per_rank, t0, seq,
                     /*has_hash=*/false, 0);
 }
 
@@ -174,8 +167,8 @@ void Comm::reduce_scatter_virtual(std::uint64_t bytes_per_block) {
     detail::VirtualCollBuf buf(bytes_per_block * size());
     detail::ring_reduce_scatter_impl(*this, buf, internal_tag());
   }
-  finish_collective(TraceEvent::Kind::kReduceScatter, bytes_per_block, t0, seq,
-                    /*has_hash=*/false, 0);
+  finish_collective(TraceEvent::Kind::kReduceScatter, CollAlg::kRing,
+                    bytes_per_block, t0, seq, /*has_hash=*/false, 0);
 }
 
 void Comm::scan_virtual(std::uint64_t bytes) {
@@ -183,7 +176,7 @@ void Comm::scan_virtual(std::uint64_t bytes) {
   const std::uint64_t seq = collective_seq();
   detail::VirtualCollBuf buf(bytes);
   detail::scan_impl(*this, buf);
-  finish_collective(TraceEvent::Kind::kScan, bytes, t0, seq,
+  finish_collective(TraceEvent::Kind::kScan, CollAlg::kChain, bytes, t0, seq,
                     /*has_hash=*/false, 0);
 }
 
@@ -249,8 +242,49 @@ Comm Comm::make_world(Proc& proc) {
   return Comm(&proc, proc.world_group_, proc.world_rank());
 }
 
-void Comm::trace_collective(TraceEvent::Kind kind, std::uint64_t payload_bytes,
-                            double t_start, std::uint64_t seq) const {
+void Comm::compute_node_info() const {
+  auto* g = group_.get();
+  if (g->node_info_ready) return;
+  const auto& place = proc_->placement();
+  // Node ids in ascending order → deterministic group order on every member.
+  std::map<int, std::vector<int>> by_node;
+  for (size_t local = 0; local < g->members.size(); ++local) {
+    by_node[place.node_of(g->members[local])].push_back(static_cast<int>(local));
+  }
+  g->node_groups.clear();
+  g->node_groups.reserve(by_node.size());
+  const int my_node = place.node_of(g->members[myrank_]);
+  for (auto& [node, locals] : by_node) {
+    if (node == my_node) g->my_group = static_cast<int>(g->node_groups.size());
+    g->node_groups.push_back(std::move(locals));
+  }
+  g->node_info_ready = true;
+}
+
+bool Comm::spans_nodes() const {
+  compute_node_info();
+  return group_->node_groups.size() > 1;
+}
+
+const std::vector<std::vector<int>>& Comm::node_groups() const {
+  compute_node_info();
+  return group_->node_groups;
+}
+
+int Comm::my_node_group() const {
+  compute_node_info();
+  return group_->my_group;
+}
+
+CollAlg Comm::resolve_alg(TraceEvent::Kind kind, std::uint64_t bytes,
+                          CollAlg request) const {
+  if (request != CollAlg::kAuto) return request;
+  return proc_->coll_selector().choose(kind, bytes, size(), spans_nodes());
+}
+
+void Comm::trace_collective(TraceEvent::Kind kind, CollAlg alg,
+                            std::uint64_t payload_bytes, double t_start,
+                            std::uint64_t seq) const {
   // Every member records its own row (t_start is *this* member's entry time),
   // so per-member skew — a straggler entering a collective late — survives
   // into the trace. Consumers wanting one row per collective instance filter
@@ -258,6 +292,7 @@ void Comm::trace_collective(TraceEvent::Kind kind, std::uint64_t payload_bytes,
   if (!proc_->tracing()) return;
   TraceEvent e;
   e.kind = kind;
+  e.alg = alg;
   e.comm_context = group_->context;
   e.seq = seq;
   e.comm_label = group_->label;
@@ -272,208 +307,14 @@ void Comm::trace_collective(TraceEvent::Kind kind, std::uint64_t payload_bytes,
   proc_->record_trace(std::move(e));
 }
 
-void Comm::finish_collective(TraceEvent::Kind kind, std::uint64_t payload_bytes,
-                             double t_start, std::uint64_t seq, bool has_hash,
+void Comm::finish_collective(TraceEvent::Kind kind, CollAlg alg,
+                             std::uint64_t payload_bytes, double t_start,
+                             std::uint64_t seq, bool has_hash,
                              std::uint64_t result_hash) const {
-  proc_->observe_collective(group_->context, seq, kind, size(), payload_bytes,
-                            has_hash, result_hash, group_->label);
-  trace_collective(kind, payload_bytes, t_start, seq);
+  proc_->observe_collective(group_->context, seq, kind, alg, size(),
+                            payload_bytes, has_hash, result_hash,
+                            group_->label);
+  trace_collective(kind, alg, payload_bytes, t_start, seq);
 }
-
-namespace detail {
-
-namespace {
-
-/// Recursive-doubling allreduce with the standard non-power-of-two fold.
-/// `skip_final_fold` (kBrokenForTesting) omits handing the result back to
-/// the folded odd ranks, leaving them with stale partial sums — a seeded
-/// defect the invariant monitor must detect via the result-hash check.
-void allreduce_recursive_doubling(Comm& c, CollBuf& buf, int tag,
-                                  bool skip_final_fold = false) {
-  const int p = c.size();
-  const int r = c.rank();
-  const size_t n = buf.count();
-  const int p2 = pow2_floor(p);
-  const int rem = p - p2;
-
-  // Fold the ranks beyond the largest power of two into their even partner.
-  if (r < 2 * rem) {
-    if (r % 2 == 1) {
-      buf.send_range(c, r - 1, tag, 0, n);
-    } else {
-      buf.recv_reduce(c, r + 1, tag, 0, n, /*partner_lower=*/false);
-    }
-  }
-  const int newrank = (r < 2 * rem) ? ((r % 2 == 0) ? r / 2 : -1) : r - rem;
-  if (newrank >= 0) {
-    for (int mask = 1; mask < p2; mask <<= 1) {
-      const int partner_new = newrank ^ mask;
-      const int partner =
-          (partner_new < rem) ? partner_new * 2 : partner_new + rem;
-      buf.send_range(c, partner, tag, 0, n);
-      buf.recv_reduce(c, partner, tag, 0, n, /*partner_lower=*/partner < r);
-    }
-  }
-  // Hand the result back to the folded odd ranks.
-  if (skip_final_fold) return;
-  if (r < 2 * rem) {
-    if (r % 2 == 0) {
-      buf.send_range(c, r + 1, tag, 0, n);
-    } else {
-      buf.recv_replace(c, r - 1, tag, 0, n);
-    }
-  }
-}
-
-/// Ring allreduce: reduce-scatter followed by ring allgather. Optimal
-/// bandwidth (2·(P−1)/P · bytes per rank) for large payloads.
-void allreduce_ring(Comm& c, CollBuf& buf, int tag) {
-  const int p = c.size();
-  const int r = c.rank();
-  const size_t n = buf.count();
-  const int right = (r + 1) % p;
-  const int left = (r - 1 + p) % p;
-
-  detail::ring_reduce_scatter_impl(c, buf, tag);
-  // Allgather the reduced chunks around the ring.
-  for (int step = 0; step < p - 1; ++step) {
-    const int send_chunk = (r + 1 - step + 2 * p) % p;
-    const int recv_chunk = (r - step + 2 * p) % p;
-    buf.send_range(c, right, tag, chunk_lo(n, p, send_chunk),
-                   chunk_lo(n, p, send_chunk + 1));
-    buf.recv_replace(c, left, tag, chunk_lo(n, p, recv_chunk),
-                     chunk_lo(n, p, recv_chunk + 1));
-  }
-}
-
-}  // namespace
-
-void ring_reduce_scatter_impl(Comm& c, CollBuf& buf, int tag) {
-  const int p = c.size();
-  const int r = c.rank();
-  const size_t n = buf.count();
-  const int right = (r + 1) % p;
-  const int left = (r - 1 + p) % p;
-  // After P-1 steps, rank r owns chunk (r+1)%p fully reduced.
-  for (int step = 0; step < p - 1; ++step) {
-    const int send_chunk = (r - step + 2 * p) % p;
-    const int recv_chunk = (r - step - 1 + 2 * p) % p;
-    buf.send_range(c, right, tag, chunk_lo(n, p, send_chunk),
-                   chunk_lo(n, p, send_chunk + 1));
-    buf.recv_reduce(c, left, tag, chunk_lo(n, p, recv_chunk),
-                    chunk_lo(n, p, recv_chunk + 1), /*partner_lower=*/true);
-  }
-}
-
-void scan_impl(Comm& c, CollBuf& buf) {
-  const int tag = c.internal_tag();
-  const int p = c.size();
-  const int r = c.rank();
-  const size_t n = buf.count();
-  if (r > 0) buf.recv_reduce(c, r - 1, tag, 0, n, /*partner_lower=*/true);
-  if (r < p - 1) buf.send_range(c, r + 1, tag, 0, n);
-}
-
-void allreduce_impl(Comm& c, CollBuf& buf, AllReduceAlg alg) {
-  const int tag = c.internal_tag();
-  if (c.size() == 1) return;
-  if (alg == AllReduceAlg::kBrokenForTesting) {
-    allreduce_recursive_doubling(c, buf, tag, /*skip_final_fold=*/true);
-    return;
-  }
-  if (alg == AllReduceAlg::kAuto) {
-    // Same crossover idea as MPICH: latency-bound small payloads use
-    // recursive doubling; bandwidth-bound large payloads use the ring.
-    constexpr std::uint64_t kRingThresholdBytes = 64 * 1024;
-    alg = (buf.total_bytes() >= kRingThresholdBytes && c.size() > 2)
-              ? AllReduceAlg::kRing
-              : AllReduceAlg::kRecursiveDoubling;
-  }
-  if (alg == AllReduceAlg::kRing) {
-    allreduce_ring(c, buf, tag);
-  } else {
-    allreduce_recursive_doubling(c, buf, tag);
-  }
-}
-
-void reduce_impl(Comm& c, CollBuf& buf, int root) {
-  const int tag = c.internal_tag();
-  const int p = c.size();
-  if (p == 1) return;
-  const size_t n = buf.count();
-  const int relative = (c.rank() - root + p) % p;
-  // Binomial tree, leaves send first.
-  for (int mask = 1; mask < p; mask <<= 1) {
-    if (relative & mask) {
-      const int dst = ((relative & ~mask) + root) % p;
-      buf.send_range(c, dst, tag, 0, n);
-      break;
-    }
-    const int src_rel = relative | mask;
-    if (src_rel < p) {
-      const int src = (src_rel + root) % p;
-      // The subtree rooted at a higher relative rank folds in from the right.
-      buf.recv_reduce(c, src, tag, 0, n, /*partner_lower=*/false);
-    }
-  }
-}
-
-void bcast_impl(Comm& c, CollBuf& buf, int root) {
-  const int tag = c.internal_tag();
-  const int p = c.size();
-  if (p == 1) return;
-  const size_t n = buf.count();
-  const int relative = (c.rank() - root + p) % p;
-  int mask = 1;
-  while (mask < p) {
-    if (relative & mask) {
-      const int src = ((relative - mask) + root) % p;
-      buf.recv_replace(c, src, tag, 0, n);
-      break;
-    }
-    mask <<= 1;
-  }
-  mask >>= 1;
-  while (mask > 0) {
-    if (relative + mask < p) {
-      const int dst = ((relative + mask) + root) % p;
-      buf.send_range(c, dst, tag, 0, n);
-    }
-    mask >>= 1;
-  }
-}
-
-void alltoall_impl(Comm& c, BlockBuf& buf) {
-  const int tag = c.internal_tag();
-  const int p = c.size();
-  const int r = c.rank();
-  buf.copy_in_to_out(r, r);
-  // Pairwise exchange ("spread" schedule): at step s, send to r+s, receive
-  // from r-s. Eager sends make the simultaneous exchange deadlock-free.
-  for (int step = 1; step < p; ++step) {
-    const int dst = (r + step) % p;
-    const int src = (r - step + p) % p;
-    buf.send_in(c, dst, dst, tag);
-    buf.recv_out(c, src, src, tag);
-  }
-}
-
-void allgather_impl(Comm& c, BlockBuf& buf) {
-  const int tag = c.internal_tag();
-  const int p = c.size();
-  const int r = c.rank();
-  buf.copy_in_to_out(0, r);
-  const int right = (r + 1) % p;
-  const int left = (r - 1 + p) % p;
-  // Ring: forward the newest block each step.
-  for (int step = 0; step < p - 1; ++step) {
-    const int send_block = (r - step + 2 * p) % p;
-    const int recv_block = (r - step - 1 + 2 * p) % p;
-    buf.send_out(c, send_block, right, tag);
-    buf.recv_out(c, recv_block, left, tag);
-  }
-}
-
-}  // namespace detail
 
 }  // namespace xg::mpi

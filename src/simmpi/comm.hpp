@@ -2,10 +2,17 @@
 //
 // Collectives are implemented with the textbook algorithms real MPI
 // libraries use (binomial trees, recursive doubling, ring reduce-scatter,
-// pairwise exchange), built on the eager p2p layer. Their cost therefore
-// *emerges* from the message schedule — in particular, AllReduce cost grows
-// with the number of participating processes, which is exactly the effect
-// the XGYRO paper exploits by shrinking the str-phase communicator.
+// Rabenseifner, Bruck, pairwise exchange, hierarchical leader schedules),
+// built on the eager p2p layer. Their cost therefore *emerges* from the
+// message schedule — in particular, AllReduce cost grows with the number of
+// participating processes, which is exactly the effect the XGYRO paper
+// exploits by shrinking the str-phase communicator.
+//
+// Which algorithm runs is decided per call: an explicit CollAlg request, or
+// (the default, CollAlg::kAuto) the run's CollSelector mapping
+// (kind, bytes, participants, spans_nodes) → algorithm. The resolved
+// algorithm is recorded on the trace rows and member agreement on it is
+// enforced by the invariant monitor.
 //
 // Every collective has a typed form (moves real data) and a `_virtual` form
 // (moves byte counts only). Both follow the identical message schedule, so
@@ -26,12 +33,9 @@ namespace xg::mpi {
 
 class Comm;
 
-/// AllReduce algorithm selection. kAuto picks recursive doubling for small
-/// payloads and ring (reduce-scatter + allgather) for large ones, like a
-/// real MPI library would. kBrokenForTesting is recursive doubling with the
-/// final non-power-of-two fold-back deliberately omitted — folded ranks keep
-/// stale partial sums, which the invariant monitor must catch (test-only).
-enum class AllReduceAlg { kAuto, kRecursiveDoubling, kRing, kBrokenForTesting };
+/// Historical name for the per-call algorithm request parameter; collective
+/// algorithms are one shared enum across kinds now (see simmpi/stats.hpp).
+using AllReduceAlg = CollAlg;
 
 namespace detail {
 
@@ -49,6 +53,20 @@ struct Group {
   /// created with exclusive_network=true instead uses its own max members
   /// per node, modelling a communicator that runs alone on the machine.
   int nic_sharers = -1;
+  /// Temporary NIC-sharing override (> 0 wins over nic_sharers) used by the
+  /// hierarchical schedules: during the inter-node stage only one rank per
+  /// node (the leader) injects, so it gets the exclusive per-rank attach
+  /// bandwidth. Managed by ScopedNicExclusive.
+  int nic_override = 0;
+
+  // --- lazily computed topology view (Group objects are per rank — the
+  // world group is cached per Proc, split groups are created per rank — so
+  // in-place mutation here is thread-safe).
+  bool node_info_ready = false;
+  /// Local ranks grouped by node (ascending within a node), ordered by node
+  /// id. One group per distinct node the members occupy.
+  std::vector<std::vector<int>> node_groups;
+  int my_group = -1;  ///< index into node_groups of this rank's node
 };
 
 /// Type-erased element buffer used by reduce-style collectives.
@@ -74,14 +92,27 @@ class BlockBuf {
   virtual void send_out(Comm& c, int block, int dst, int tag) = 0;
   virtual void recv_out(Comm& c, int block, int src, int tag) = 0;
   virtual void copy_in_to_out(int in_block, int out_block) = 0;
+  /// Send/receive a set of out-blocks as ONE message (packed contiguously in
+  /// `blocks` order). The Bruck algorithms owe their log(P) step count to
+  /// this aggregation; P separate messages would pay P latencies.
+  virtual void send_out_blocks(Comm& c, std::span<const int> blocks, int dst,
+                               int tag) = 0;
+  virtual void recv_out_blocks(Comm& c, std::span<const int> blocks, int src,
+                               int tag) = 0;
+  /// In-place block permutation: new_out[j] = old_out[perm[j]]. No traffic,
+  /// so the virtual form is a no-op.
+  virtual void permute_out(std::span<const int> perm) = 0;
   [[nodiscard]] virtual std::uint64_t block_bytes() const = 0;
 };
 
-void allreduce_impl(Comm& c, CollBuf& buf, AllReduceAlg alg);
-void reduce_impl(Comm& c, CollBuf& buf, int root);
-void bcast_impl(Comm& c, CollBuf& buf, int root);
-void alltoall_impl(Comm& c, BlockBuf& buf);
-void allgather_impl(Comm& c, BlockBuf& buf);
+// Each impl resolves `alg` (kAuto → the run's CollSelector), runs the
+// schedule, and returns the algorithm that actually ran — which the caller
+// records on the trace row and reports to the invariant monitor.
+CollAlg allreduce_impl(Comm& c, CollBuf& buf, CollAlg alg);
+CollAlg reduce_impl(Comm& c, CollBuf& buf, int root, CollAlg alg);
+CollAlg bcast_impl(Comm& c, CollBuf& buf, int root, CollAlg alg);
+CollAlg alltoall_impl(Comm& c, BlockBuf& buf, CollAlg alg);
+CollAlg allgather_impl(Comm& c, BlockBuf& buf, CollAlg alg);
 /// Ring reduce-scatter: after return, rank r holds the fully reduced chunk
 /// (r+1) mod size in its buffer (chunk_lo partition).
 void ring_reduce_scatter_impl(Comm& c, CollBuf& buf, int tag);
@@ -169,34 +200,42 @@ class Comm {
   void waitall(std::span<Request> requests);
 
   // --- collectives ---------------------------------------------------------
+  // The `alg` parameter requests a specific algorithm; the default kAuto
+  // defers to the run's CollSelector (see simmpi/coll.hpp).
 
   void barrier();
 
   template <typename T, typename Op>
-  void allreduce(std::span<T> data, Op op, AllReduceAlg alg = AllReduceAlg::kAuto);
+  void allreduce(std::span<T> data, Op op, CollAlg alg = CollAlg::kAuto);
   template <typename T>
-  void allreduce_sum(std::span<T> data, AllReduceAlg alg = AllReduceAlg::kAuto) {
+  void allreduce_sum(std::span<T> data, CollAlg alg = CollAlg::kAuto) {
     allreduce(data, [](T a, T b) { return a + b; }, alg);
   }
-  void allreduce_virtual(std::uint64_t bytes, AllReduceAlg alg = AllReduceAlg::kAuto);
+  void allreduce_virtual(std::uint64_t bytes, CollAlg alg = CollAlg::kAuto);
 
   template <typename T, typename Op>
-  void reduce(std::span<T> data, Op op, int root);
-  void reduce_virtual(std::uint64_t bytes, int root);
+  void reduce(std::span<T> data, Op op, int root, CollAlg alg = CollAlg::kAuto);
+  void reduce_virtual(std::uint64_t bytes, int root,
+                      CollAlg alg = CollAlg::kAuto);
 
   template <typename T>
-  void bcast(std::span<T> data, int root);
-  void bcast_virtual(std::uint64_t bytes, int root);
+  void bcast(std::span<T> data, int root, CollAlg alg = CollAlg::kAuto);
+  void bcast_virtual(std::uint64_t bytes, int root,
+                     CollAlg alg = CollAlg::kAuto);
 
   /// MPI_Alltoall: `send.size() == recv.size() == count_per_rank * size()`.
   template <typename T>
-  void alltoall(std::span<const T> send_data, std::span<T> recv_data);
-  void alltoall_virtual(std::uint64_t bytes_per_pair);
+  void alltoall(std::span<const T> send_data, std::span<T> recv_data,
+                CollAlg alg = CollAlg::kAuto);
+  void alltoall_virtual(std::uint64_t bytes_per_pair,
+                        CollAlg alg = CollAlg::kAuto);
 
   /// MPI_Allgather: `all.size() == mine.size() * size()`.
   template <typename T>
-  void allgather(std::span<const T> mine, std::span<T> all);
-  void allgather_virtual(std::uint64_t bytes_per_rank);
+  void allgather(std::span<const T> mine, std::span<T> all,
+                 CollAlg alg = CollAlg::kAuto);
+  void allgather_virtual(std::uint64_t bytes_per_rank,
+                         CollAlg alg = CollAlg::kAuto);
 
   /// MPI_Reduce_scatter_block: `full.size() == count * size()`; rank r ends
   /// with the element-wise reduction of everyone's block r in `mine`
@@ -233,6 +272,16 @@ class Comm {
 
   static Comm make_world(Proc& proc);
 
+  // --- topology view (used by the selector and hierarchical schedules) -----
+
+  /// True when this communicator's members are placed on more than one node.
+  [[nodiscard]] bool spans_nodes() const;
+  /// Members grouped by node: local ranks (ascending within each node),
+  /// groups ordered by node id. Each node's leader is its first entry.
+  [[nodiscard]] const std::vector<std::vector<int>>& node_groups() const;
+  /// Index into node_groups() of the calling rank's node.
+  [[nodiscard]] int my_node_group() const;
+
   // --- internals used by the collective impls -----------------------------
 
   [[nodiscard]] int internal_tag() { return -static_cast<int>(group_->next_seq++ % 1000000000) - 1; }
@@ -242,25 +291,57 @@ class Comm {
   /// collective instance across members for the invariant monitor.
   [[nodiscard]] std::uint64_t collective_seq() const { return group_->next_seq; }
 
-  void trace_collective(TraceEvent::Kind kind, std::uint64_t payload_bytes,
-                        double t_start, std::uint64_t seq) const;
+  /// Resolve a per-call algorithm request: an explicit request passes
+  /// through; kAuto consults the run's CollSelector with this communicator's
+  /// member-agreed (bytes, participants, spans_nodes) key.
+  [[nodiscard]] CollAlg resolve_alg(TraceEvent::Kind kind, std::uint64_t bytes,
+                                    CollAlg request) const;
+
+  void trace_collective(TraceEvent::Kind kind, CollAlg alg,
+                        std::uint64_t payload_bytes, double t_start,
+                        std::uint64_t seq) const;
 
   /// Epilogue of every collective: report to the invariant monitor (member
-  /// agreement on kind/participants/bytes, plus bitwise result identity when
-  /// `has_hash` — only set for typed collectives whose result is identical
-  /// on every member and whose element type has no padding bytes), then
-  /// record the trace event.
-  void finish_collective(TraceEvent::Kind kind, std::uint64_t payload_bytes,
-                         double t_start, std::uint64_t seq, bool has_hash,
+  /// agreement on kind/algorithm/participants/bytes, plus bitwise result
+  /// identity when `has_hash` — only set for typed collectives whose result
+  /// is identical on every member and whose element type has no padding
+  /// bytes), then record the trace event.
+  void finish_collective(TraceEvent::Kind kind, CollAlg alg,
+                         std::uint64_t payload_bytes, double t_start,
+                         std::uint64_t seq, bool has_hash,
                          std::uint64_t result_hash) const;
 
  private:
+  friend class ScopedNicExclusive;
+
   Comm(Proc* proc, std::shared_ptr<detail::Group> group, int myrank)
       : proc_(proc), group_(std::move(group)), myrank_(myrank) {}
+
+  void compute_node_info() const;
 
   Proc* proc_ = nullptr;
   std::shared_ptr<detail::Group> group_;
   int myrank_ = -1;
+};
+
+/// RAII: model the calling rank as its node's only NIC injector for the
+/// scope's duration. The hierarchical schedules wrap their inter-node stage
+/// in this — exactly one rank per node (the leader) is communicating, so the
+/// machine model's NIC fair-share divisor drops to 1 and sparse injectors
+/// get the full per-rank attach bandwidth.
+class ScopedNicExclusive {
+ public:
+  explicit ScopedNicExclusive(Comm& c) : group_(c.group_.get()) {
+    saved_ = group_->nic_override;
+    group_->nic_override = 1;
+  }
+  ~ScopedNicExclusive() { group_->nic_override = saved_; }
+  ScopedNicExclusive(const ScopedNicExclusive&) = delete;
+  ScopedNicExclusive& operator=(const ScopedNicExclusive&) = delete;
+
+ private:
+  detail::Group* group_;
+  int saved_ = 0;
 };
 
 namespace detail {
@@ -334,6 +415,33 @@ class TypedBlockBuf final : public BlockBuf {
     std::memcpy(out_.data() + out_block * count_, in_.data() + in_block * count_,
                 count_ * sizeof(T));
   }
+  void send_out_blocks(Comm& c, std::span<const int> blocks, int dst,
+                       int tag) override {
+    scratch_.resize(blocks.size() * count_);
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      std::memcpy(scratch_.data() + i * count_,
+                  out_.data() + static_cast<size_t>(blocks[i]) * count_,
+                  count_ * sizeof(T));
+    }
+    c.send_bytes(dst, tag, scratch_.data(), scratch_.size() * sizeof(T));
+  }
+  void recv_out_blocks(Comm& c, std::span<const int> blocks, int src,
+                       int tag) override {
+    scratch_.resize(blocks.size() * count_);
+    c.recv_bytes(src, tag, scratch_.data(), scratch_.size() * sizeof(T));
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      std::memcpy(out_.data() + static_cast<size_t>(blocks[i]) * count_,
+                  scratch_.data() + i * count_, count_ * sizeof(T));
+    }
+  }
+  void permute_out(std::span<const int> perm) override {
+    std::vector<T> old(out_.begin(), out_.end());
+    for (size_t j = 0; j < perm.size(); ++j) {
+      std::memcpy(out_.data() + j * count_,
+                  old.data() + static_cast<size_t>(perm[j]) * count_,
+                  count_ * sizeof(T));
+    }
+  }
   [[nodiscard]] std::uint64_t block_bytes() const override {
     return count_ * sizeof(T);
   }
@@ -342,6 +450,7 @@ class TypedBlockBuf final : public BlockBuf {
   std::span<const T> in_;
   std::span<T> out_;
   size_t count_;
+  std::vector<T> scratch_;
 };
 
 class VirtualBlockBuf final : public BlockBuf {
@@ -357,6 +466,15 @@ class VirtualBlockBuf final : public BlockBuf {
     c.recv_virtual(bytes_, src, tag);
   }
   void copy_in_to_out(int, int) override {}
+  void send_out_blocks(Comm& c, std::span<const int> blocks, int dst,
+                       int tag) override {
+    c.send_virtual(bytes_ * blocks.size(), dst, tag);
+  }
+  void recv_out_blocks(Comm& c, std::span<const int> blocks, int src,
+                       int tag) override {
+    c.recv_virtual(bytes_ * blocks.size(), src, tag);
+  }
+  void permute_out(std::span<const int>) override {}
   [[nodiscard]] std::uint64_t block_bytes() const override { return bytes_; }
 
  private:
@@ -368,41 +486,42 @@ class VirtualBlockBuf final : public BlockBuf {
 // --- template method definitions -------------------------------------------
 
 template <typename T, typename Op>
-void Comm::allreduce(std::span<T> data, Op op, AllReduceAlg alg) {
+void Comm::allreduce(std::span<T> data, Op op, CollAlg alg) {
   const double t0 = proc_->now();
   const std::uint64_t seq = collective_seq();
   detail::TypedCollBuf<T, Op> buf(data, op);
-  detail::allreduce_impl(*this, buf, alg);
-  finish_collective(TraceEvent::Kind::kAllReduce, data.size_bytes(), t0, seq,
-                    /*has_hash=*/true,
+  const CollAlg ran = detail::allreduce_impl(*this, buf, alg);
+  finish_collective(TraceEvent::Kind::kAllReduce, ran, data.size_bytes(), t0,
+                    seq, /*has_hash=*/true,
                     Hasher().bytes(data.data(), data.size_bytes()).digest());
 }
 
 template <typename T, typename Op>
-void Comm::reduce(std::span<T> data, Op op, int root) {
+void Comm::reduce(std::span<T> data, Op op, int root, CollAlg alg) {
   const double t0 = proc_->now();
   const std::uint64_t seq = collective_seq();
   detail::TypedCollBuf<T, Op> buf(data, op);
-  detail::reduce_impl(*this, buf, root);
-  finish_collective(TraceEvent::Kind::kReduce, data.size_bytes(), t0, seq,
+  const CollAlg ran = detail::reduce_impl(*this, buf, root, alg);
+  finish_collective(TraceEvent::Kind::kReduce, ran, data.size_bytes(), t0, seq,
                     /*has_hash=*/false, 0);
 }
 
 template <typename T>
-void Comm::bcast(std::span<T> data, int root) {
+void Comm::bcast(std::span<T> data, int root, CollAlg alg) {
   const double t0 = proc_->now();
   const std::uint64_t seq = collective_seq();
   // Op unused by bcast; supply a no-op combiner.
   auto nop = [](T a, T) { return a; };
   detail::TypedCollBuf<T, decltype(nop)> buf(data, nop);
-  detail::bcast_impl(*this, buf, root);
-  finish_collective(TraceEvent::Kind::kBcast, data.size_bytes(), t0, seq,
+  const CollAlg ran = detail::bcast_impl(*this, buf, root, alg);
+  finish_collective(TraceEvent::Kind::kBcast, ran, data.size_bytes(), t0, seq,
                     /*has_hash=*/true,
                     Hasher().bytes(data.data(), data.size_bytes()).digest());
 }
 
 template <typename T>
-void Comm::alltoall(std::span<const T> send_data, std::span<T> recv_data) {
+void Comm::alltoall(std::span<const T> send_data, std::span<T> recv_data,
+                    CollAlg alg) {
   XG_REQUIRE(send_data.size() == recv_data.size(),
              "alltoall: send/recv size mismatch");
   XG_REQUIRE(send_data.size() % size() == 0,
@@ -411,21 +530,21 @@ void Comm::alltoall(std::span<const T> send_data, std::span<T> recv_data) {
   const std::uint64_t seq = collective_seq();
   const size_t count = send_data.size() / size();
   detail::TypedBlockBuf<T> buf(send_data, recv_data, count);
-  detail::alltoall_impl(*this, buf);
-  finish_collective(TraceEvent::Kind::kAllToAll, count * sizeof(T), t0, seq,
-                    /*has_hash=*/false, 0);
+  const CollAlg ran = detail::alltoall_impl(*this, buf, alg);
+  finish_collective(TraceEvent::Kind::kAllToAll, ran, count * sizeof(T), t0,
+                    seq, /*has_hash=*/false, 0);
 }
 
 template <typename T>
-void Comm::allgather(std::span<const T> mine, std::span<T> all) {
+void Comm::allgather(std::span<const T> mine, std::span<T> all, CollAlg alg) {
   XG_REQUIRE(all.size() == mine.size() * static_cast<size_t>(size()),
              "allgather: output must be size() blocks");
   const double t0 = proc_->now();
   const std::uint64_t seq = collective_seq();
   detail::TypedBlockBuf<T> buf(mine, all, mine.size());
-  detail::allgather_impl(*this, buf);
-  finish_collective(TraceEvent::Kind::kAllGather, mine.size_bytes(), t0, seq,
-                    /*has_hash=*/true,
+  const CollAlg ran = detail::allgather_impl(*this, buf, alg);
+  finish_collective(TraceEvent::Kind::kAllGather, ran, mine.size_bytes(), t0,
+                    seq, /*has_hash=*/true,
                     Hasher().bytes(all.data(), all.size_bytes()).digest());
 }
 
@@ -440,8 +559,8 @@ void Comm::reduce_scatter_block(std::span<const T> full, std::span<T> mine,
   const size_t count = mine.size();
   if (p == 1) {
     std::copy(full.begin(), full.end(), mine.begin());
-    finish_collective(TraceEvent::Kind::kReduceScatter, count * sizeof(T), t0,
-                      seq, /*has_hash=*/false, 0);
+    finish_collective(TraceEvent::Kind::kReduceScatter, CollAlg::kRing,
+                      count * sizeof(T), t0, seq, /*has_hash=*/false, 0);
     return;
   }
   // Stage blocks shifted by +1 so the ring's natural owner — rank r ends
@@ -456,8 +575,8 @@ void Comm::reduce_scatter_block(std::span<const T> full, std::span<T> mine,
   detail::ring_reduce_scatter_impl(*this, buf, internal_tag());
   const size_t own = static_cast<size_t>((rank() + 1) % p) * count;
   std::copy(scratch.begin() + own, scratch.begin() + own + count, mine.begin());
-  finish_collective(TraceEvent::Kind::kReduceScatter, count * sizeof(T), t0,
-                    seq, /*has_hash=*/false, 0);
+  finish_collective(TraceEvent::Kind::kReduceScatter, CollAlg::kRing,
+                    count * sizeof(T), t0, seq, /*has_hash=*/false, 0);
 }
 
 template <typename T, typename Op>
@@ -466,8 +585,8 @@ void Comm::scan(std::span<T> data, Op op) {
   const std::uint64_t seq = collective_seq();
   detail::TypedCollBuf<T, Op> buf(data, op);
   detail::scan_impl(*this, buf);
-  finish_collective(TraceEvent::Kind::kScan, data.size_bytes(), t0, seq,
-                    /*has_hash=*/false, 0);
+  finish_collective(TraceEvent::Kind::kScan, CollAlg::kChain, data.size_bytes(),
+                    t0, seq, /*has_hash=*/false, 0);
 }
 
 template <typename T>
@@ -490,8 +609,8 @@ void Comm::gather(std::span<const T> mine, std::span<T> all, int root) {
   } else {
     send(mine, root, tag);
   }
-  finish_collective(TraceEvent::Kind::kGather, mine.size_bytes(), t0, seq,
-                    /*has_hash=*/false, 0);
+  finish_collective(TraceEvent::Kind::kGather, CollAlg::kLinear,
+                    mine.size_bytes(), t0, seq, /*has_hash=*/false, 0);
 }
 
 template <typename T>
@@ -514,8 +633,8 @@ void Comm::scatter(std::span<const T> all, std::span<T> mine, int root) {
   } else {
     recv(mine, root, tag);
   }
-  finish_collective(TraceEvent::Kind::kScatter, mine.size_bytes(), t0, seq,
-                    /*has_hash=*/false, 0);
+  finish_collective(TraceEvent::Kind::kScatter, CollAlg::kLinear,
+                    mine.size_bytes(), t0, seq, /*has_hash=*/false, 0);
 }
 
 }  // namespace xg::mpi

@@ -22,6 +22,7 @@ void InvariantMonitor::observe(const Report& r) {
   if (it == inflight_.end()) {
     Inflight rec;
     rec.kind = r.kind;
+    rec.alg = r.alg;
     rec.participants = r.participants;
     rec.payload_bytes = r.payload_bytes;
     rec.has_hash = r.has_hash;
@@ -45,6 +46,13 @@ void InvariantMonitor::observe(const Report& r) {
         "schedule",
         where.c_str(), rec.first_rank, trace_kind_name(rec.kind), r.world_rank,
         trace_kind_name(r.kind)));
+  }
+  if (rec.alg != r.alg) {
+    throw InvariantViolation(strprintf(
+        "invariant violation: %s (%s): rank %d ran algorithm '%s' but rank %d "
+        "ran '%s' — members resolved the selector differently",
+        where.c_str(), trace_kind_name(rec.kind), rec.first_rank,
+        coll_alg_name(rec.alg), r.world_rank, coll_alg_name(r.alg)));
   }
   if (rec.participants != r.participants) {
     throw InvariantViolation(strprintf(

@@ -35,6 +35,7 @@ class InvariantMonitor {
     std::uint64_t context = 0;
     std::uint64_t seq = 0;
     TraceEvent::Kind kind{};
+    CollAlg alg = CollAlg::kAuto;  ///< algorithm that ran (members must agree)
     int participants = 0;
     std::uint64_t payload_bytes = 0;
     bool has_hash = false;        ///< typed value-returning collective
@@ -57,6 +58,7 @@ class InvariantMonitor {
  private:
   struct Inflight {
     TraceEvent::Kind kind{};
+    CollAlg alg = CollAlg::kAuto;
     int participants = 0;
     std::uint64_t payload_bytes = 0;
     bool has_hash = false;

@@ -6,6 +6,7 @@
 #include <map>
 #include <thread>
 
+#include "simmpi/coll.hpp"
 #include "simmpi/comm.hpp"
 #include "simmpi/invariant.hpp"
 #include "util/error.hpp"
@@ -193,15 +194,16 @@ ScopedSpan::~ScopedSpan() {
 }
 
 void Proc::observe_collective(std::uint64_t context, std::uint64_t seq,
-                              TraceEvent::Kind kind, int participants,
-                              std::uint64_t payload_bytes, bool has_hash,
-                              std::uint64_t result_hash,
+                              TraceEvent::Kind kind, CollAlg alg,
+                              int participants, std::uint64_t payload_bytes,
+                              bool has_hash, std::uint64_t result_hash,
                               const std::string& comm_label) {
   if (!rt_->opts_.check_invariants || rt_->monitor_ == nullptr) return;
   InvariantMonitor::Report r;
   r.context = context;
   r.seq = seq;
   r.kind = kind;
+  r.alg = alg;
   r.participants = participants;
   r.payload_bytes = payload_bytes;
   r.has_hash = has_hash;
@@ -209,6 +211,11 @@ void Proc::observe_collective(std::uint64_t context, std::uint64_t seq,
   r.world_rank = rank_;
   r.comm_label = comm_label;
   rt_->monitor_->observe(r);
+}
+
+const CollSelector& Proc::coll_selector() const {
+  return rt_->opts_.coll_selector != nullptr ? *rt_->opts_.coll_selector
+                                             : CollSelector::tuned();
 }
 
 Runtime::Runtime(net::MachineSpec spec, int nranks, RuntimeOptions opts)

@@ -22,6 +22,7 @@
 
 namespace xg::mpi {
 
+class CollSelector;
 class Comm;
 class InvariantMonitor;
 class Runtime;
@@ -110,10 +111,15 @@ class Proc {
   /// Report one member's view of a completed collective to the runtime's
   /// invariant monitor (internal, called by Comm).
   void observe_collective(std::uint64_t context, std::uint64_t seq,
-                          TraceEvent::Kind kind, int participants,
+                          TraceEvent::Kind kind, CollAlg alg, int participants,
                           std::uint64_t payload_bytes, bool has_hash,
                           std::uint64_t result_hash,
                           const std::string& comm_label);
+
+  /// The run's collective-algorithm decision table (RuntimeOptions::
+  /// coll_selector, or the built-in tuned table when unset). Consulted by
+  /// every collective entered with CollAlg::kAuto.
+  [[nodiscard]] const CollSelector& coll_selector() const;
 
  private:
   friend class Runtime;
@@ -184,6 +190,11 @@ struct RuntimeOptions {
   double watchdog_timeout_s = 60.0;
   /// Deterministic fault-injection plan (default: inactive).
   FaultPlan faults;
+  /// Collective-algorithm decision table for this run. nullptr = the
+  /// built-in tuned table (CollSelector::tuned()). Use
+  /// CollSelector::legacy() for the fixed pre-selector behavior, or a table
+  /// loaded from an xgyro_colltune JSON file.
+  std::shared_ptr<const CollSelector> coll_selector;
 };
 
 /// Owns mailboxes and rank threads for one simulated job.

@@ -46,6 +46,31 @@ struct ProcStats {
   }
 };
 
+/// Collective algorithm identifiers shared by the runtime (which schedules
+/// them), the selector (which picks them), the trace (which records them),
+/// and the perf model (which prices them). kAuto is a request, never a
+/// recorded value: it means "consult the run's CollSelector".
+/// kBrokenForTesting is recursive doubling with the final non-power-of-two
+/// fold-back deliberately omitted (a seeded defect the invariant monitor
+/// must catch; test-only).
+enum class CollAlg {
+  kAuto,
+  kLinear,
+  kChain,
+  kBinomial,
+  kRecursiveDoubling,
+  kRing,
+  kSegmentedRing,
+  kRabenseifner,
+  kBruck,
+  kPairwise,
+  kHierarchical,
+  kDissemination,
+  kBrokenForTesting,
+};
+
+const char* coll_alg_name(CollAlg alg);
+
 /// One member's view of one collective operation. With tracing enabled,
 /// EVERY member records its own row — t_start/t_end are that member's entry
 /// and exit times, so grouping rows by (comm_context, seq) exposes the
@@ -67,6 +92,8 @@ struct TraceEvent {
     kScan,
   };
   Kind kind{};
+  CollAlg alg = CollAlg::kAuto;  ///< algorithm that actually ran (never kAuto
+                                 ///< on a recorded row; members must agree)
   std::uint64_t comm_context = 0;
   std::uint64_t seq = 0;  ///< collective sequence number on this communicator;
                           ///< (comm_context, seq) identifies one instance

@@ -1,0 +1,97 @@
+#include "telemetry/colltable.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace xg::telemetry {
+
+namespace {
+
+constexpr const char* kSchema = "xgyro.coll_table";
+constexpr int kSchemaVersion = 1;
+
+}  // namespace
+
+Json coll_table_json(const mpi::CollSelector& selector) {
+  Json rules = Json::array();
+  for (const auto& rule : selector.rules()) {
+    Json r = Json::object();
+    r.set("kind", Json(mpi::coll_kind_key(rule.kind)));
+    if (rule.max_bytes != std::numeric_limits<std::uint64_t>::max()) {
+      r.set("max_bytes", Json(rule.max_bytes));
+    }
+    if (rule.max_participants != std::numeric_limits<int>::max()) {
+      r.set("max_participants", Json(rule.max_participants));
+    }
+    if (rule.spans_nodes >= 0) r.set("spans_nodes", Json(rule.spans_nodes));
+    r.set("alg", Json(mpi::coll_alg_name(rule.alg)));
+    rules.push(std::move(r));
+  }
+  return Json::object()
+      .set("schema", Json(kSchema))
+      .set("schema_version", Json(kSchemaVersion))
+      .set("origin", Json(selector.origin()))
+      .set("rules", std::move(rules));
+}
+
+std::shared_ptr<const mpi::CollSelector> coll_table_from_json(const Json& doc) {
+  const Json* schema = doc.find("schema");
+  if (schema == nullptr || schema->as_string() != kSchema) {
+    throw InputError(
+        strprintf("coll table: missing or wrong 'schema' (want '%s')",
+                  kSchema));
+  }
+  if (doc.at("schema_version").as_int() != kSchemaVersion) {
+    throw InputError("coll table: unsupported schema_version");
+  }
+  const Json& rules_json = doc.at("rules");
+  if (!rules_json.is_array()) {
+    throw InputError("coll table: 'rules' must be an array");
+  }
+  std::vector<mpi::CollRule> rules;
+  rules.reserve(rules_json.size());
+  for (const Json& r : rules_json.elems()) {
+    mpi::CollRule rule;
+    rule.kind = mpi::coll_kind_from_key(r.at("kind").as_string());
+    rule.alg = mpi::coll_alg_from_name(r.at("alg").as_string());
+    if (const Json* v = r.find("max_bytes"); v != nullptr) {
+      const std::int64_t b = v->as_int();
+      if (b < 0) throw InputError("coll table: max_bytes must be >= 0");
+      rule.max_bytes = static_cast<std::uint64_t>(b);
+    }
+    if (const Json* v = r.find("max_participants"); v != nullptr) {
+      const std::int64_t p = v->as_int();
+      if (p < 1 || p > std::numeric_limits<int>::max()) {
+        throw InputError("coll table: max_participants out of range");
+      }
+      rule.max_participants = static_cast<int>(p);
+    }
+    if (const Json* v = r.find("spans_nodes"); v != nullptr) {
+      rule.spans_nodes = static_cast<int>(v->as_int());
+    }
+    rules.push_back(rule);
+  }
+  std::string origin = "custom";
+  if (const Json* v = doc.find("origin"); v != nullptr) {
+    origin = v->as_string();
+  }
+  // CollSelector's constructor revalidates each rule (kind governed,
+  // algorithm valid for the kind, spans_nodes in range).
+  return std::make_shared<const mpi::CollSelector>(std::move(rules),
+                                                   std::move(origin));
+}
+
+std::shared_ptr<const mpi::CollSelector> load_coll_table(
+    const std::string& path) {
+  return coll_table_from_json(load_json_file(path));
+}
+
+void write_coll_table(const std::string& path,
+                      const mpi::CollSelector& selector) {
+  write_json_file(path, coll_table_json(selector));
+}
+
+}  // namespace xg::telemetry

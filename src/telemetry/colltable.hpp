@@ -1,0 +1,47 @@
+// JSON (de)serialization of collective decision tables.
+//
+// The selector core (mpi::CollSelector, simmpi/coll.hpp) is deliberately
+// JSON-free — telemetry sits above simmpi in the dependency order — so the
+// file format lives here. The format is what `xgyro_colltune` emits and what
+// `--coll-table` consumes:
+//
+//   {
+//     "schema": "xgyro.coll_table",
+//     "schema_version": 1,
+//     "origin": "colltune nodes=32",
+//     "rules": [
+//       {"kind": "allreduce", "max_bytes": 65536, "max_participants": 64,
+//        "spans_nodes": 1, "alg": "hierarchical"},
+//       ...
+//     ]
+//   }
+//
+// Rules are matched first-to-last; `max_bytes` / `max_participants` are
+// omitted when unbounded, `spans_nodes` when the rule matches either
+// placement. Decisions not covered by any rule fall through to the built-in
+// tuned table.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "simmpi/coll.hpp"
+#include "telemetry/json.hpp"
+
+namespace xg::telemetry {
+
+/// Serialize a selector's rule list (the built-in fallback behavior is
+/// implicit and not serialized).
+Json coll_table_json(const mpi::CollSelector& selector);
+
+/// Parse and validate a decision-table document. Throws xg::InputError on a
+/// malformed document or a rule the selector rejects.
+std::shared_ptr<const mpi::CollSelector> coll_table_from_json(const Json& doc);
+
+/// File convenience wrappers.
+std::shared_ptr<const mpi::CollSelector> load_coll_table(
+    const std::string& path);
+void write_coll_table(const std::string& path,
+                      const mpi::CollSelector& selector);
+
+}  // namespace xg::telemetry

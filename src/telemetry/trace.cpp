@@ -135,6 +135,7 @@ Json chrome_trace_json(const mpi::RunResult& result) {
             .set("args",
                  Json::object()
                      .set("comm", Json(e.comm_label))
+                     .set("alg", Json(mpi::coll_alg_name(e.alg)))
                      .set("ctx", Json(strprintf(
                                      "%016llx", static_cast<unsigned long long>(
                                                     e.comm_context))))
@@ -177,10 +178,13 @@ TraceCheck check_chrome_trace(const Json& doc) {
   std::set<std::pair<int, int>> named_tracks;   // (pid, tid) with thread_name
   std::set<std::pair<int, int>> event_tracks;   // (pid, tid) with an X row
   // Per-collective-instance consistency: all rows sharing a (ctx, seq) key
-  // must agree on `participants`, and no instance may have more rows than
-  // participants. Keyed by the hex ctx string so 64-bit contexts stay exact.
+  // must agree on `participants` and on the algorithm that ran, and no
+  // instance may have more rows than participants. Keyed by the hex ctx
+  // string so 64-bit contexts stay exact.
   struct InstanceAgg {
     std::int64_t participants = -1;
+    std::string alg;
+    bool has_alg = false;
     int rows = 0;
   };
   std::map<std::pair<std::string, std::int64_t>, InstanceAgg> instances;
@@ -226,6 +230,22 @@ TraceCheck check_chrome_trace(const Json& doc) {
               static_cast<long long>(seq->as_int()),
               static_cast<long long>(agg.participants),
               static_cast<long long>(p)));
+        }
+        // `alg` joined the schema with the collective selector; traces from
+        // before it are still valid, but where present all members of an
+        // instance must have run the same algorithm.
+        if (const Json* alg = args->find("alg"); alg != nullptr) {
+          if (!agg.has_alg) {
+            agg.alg = alg->as_string();
+            agg.has_alg = true;
+          } else if (agg.alg != alg->as_string()) {
+            throw InputError(strprintf(
+                "trace: collective ctx %s seq %lld has mismatched algorithms "
+                "across members ('%s' vs '%s')",
+                ctx->as_string().c_str(),
+                static_cast<long long>(seq->as_int()), agg.alg.c_str(),
+                alg->as_string().c_str()));
+          }
         }
         ++agg.rows;
         if (agg.rows > agg.participants) {

@@ -54,6 +54,7 @@ mpi::RunResult run_cgyro_job(const gyro::Input& input,
   ropts.faults = options.faults;
   ropts.check_invariants = options.check_invariants;
   ropts.watchdog_timeout_s = options.watchdog_timeout_s;
+  ropts.coll_selector = options.coll_selector;
   CheckpointHooks hooks(options, nranks, options.n_report_intervals);
   return mpi::run_simulation(
       machine, nranks,
@@ -92,6 +93,7 @@ mpi::RunResult run_xgyro_job(const EnsembleInput& ensemble,
   ropts.faults = options.faults;
   ropts.check_invariants = options.check_invariants;
   ropts.watchdog_timeout_s = options.watchdog_timeout_s;
+  ropts.coll_selector = options.coll_selector;
   const int nranks = ensemble.n_sims() * ranks_per_sim;
   CheckpointHooks hooks(options, nranks, options.n_report_intervals);
   return mpi::run_simulation(

@@ -32,6 +32,11 @@ struct JobOptions {
   /// Restore from the latest valid snapshot in checkpoint_dir before
   /// stepping; already-completed intervals are skipped.
   bool resume = false;
+  /// Collective algorithm decision table consulted by every collective
+  /// entered with CollAlg::kAuto (nullptr = built-in tuned table). Use
+  /// mpi::CollSelector::legacy() for the pre-selector ablation baseline, or
+  /// a table loaded via telemetry::load_coll_table.
+  std::shared_ptr<const mpi::CollSelector> coll_selector;
 };
 
 /// One CGYRO job: a single simulation on `nranks` ranks of `machine`

@@ -151,7 +151,9 @@ TEST(Planner, PerPhaseGoldenValuesK1VsK8OnFrontierLike) {
     EXPECT_NEAR(value, golden, 1e-6 * golden);
   };
   near(p1.str, 0.033973862);
-  near(p1.str_comm, 0.365829120);
+  // With the tuned selector the 256-rank str AllReduce prices as
+  // Rabenseifner (halved payload per level) instead of the legacy ring.
+  near(p1.str_comm, 0.189829120);
   near(p1.nl, 0.016515072);
   near(p1.nl_comm, 1.564120320);
   near(p1.coll, 0.271790899);
@@ -169,6 +171,49 @@ TEST(Planner, PerPhaseGoldenValuesK1VsK8OnFrontierLike) {
   EXPECT_LT(p8.str_comm, 8.0 * p1.str_comm);
   EXPECT_LT(p8.coll, 8.0 * p1.coll);
   EXPECT_LT(p8.coll_comm, 8.0 * p1.coll_comm);
+}
+
+TEST(ClosedForm, PerAlgorithmGoldenValuesAt256Nodes) {
+  // Per-algorithm golden values at the node_scaling sweep's largest point
+  // (frontier-like, 256 nodes = 2048 ranks, 512 KiB — the nl03c field
+  // payload). One hierarchical and one flat algorithm per collective pin
+  // the cost formulas the --perfmodel-check divergence gate relies on, and
+  // encode the tuned table's reasons: the hierarchical bcast pays one
+  // inter-node hop per tree level instead of log2(p) full-price rounds, and
+  // Rabenseifner's halved payload per level beats the ring's 2(P-1) rounds
+  // by two orders of magnitude at this scale.
+  const auto spec = net::frontier_like(256);
+  const int p = spec.total_ranks();
+  ASSERT_EQ(p, 2048);
+  const std::uint64_t bytes = 512 * 1024;
+  using K = mpi::TraceEvent::Kind;
+  auto near = [](double value, double golden) {
+    EXPECT_NEAR(value, golden, 1e-6 * golden);
+  };
+  const double bcast_hier = estimate_coll(spec, K::kBcast,
+                                          mpi::CollAlg::kHierarchical, p,
+                                          bytes, true);
+  const double bcast_flat = estimate_coll(spec, K::kBcast,
+                                          mpi::CollAlg::kBinomial, p, bytes,
+                                          true);
+  near(bcast_hier, 0.000291229440);
+  near(bcast_flat, 0.000571373440);
+  EXPECT_LT(bcast_hier, bcast_flat);
+
+  const double ar_rab = estimate_coll(spec, K::kAllReduce,
+                                      mpi::CollAlg::kRabenseifner, p, bytes,
+                                      true);
+  const double ar_ring = estimate_coll(spec, K::kAllReduce,
+                                       mpi::CollAlg::kRing, p, bytes, true);
+  near(ar_rab, 0.000303845120);
+  near(ar_ring, 0.041023845120);
+  EXPECT_LT(ar_rab, ar_ring);
+
+  // kAuto resolves through the tuned table: the allreduce estimate equals
+  // the Rabenseifner formula at this (bytes, p, spans) key.
+  EXPECT_DOUBLE_EQ(estimate_coll(spec, K::kAllReduce, mpi::CollAlg::kAuto, p,
+                                 bytes, true),
+                   ar_rab);
 }
 
 TEST(Planner, PhaseEstimatesTrackDesWithinFactorThree) {
