@@ -12,38 +12,44 @@
 #   7. collective autotuner smoke (xgyro_colltune's emitted decision table
 #      round-trips: write -> load -> selector resolves every swept cell to
 #      the measured winner)
+#   8. campaign service smoke (a short arrival stream through xgyro_serve:
+#      admission, batching, placement, and the exit-0 convention)
 #
-# Steps 3–7 are also registered with ctest (check_determinism_script,
+# Steps 3–8 are also registered with ctest (check_determinism_script,
 # trace_export_smoke, docs_consistency_check, bench_baseline_smoke,
-# colltune_smoke); they rerun here standalone so a failure prints its own
-# transcript even when ctest is skipped.
+# colltune_smoke, service_smoke); they rerun here standalone so a failure
+# prints its own transcript even when ctest is skipped.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-echo "=== [1/7] default build + ctest ==="
+echo "=== [1/8] default build + ctest ==="
 cmake --preset default
 cmake --build --preset default -j "$JOBS"
 ctest --preset default
 
-echo "=== [2/7] sanitized build ==="
+echo "=== [2/8] sanitized build ==="
 cmake --preset sanitize
 cmake --build --preset sanitize -j "$JOBS"
 
-echo "=== [3/7] determinism check ==="
+echo "=== [3/8] determinism check ==="
 bash scripts/check_determinism.sh build
 
-echo "=== [4/7] telemetry trace-export smoke ==="
+echo "=== [4/8] telemetry trace-export smoke ==="
 bash scripts/trace_smoke.sh build
 
-echo "=== [5/7] docs consistency check ==="
+echo "=== [5/8] docs consistency check ==="
 bash scripts/docs_check.sh build
 
-echo "=== [6/7] bench baseline smoke ==="
+echo "=== [6/8] bench baseline smoke ==="
 ./build/examples/xgyro_bench_check --smoke .
 
-echo "=== [7/7] collective autotuner smoke ==="
+echo "=== [7/8] collective autotuner smoke ==="
 ./build/examples/xgyro_colltune --smoke --out build/colltune_smoke.coll_table.json
+
+echo "=== [8/8] campaign service smoke ==="
+./build/examples/xgyro_serve --gen "seed=3;n=6;rate=4;tenants=2;sigs=2" \
+  --nodes 2 --ranks-per-node 4 --window 0.5
 
 echo "ci.sh: all gates passed"

@@ -644,6 +644,14 @@ int main(int argc, char** argv) {
           opt.perfmodel_tol));
     }
     return 0;
+  } catch (const campaign::JobAborted& e) {
+    std::fprintf(stderr, "xgyro_cli: elastic job aborted (%s)\n",
+                 e.kind().c_str());
+    std::fprintf(stderr, "  reason : %s\n", e.reason().c_str());
+    std::fprintf(stderr, "  rank   : %d\n", e.world_rank());
+    std::fprintf(stderr, "  vtime  : %.9e s\n", e.virtual_time_s());
+    std::fprintf(stderr, "  detail : %s\n", e.what());
+    return 2;
   } catch (const mpi::RankFailure& e) {
     std::fprintf(stderr, "xgyro_cli: structured rank failure\n");
     std::fprintf(stderr, "  rank   : %d\n", e.world_rank());

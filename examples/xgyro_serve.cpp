@@ -1,0 +1,244 @@
+// xgyro_serve — the online campaign service, driven from a synthetic
+// arrival stream:
+//
+//   ./examples/xgyro_serve --gen "seed=7;n=12;rate=2;sigs=3;tenants=2"
+//       --nodes 2 --ranks-per-node 4 --window 1.0
+//
+// Requests are admitted (or shed), batched by cmat fingerprint inside the
+// batching window, bin-packed onto the simulated cluster, and executed
+// through the deterministic DES. The summary prints throughput
+// (jobs/requests per virtual hour) and exact queue-wait percentiles;
+// --report writes the full xgyro.service JSON document.
+//
+// Exit status:
+//   0  every admitted request completed (rejections are not errors)
+//   1  usage, input, or configuration error
+//   2  at least one admitted request failed (recovery budget exhausted)
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+
+#include "campaign/service.hpp"
+#include "simnet/machine.hpp"
+#include "telemetry/json.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+struct Options {
+  std::string gen;
+  int nodes = 2;
+  int ranks_per_node = 4;
+  double window_s = 1.0;
+  int max_batch = 8;
+  bool batching = true;
+  int queue_depth = 64;
+  int tenant_quota = 16;
+  int intervals = 1;
+  std::string mode = "real";
+  int nodes_per_job = 0;
+  std::string checkpoint_dir;
+  int quantum = 1;
+  int max_recoveries = 3;
+  std::string report_out;
+  std::string metrics_out;
+  std::string report_dir;
+};
+
+int parse_int(const std::string& flag, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(value.c_str(), &end, 10);
+  if (value.empty() || end == nullptr || *end != '\0' || errno == ERANGE ||
+      v < INT_MIN || v > INT_MAX) {
+    throw xg::InputError(xg::strprintf("%s: '%s' is not an integer",
+                                       flag.c_str(), value.c_str()));
+  }
+  return static_cast<int>(v);
+}
+
+double parse_double(const std::string& flag, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (value.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+    throw xg::InputError(xg::strprintf("%s: '%s' is not a number",
+                                       flag.c_str(), value.c_str()));
+  }
+  return v;
+}
+
+void print_help() {
+  std::printf(
+      "usage: xgyro_serve --gen SPEC [options]\n\n"
+      "  --gen SPEC          synthetic arrival stream, e.g.\n"
+      "                      \"seed=7;n=12;rate=2;tenants=2;sigs=3;prios=2;"
+      "skew=1;kills=0.1\"\n"
+      "  --nodes N           cluster nodes [2]\n"
+      "  --ranks-per-node N  ranks per node [4]\n"
+      "  --window S          batching window in virtual seconds [1.0]\n"
+      "  --max-batch N       batch closes early at this size [8]\n"
+      "  --no-batching       ablation: one job per request\n"
+      "  --queue-depth N     admitted-but-waiting request cap [64]\n"
+      "  --tenant-quota N    in-flight request cap per tenant [16]\n"
+      "  --intervals N       reporting intervals per request [1]\n"
+      "  --mode real|model   real data or paper-scale model mode [real]\n"
+      "  --nodes-per-job N   pin jobs to N nodes (0 = cost-optimal) [0]\n"
+      "  --checkpoint-dir DIR  per-job snapshots under DIR/job-<id>;\n"
+      "                      enables slice preemption and kill recovery\n"
+      "  --quantum N         report intervals per execution slice [1]\n"
+      "  --max-recoveries N  recoveries allowed per job [3]\n"
+      "  --report FILE       write the xgyro.service JSON document\n"
+      "  --metrics-out FILE  write the metrics snapshot (xgyro.metrics)\n"
+      "  --report-dir DIR    write per-job RunReports (job-<id>.report.json)\n"
+      "  --help              print this reference and exit\n"
+      "\n"
+      "exit status:\n"
+      "  0  every admitted request completed (rejections are not errors)\n"
+      "  1  usage, input, or configuration error\n"
+      "  2  at least one admitted request failed (recovery exhausted)\n");
+}
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  std::set<std::string> seen;
+  auto need_value = [&](int i) {
+    if (i + 1 >= argc) {
+      throw xg::InputError(xg::strprintf("missing value after %s", argv[i]));
+    }
+    return std::string(argv[i + 1]);
+  };
+  auto once = [&](const std::string& flag) {
+    if (!seen.insert(flag).second) {
+      throw xg::InputError(
+          xg::strprintf("duplicate %s (give each option at most once)",
+                        flag.c_str()));
+    }
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--gen") {
+      once(a);
+      o.gen = need_value(i++);
+    } else if (a == "--nodes") {
+      once(a);
+      o.nodes = parse_int(a, need_value(i++));
+    } else if (a == "--ranks-per-node") {
+      once(a);
+      o.ranks_per_node = parse_int(a, need_value(i++));
+    } else if (a == "--window") {
+      once(a);
+      o.window_s = parse_double(a, need_value(i++));
+    } else if (a == "--max-batch") {
+      once(a);
+      o.max_batch = parse_int(a, need_value(i++));
+    } else if (a == "--no-batching") {
+      once(a);
+      o.batching = false;
+    } else if (a == "--queue-depth") {
+      once(a);
+      o.queue_depth = parse_int(a, need_value(i++));
+    } else if (a == "--tenant-quota") {
+      once(a);
+      o.tenant_quota = parse_int(a, need_value(i++));
+    } else if (a == "--intervals") {
+      once(a);
+      o.intervals = parse_int(a, need_value(i++));
+    } else if (a == "--mode") {
+      once(a);
+      o.mode = need_value(i++);
+    } else if (a == "--nodes-per-job") {
+      once(a);
+      o.nodes_per_job = parse_int(a, need_value(i++));
+    } else if (a == "--checkpoint-dir") {
+      once(a);
+      o.checkpoint_dir = need_value(i++);
+    } else if (a == "--quantum") {
+      once(a);
+      o.quantum = parse_int(a, need_value(i++));
+    } else if (a == "--max-recoveries") {
+      once(a);
+      o.max_recoveries = parse_int(a, need_value(i++));
+    } else if (a == "--report") {
+      once(a);
+      o.report_out = need_value(i++);
+    } else if (a == "--metrics-out") {
+      once(a);
+      o.metrics_out = need_value(i++);
+    } else if (a == "--report-dir") {
+      once(a);
+      o.report_dir = need_value(i++);
+    } else if (a == "--help" || a == "-h") {
+      print_help();
+      std::exit(0);
+    } else {
+      throw xg::InputError(
+          xg::strprintf("unknown option '%s' (see --help)", a.c_str()));
+    }
+  }
+  if (o.gen.empty()) {
+    throw xg::InputError("--gen SPEC is required (see --help)");
+  }
+  if (o.mode != "real" && o.mode != "model") {
+    throw xg::InputError(
+        xg::strprintf("--mode: '%s' is not real|model", o.mode.c_str()));
+  }
+  if (o.nodes < 1) throw xg::InputError("--nodes must be >= 1");
+  if (o.ranks_per_node < 1) {
+    throw xg::InputError("--ranks-per-node must be >= 1");
+  }
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xg;
+  try {
+    const Options opt = parse_args(argc, argv);
+
+    const campaign::StreamSpec spec = campaign::StreamSpec::parse(opt.gen);
+    const std::vector<campaign::Request> stream = spec.generate();
+
+    campaign::ServiceConfig cfg;
+    cfg.cluster = net::testbox(opt.nodes, opt.ranks_per_node);
+    cfg.max_queue_depth = opt.queue_depth;
+    cfg.tenant_quota = opt.tenant_quota;
+    cfg.batching_window_s = opt.window_s;
+    cfg.max_batch = opt.max_batch;
+    cfg.batching = opt.batching;
+    cfg.nodes_per_job = opt.nodes_per_job;
+    cfg.n_report_intervals = opt.intervals;
+    cfg.mode = opt.mode == "real" ? gyro::Mode::kReal : gyro::Mode::kModel;
+    cfg.checkpoint_root = opt.checkpoint_dir;
+    cfg.preempt_quantum = opt.quantum;
+    cfg.max_recoveries = opt.max_recoveries;
+    cfg.report_dir = opt.report_dir;
+
+    campaign::CampaignService service(cfg);
+    const campaign::ServiceResult res = service.run(stream);
+
+    std::printf("%s", res.describe().c_str());
+    if (!opt.report_out.empty()) {
+      telemetry::write_json_file(opt.report_out, res.to_json());
+      std::printf("service report written to %s\n", opt.report_out.c_str());
+    }
+    if (!opt.metrics_out.empty()) {
+      telemetry::write_json_file(opt.metrics_out, res.metrics);
+      std::printf("metrics written to %s\n", opt.metrics_out.c_str());
+    }
+    if (res.failed > 0) {
+      std::fprintf(stderr, "xgyro_serve: %d admitted request(s) failed\n",
+                   res.failed);
+      return 2;
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "xgyro_serve: %s\n", e.what());
+    return 1;
+  }
+}

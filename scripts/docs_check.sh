@@ -6,13 +6,16 @@
 #   1. Flag parity: every --flag printed by `xgyro_cli --help` must appear
 #      in the guide's marked reference block, and every --flag in the block
 #      must exist in --help (same for xgyro_report's usage text,
-#      xgyro_bench_check --help, and xgyro_colltune --help).
+#      xgyro_bench_check --help, xgyro_colltune --help, and
+#      xgyro_serve --help).
 #   2. Every `sh`-tagged fenced command block in the guide parses
 #      (bash -n) and — unless its first line marks it as a build step —
 #      executes successfully, in order, in a scratch directory with the
 #      built binaries on PATH and examples/inputs copied in.
 #   3. CLI error paths: duplicate flags, malformed numbers, and conflicting
-#      combinations exit 1 with a single-line diagnostic; --help exits 0.
+#      combinations exit 1 with a single-line diagnostic; --help exits 0;
+#      xgyro_serve additionally exits 2 (not 1) when admitted requests
+#      fail, per its documented 0/1/2 convention.
 #
 # Registered with ctest as `docs_consistency_check` and run as gate 5 of
 # ci.sh. Run from the repository root.
@@ -24,7 +27,8 @@ CLI="$BUILD_DIR/examples/xgyro_cli"
 REPORT="$BUILD_DIR/examples/xgyro_report"
 BENCH_CHECK="$BUILD_DIR/examples/xgyro_bench_check"
 COLLTUNE="$BUILD_DIR/examples/xgyro_colltune"
-for f in "$GUIDE" "$CLI" "$REPORT" "$BENCH_CHECK" "$COLLTUNE"; do
+SERVE="$BUILD_DIR/examples/xgyro_serve"
+for f in "$GUIDE" "$CLI" "$REPORT" "$BENCH_CHECK" "$COLLTUNE" "$SERVE"; do
   if [[ ! -e "$f" ]]; then
     echo "docs_check: missing $f" >&2
     exit 1
@@ -79,6 +83,15 @@ if ! diff -u "$WORK/colltune.help.flags" "$WORK/colltune.guide.flags" \
     > "$WORK/colltune.diff"; then
   cat "$WORK/colltune.diff" >&2
   fail "xgyro_colltune --help and $GUIDE disagree on the flag set"
+fi
+
+"$SERVE" --help > "$WORK/serve.help"
+extract_flags < "$WORK/serve.help" > "$WORK/serve.help.flags"
+marker_block xgyro_serve-flags | extract_flags > "$WORK/serve.guide.flags"
+if ! diff -u "$WORK/serve.help.flags" "$WORK/serve.guide.flags" \
+    > "$WORK/serve.diff"; then
+  cat "$WORK/serve.diff" >&2
+  fail "xgyro_serve --help and $GUIDE disagree on the flag set"
 fi
 
 # --- 2. every sh fence parses; non-build fences execute -------------------
@@ -141,4 +154,37 @@ expect_error "select+table"          --input x --coll-select legacy --coll-table
 
 "$CLI" --help > /dev/null || fail "--help must exit 0"
 
-echo "docs_check: $N_FENCES guide fences and all four flag references verified"
+expect_serve_error() {  # $1 = description, rest = args; wants exit 1 + one line
+  local desc=$1; shift
+  local rc=0
+  "$SERVE" "$@" > "$WORK/serve_err.out" 2> "$WORK/serve_err.err" || rc=$?
+  [[ "$rc" -eq 1 ]] || fail "xgyro_serve $desc: expected exit 1, got $rc"
+  [[ "$(wc -l < "$WORK/serve_err.err")" -eq 1 ]] \
+    || { cat "$WORK/serve_err.err" >&2
+         fail "xgyro_serve $desc: expected a single-line diagnostic"; }
+  grep -q "^xgyro_serve: " "$WORK/serve_err.err" \
+    || fail "xgyro_serve $desc: diagnostic not prefixed"
+}
+
+expect_serve_error "missing --gen"      --nodes 2
+expect_serve_error "duplicate flag"     --gen "n=2" --nodes 2 --nodes 4
+expect_serve_error "malformed integer"  --gen "n=2" --nodes abc
+expect_serve_error "malformed number"   --gen "n=2" --window 1.5x
+expect_serve_error "unknown flag"       --gen "n=2" --bogus
+expect_serve_error "bad mode"           --gen "n=2" --mode fast
+expect_serve_error "bad spec key"       --gen "banana=1"
+expect_serve_error "bad spec value"     --gen "kills=2.0"
+expect_serve_error "ckpt in model mode" --gen "n=2" --mode model --checkpoint-dir d
+
+"$SERVE" --help > /dev/null || fail "xgyro_serve --help must exit 0"
+
+# Exit 2 is reserved for admitted-but-failed requests: every request carries
+# a kill on a single-node cluster, so no job can recover.
+rc=0
+"$SERVE" --gen "seed=1;n=2;rate=5;kills=1" --nodes 1 --ranks-per-node 2 \
+  --checkpoint-dir "$WORK/serve_ckpt" > /dev/null 2> "$WORK/serve2.err" || rc=$?
+[[ "$rc" -eq 2 ]] || fail "xgyro_serve failed-requests path: expected exit 2, got $rc"
+grep -q "^xgyro_serve: " "$WORK/serve2.err" \
+  || fail "xgyro_serve failed-requests path: diagnostic not prefixed"
+
+echo "docs_check: $N_FENCES guide fences and all five flag references verified"

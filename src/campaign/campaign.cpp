@@ -40,44 +40,56 @@ bool evaluate_batch(const gyro::Input& input, const net::MachineSpec& machine,
 
 }  // namespace
 
+std::optional<GroupBatch> plan_group(const gyro::Input& input, int group_size,
+                                     const net::MachineSpec& machine) {
+  XG_REQUIRE(group_size >= 1, "plan_group: empty group");
+  // Best k: minimize (#jobs × predicted seconds per job).
+  std::optional<GroupBatch> best;
+  double best_cost = 0.0;
+  for (int k = 1; k <= group_size; ++k) {
+    if (group_size % k != 0) continue;
+    gyro::Decomposition d;
+    double seconds = 0.0;
+    if (!evaluate_batch(input, machine, k, &d, &seconds)) continue;
+    const double cost = (group_size / k) * seconds;
+    if (!best.has_value() || cost < best_cost) {
+      best = GroupBatch{k, machine.total_ranks() / k, d, seconds};
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+std::optional<GroupBatch> plan_batch_exact(const gyro::Input& input, int k,
+                                           const net::MachineSpec& machine) {
+  XG_REQUIRE(k >= 1, "plan_batch_exact: empty batch");
+  gyro::Decomposition d;
+  double seconds = 0.0;
+  if (!evaluate_batch(input, machine, k, &d, &seconds)) return std::nullopt;
+  return GroupBatch{k, machine.total_ranks() / k, d, seconds};
+}
+
 CampaignPlan plan_campaign(const CampaignSpec& spec) {
   XG_REQUIRE(spec.members.n_sims() >= 1, "plan_campaign: empty campaign");
   CampaignPlan plan;
   for (const auto& group : spec.members.sharing_groups()) {
     const auto& input = spec.members.members[group.front()];
     const int g = static_cast<int>(group.size());
-    // Best k: minimize (#jobs × predicted seconds per job).
-    int best_k = -1;
-    double best_cost = 0.0;
-    gyro::Decomposition best_d;
-    double best_seconds = 0.0;
-    for (int k = 1; k <= g; ++k) {
-      if (g % k != 0) continue;
-      gyro::Decomposition d;
-      double seconds = 0.0;
-      if (!evaluate_batch(input, spec.machine, k, &d, &seconds)) continue;
-      const double cost = (g / k) * seconds;
-      if (best_k < 0 || cost < best_cost) {
-        best_k = k;
-        best_cost = cost;
-        best_d = d;
-        best_seconds = seconds;
-      }
-    }
-    if (best_k < 0) {
+    const auto best = plan_group(input, g, spec.machine);
+    if (!best.has_value()) {
       throw Error(strprintf(
           "campaign: no feasible batching for sharing group of %d member(s) "
           "('%s') on %d nodes — even a single simulation does not fit",
           g, input.tag.c_str(), spec.machine.n_nodes));
     }
-    for (int j = 0; j < g / best_k; ++j) {
+    for (int j = 0; j < g / best->k; ++j) {
       JobPlan job;
-      job.member_indices.assign(group.begin() + j * best_k,
-                                group.begin() + (j + 1) * best_k);
-      job.ranks_per_sim = spec.machine.total_ranks() / best_k;
-      job.decomp = best_d;
-      job.predicted_seconds = best_seconds;
-      plan.predicted_total_seconds += best_seconds;
+      job.member_indices.assign(group.begin() + j * best->k,
+                                group.begin() + (j + 1) * best->k);
+      job.ranks_per_sim = best->ranks_per_sim;
+      job.decomp = best->decomp;
+      job.predicted_seconds = best->predicted_seconds;
+      plan.predicted_total_seconds += best->predicted_seconds;
       plan.jobs.push_back(std::move(job));
     }
   }
@@ -168,6 +180,26 @@ int replan_ranks_per_sim(const gyro::Input& input,
 }
 
 }  // namespace
+
+JobAborted::JobAborted(std::string kind, std::string reason, int world_rank,
+                       double virtual_time_s, std::string phase,
+                       std::vector<RecoveryEvent> recoveries,
+                       std::uint64_t snapshots_committed,
+                       std::uint64_t snapshots_rejected)
+    : Error(strprintf(
+          "JobAborted: %s at virtual t=%.9e s in phase '%s' (rank %d) — %s "
+          "after %zu successful recover%s",
+          kind.c_str(), virtual_time_s, phase.c_str(), world_rank,
+          reason.c_str(), recoveries.size(),
+          recoveries.size() == 1 ? "y" : "ies")),
+      kind_(std::move(kind)),
+      reason_(std::move(reason)),
+      world_rank_(world_rank),
+      virtual_time_s_(virtual_time_s),
+      phase_(std::move(phase)),
+      recoveries_(std::move(recoveries)),
+      snapshots_committed_(snapshots_committed),
+      snapshots_rejected_(snapshots_rejected) {}
 
 ElasticJobResult run_job_elastic(const xgyro::EnsembleInput& batch,
                                  const net::MachineSpec& machine,
@@ -289,7 +321,13 @@ ElasticJobResult run_job_elastic(const xgyro::EnsembleInput& batch,
       if (writer != nullptr) {
         out.snapshots_committed += writer->snapshots_committed();
       }
-      if (recoveries_left-- <= 0) throw;
+      const auto abort = [&](const char* reason) {
+        return JobAborted("rank_failure", reason, e.world_rank(),
+                          e.virtual_time_s(), e.phase(),
+                          std::move(out.recoveries), out.snapshots_committed,
+                          out.snapshots_rejected);
+      };
+      if (recoveries_left-- <= 0) throw abort("recovery budget exhausted");
       RecoveryEvent ev;
       ev.kind = "rank_failure";
       ev.world_rank = e.world_rank();
@@ -299,16 +337,23 @@ ElasticJobResult run_job_elastic(const xgyro::EnsembleInput& batch,
       ev.ranks_per_sim_before = out.ranks_per_sim;
       // The failed rank takes its node down with it; the simulated machine
       // is homogeneous, so the surviving allocation is one node smaller.
-      if (out.machine.n_nodes <= 1) throw;
+      if (out.machine.n_nodes <= 1) throw abort("no surviving nodes");
       out.machine.n_nodes -= 1;
       const int new_rps = replan_ranks_per_sim(
           batch.members.front(), out.machine, k, out.ranks_per_sim);
-      if (new_rps == 0) throw;  // survivors cannot host even one rank/sim
+      if (new_rps == 0) {
+        // survivors cannot host even one rank/sim
+        throw abort("survivors cannot host the decomposition");
+      }
       out.ranks_per_sim = new_rps;
       ev.nodes_after = out.machine.n_nodes;
       ev.ranks_per_sim_after = out.ranks_per_sim;
       out.recoveries.push_back(std::move(ev));
-      faults = faults.without_kill();
+      // Strip only the fired rank's kill clauses: kills armed for other
+      // ranks stay live, so multi-kill plans keep firing across attempts.
+      // Clauses aimed at ranks beyond the shrunken job are dropped.
+      faults = faults.without_kill(e.world_rank())
+                   .pruned_to(k * out.ranks_per_sim);
       resume = ckpt_enabled;
       just_recovered = true;
       continue;
@@ -316,7 +361,16 @@ ElasticJobResult run_job_elastic(const xgyro::EnsembleInput& batch,
       if (writer != nullptr) {
         out.snapshots_committed += writer->snapshots_committed();
       }
-      if (recoveries_left-- <= 0) throw;
+      if (recoveries_left-- <= 0) {
+        const auto& blocked = e.blocked();
+        throw JobAborted(
+            "deadlock", "recovery budget exhausted",
+            blocked.empty() ? -1 : blocked.front().world_rank,
+            blocked.empty() ? 0.0 : blocked.front().virtual_time_s,
+            blocked.empty() ? "" : blocked.front().phase,
+            std::move(out.recoveries), out.snapshots_committed,
+            out.snapshots_rejected);
+      }
       RecoveryEvent ev;
       ev.kind = "deadlock";
       if (!e.blocked().empty()) {
@@ -356,9 +410,30 @@ CampaignResult run_campaign_elastic(const CampaignSpec& spec,
       jopts.checkpoint_dir =
           opts.checkpoint_dir + strprintf("/job-%zu", j);
     }
-    ElasticJobResult r =
-        run_job_elastic(batch, spec.machine, job.ranks_per_sim,
-                        spec.n_report_intervals, mode, jopts);
+    ElasticJobResult r;
+    try {
+      r = run_job_elastic(batch, spec.machine, job.ranks_per_sim,
+                          spec.n_report_intervals, mode, jopts);
+    } catch (const JobAborted& e) {
+      // Keep the failed job's recovery history and move on: the caller gets
+      // a partial CampaignResult instead of losing the whole campaign.
+      JobFailure f;
+      f.job = static_cast<int>(j);
+      f.kind = e.kind();
+      f.reason = e.reason();
+      f.world_rank = e.world_rank();
+      f.virtual_time_s = e.virtual_time_s();
+      f.phase = e.phase();
+      f.message = e.what();
+      result.failures.push_back(std::move(f));
+      for (auto ev : e.recoveries()) {
+        ev.job = static_cast<int>(j);
+        result.recoveries.push_back(std::move(ev));
+      }
+      result.snapshots_committed += e.snapshots_committed();
+      result.snapshots_rejected += e.snapshots_rejected();
+      continue;
+    }
     result.job_runs.push_back(std::move(r.run));
     for (size_t i = 0; i < batch.members.size(); ++i) {
       result.members.push_back(

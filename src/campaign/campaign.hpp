@@ -8,12 +8,15 @@
 // result is more simulations completed on the same compute budget").
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "gyro/simulation.hpp"
 #include "simnet/machine.hpp"
+#include "util/error.hpp"
 #include "xgyro/ensemble.hpp"
 
 namespace xg::campaign {
@@ -41,14 +44,40 @@ struct CampaignPlan {
   [[nodiscard]] std::string describe() const;
 };
 
-/// Greedy planner: members are grouped by cmat fingerprint; within each
-/// group the largest batch size k is chosen such that
+/// Best way to batch one cmat-sharing group of `group_size` members with
+/// `input`'s physics on `machine`: the batch size k minimizing
+/// (#jobs × predicted seconds per job) subject to
 ///   * k divides the group size and the machine's rank count,
 ///   * a valid (pv, pt) decomposition exists for nc % (k·pv) == 0,
-///   * the per-rank memory inventory fits the machine,
-/// and the group is chunked into group_size/k jobs. k = 1 degenerates to
-/// plain sequential CGYRO, so a plan always exists if a single simulation
-/// fits at all. Throws xg::Error when even k = 1 cannot run.
+///   * the per-rank memory inventory fits the machine.
+struct GroupBatch {
+  int k = 0;
+  int ranks_per_sim = 0;
+  gyro::Decomposition decomp;
+  double predicted_seconds = 0.0;  ///< per report interval, per job
+};
+
+/// Returns the optimal GroupBatch, or nothing when even k = 1 cannot run
+/// (no decomposition, or a single simulation overflows the memory budget).
+/// Shared by the offline planner below and the online campaign service, so
+/// both realize the same grouping given the same members and machine.
+std::optional<GroupBatch> plan_group(const gyro::Input& input, int group_size,
+                                     const net::MachineSpec& machine);
+
+/// Feasibility + predicted cost of running EXACTLY k members of `input`'s
+/// physics as one job on the whole machine (no splitting into smaller
+/// jobs, unlike plan_group). Nothing when k does not divide the machine's
+/// rank count, no decomposition exists, or the memory does not fit. The
+/// online service uses this to consider uneven batch splits (e.g. a batch
+/// of 3 as one k=2 job plus one k=1 job on a 2^n-rank machine).
+std::optional<GroupBatch> plan_batch_exact(const gyro::Input& input, int k,
+                                           const net::MachineSpec& machine);
+
+/// Greedy planner: members are grouped by cmat fingerprint; each group is
+/// batched per plan_group and chunked into group_size/k jobs. k = 1
+/// degenerates to plain sequential CGYRO, so a plan always exists if a
+/// single simulation fits at all. Throws xg::Error when even k = 1 cannot
+/// run.
 CampaignPlan plan_campaign(const CampaignSpec& spec);
 
 struct MemberResult {
@@ -70,15 +99,32 @@ struct RecoveryEvent {
   int ranks_per_sim_before = 0, ranks_per_sim_after = 0;
 };
 
+/// One job the elastic executor gave up on: the terminal failure after the
+/// recovery budget ran out (or the surviving allocation could no longer
+/// host the job). The campaign keeps going — remaining jobs still run.
+struct JobFailure {
+  int job = -1;                 ///< campaign job index
+  std::string kind;             ///< "rank_failure" or "deadlock"
+  std::string reason;           ///< why recovery stopped
+  int world_rank = -1;
+  double virtual_time_s = 0.0;
+  std::string phase;
+  std::string message;          ///< full diagnostic text
+};
+
 struct CampaignResult {
   CampaignPlan plan;
-  std::vector<mpi::RunResult> job_runs;  ///< one DES result per job
-  std::vector<MemberResult> members;     ///< diagnostics per member
+  std::vector<mpi::RunResult> job_runs;  ///< one DES result per completed job
+  std::vector<MemberResult> members;     ///< diagnostics per completed member
 
   // Elastic-executor accounting (empty/zero under plain run_campaign).
   std::vector<RecoveryEvent> recoveries;
+  std::vector<JobFailure> failures;      ///< jobs the executor gave up on
   std::uint64_t snapshots_committed = 0;
   std::uint64_t snapshots_rejected = 0;  ///< corrupt snapshots skipped
+
+  /// True when every planned job completed (no structured failures).
+  [[nodiscard]] bool complete() const { return failures.empty(); }
 
   /// Campaign cost: Σ over jobs of seconds-per-reporting-step (the Fig. 2
   /// quantity; init time excluded, as in the paper).
@@ -115,6 +161,45 @@ struct RecoveryOptions {
   bool cgyro_layout = false;
 };
 
+/// Structured terminal failure of the elastic executor: thrown when the
+/// recovery budget is exhausted or the surviving allocation cannot host the
+/// job. Carries the partial accounting (recoveries that DID succeed,
+/// snapshot counters) so callers can fold a failed job into a partial
+/// CampaignResult instead of losing the history with a bare rethrow.
+class JobAborted : public Error {
+ public:
+  JobAborted(std::string kind, std::string reason, int world_rank,
+             double virtual_time_s, std::string phase,
+             std::vector<RecoveryEvent> recoveries,
+             std::uint64_t snapshots_committed,
+             std::uint64_t snapshots_rejected);
+
+  [[nodiscard]] const std::string& kind() const { return kind_; }
+  [[nodiscard]] const std::string& reason() const { return reason_; }
+  [[nodiscard]] int world_rank() const { return world_rank_; }
+  [[nodiscard]] double virtual_time_s() const { return virtual_time_s_; }
+  [[nodiscard]] const std::string& phase() const { return phase_; }
+  [[nodiscard]] const std::vector<RecoveryEvent>& recoveries() const {
+    return recoveries_;
+  }
+  [[nodiscard]] std::uint64_t snapshots_committed() const {
+    return snapshots_committed_;
+  }
+  [[nodiscard]] std::uint64_t snapshots_rejected() const {
+    return snapshots_rejected_;
+  }
+
+ private:
+  std::string kind_;
+  std::string reason_;
+  int world_rank_;
+  double virtual_time_s_;
+  std::string phase_;
+  std::vector<RecoveryEvent> recoveries_;
+  std::uint64_t snapshots_committed_;
+  std::uint64_t snapshots_rejected_;
+};
+
 struct ElasticJobResult {
   mpi::RunResult run;  ///< the final (successful) attempt
   std::vector<gyro::Diagnostics> diagnostics;  ///< per batch member
@@ -128,10 +213,12 @@ struct ElasticJobResult {
 /// Run one job with elastic recovery: on RankFailure the failed rank's node
 /// is dropped from the allocation, the decomposition is replanned for the
 /// survivors (keeping the current ranks-per-sim when it still fits), the
-/// fired kill clause is stripped from the fault plan, and the job resumes
-/// from the newest valid snapshot (or from scratch without checkpointing).
-/// DeadlockError retries on the same allocation. After max_recoveries
-/// failures the error propagates unchanged.
+/// fired rank's kill clauses are stripped from the fault plan (kills armed
+/// for other ranks stay live and can fire in later attempts), and the job
+/// resumes from the newest valid snapshot (or from scratch without
+/// checkpointing). DeadlockError retries on the same allocation. After
+/// max_recoveries failures — or when the survivors cannot host the job —
+/// a JobAborted carrying the partial accounting is thrown.
 ElasticJobResult run_job_elastic(const xgyro::EnsembleInput& batch,
                                  const net::MachineSpec& machine,
                                  int ranks_per_sim, int n_report_intervals,
@@ -139,7 +226,10 @@ ElasticJobResult run_job_elastic(const xgyro::EnsembleInput& batch,
                                  const RecoveryOptions& opts = {});
 
 /// run_campaign with per-job elastic recovery; recovery events and snapshot
-/// counters are aggregated into the CampaignResult.
+/// counters are aggregated into the CampaignResult. A job the executor
+/// gives up on (JobAborted) is recorded as a JobFailure — its recovery
+/// history is kept and the remaining jobs still run, so the caller gets a
+/// partial CampaignResult (check complete()) instead of a bare throw.
 CampaignResult run_campaign_elastic(const CampaignSpec& spec,
                                     const CampaignPlan& plan, gyro::Mode mode,
                                     const RecoveryOptions& opts);

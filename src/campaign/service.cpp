@@ -1,0 +1,926 @@
+#include "campaign/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <map>
+#include <queue>
+#include <utility>
+
+#include "perfmodel/perfmodel.hpp"
+#include "telemetry/report.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "xgyro/driver.hpp"
+
+namespace xg::campaign {
+
+const char* admission_name(Admission a) {
+  switch (a) {
+    case Admission::kAccepted: return "accepted";
+    case Admission::kRejectedQueueFull: return "rejected_queue_full";
+    case Admission::kRejectedTenantQuota: return "rejected_tenant_quota";
+    case Admission::kRejectedInfeasible: return "rejected_infeasible";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic streams
+
+StreamSpec StreamSpec::parse(const std::string& spec) {
+  StreamSpec out;
+  for (const auto& raw : split(spec, ';')) {
+    const std::string_view item = trim(raw);
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      throw InputError(strprintf("stream: expected key=value, got '%.*s'",
+                                 int(item.size()), item.data()));
+    }
+    const std::string key = to_lower(trim(item.substr(0, eq)));
+    const std::string_view value = trim(item.substr(eq + 1));
+    if (key == "seed") {
+      out.seed = static_cast<std::uint64_t>(parse_long(value, "stream:seed"));
+    } else if (key == "n") {
+      out.n = static_cast<int>(parse_long(value, "stream:n"));
+      if (out.n < 0) throw InputError("stream: n must be >= 0");
+    } else if (key == "rate") {
+      out.rate_hz = parse_double(value, "stream:rate");
+      if (out.rate_hz <= 0.0) throw InputError("stream: rate must be > 0");
+    } else if (key == "tenants") {
+      out.tenants = static_cast<int>(parse_long(value, "stream:tenants"));
+      if (out.tenants < 1) throw InputError("stream: tenants must be >= 1");
+    } else if (key == "sigs") {
+      out.signatures = static_cast<int>(parse_long(value, "stream:sigs"));
+      if (out.signatures < 1) throw InputError("stream: sigs must be >= 1");
+    } else if (key == "prios") {
+      out.priorities = static_cast<int>(parse_long(value, "stream:prios"));
+      if (out.priorities < 1) throw InputError("stream: prios must be >= 1");
+    } else if (key == "species") {
+      out.species = static_cast<int>(parse_long(value, "stream:species"));
+      if (out.species < 1) throw InputError("stream: species must be >= 1");
+    } else if (key == "skew") {
+      const long v = parse_long(value, "stream:skew");
+      if (v != 0 && v != 1) throw InputError("stream: skew must be 0 or 1");
+      out.skew = v == 1;
+    } else if (key == "kills") {
+      out.kill_frac = parse_double(value, "stream:kills");
+      if (out.kill_frac < 0.0 || out.kill_frac > 1.0) {
+        throw InputError("stream: kills must be in [0,1]");
+      }
+    } else {
+      throw InputError(strprintf("stream: unknown component '%s'",
+                                 key.c_str()));
+    }
+  }
+  return out;
+}
+
+std::vector<Request> StreamSpec::generate() const {
+  Rng rng(seed);
+  const gyro::Input base = gyro::Input::small_test(species);
+  std::vector<Request> out;
+  out.reserve(static_cast<size_t>(n));
+  double t = 0.0;
+  for (int i = 0; i < n; ++i) {
+    t += -std::log(1.0 - rng.next_double()) / rate_hz;
+    Request r;
+    r.arrival_s = t;
+    r.tenant = strprintf("t%d", static_cast<int>(rng.next_below(
+                                    static_cast<std::uint64_t>(tenants))));
+    r.priority = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(priorities)));
+    int sig = 0;
+    if (signatures > 1) {
+      if (skew) {
+        while (sig + 1 < signatures && rng.next_double() < 0.5) ++sig;
+      } else {
+        sig = static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(signatures)));
+      }
+    }
+    r.input = base;
+    // nu_ee is cmat-relevant: each signature builds a distinct cmat. The
+    // gradient drive and seed are sweep-safe: members within a signature
+    // differ physically but still share one cmat.
+    r.input.collision.nu_ee = base.collision.nu_ee * (1.0 + 0.5 * sig);
+    r.input.species[0].a_ln_t = 2.0 + 0.125 * (i % 16);
+    r.input.seed = seed + 17 * static_cast<std::uint64_t>(i) + 1;
+    r.input.tag = strprintf("req%d", i);
+    const double kill_draw = rng.next_double();
+    if (kill_frac > 0.0 && kill_draw < kill_frac) {
+      r.faults.seed = seed + static_cast<std::uint64_t>(i);
+      r.faults.add_kill(1, 1e-6 * (1.0 + double(rng.next_below(100))));
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// The engine
+
+namespace {
+
+const std::vector<double>& wait_bounds() {
+  static const std::vector<double> b{1e-3, 1e-2, 0.1, 1.0, 10.0,
+                                     100.0, 1e3,  1e4, 1e5};
+  return b;
+}
+
+/// Exact quantile of an already-sorted sample: the ceil(q·n)-th value.
+double exact_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto n = static_cast<double>(sorted.size());
+  auto idx = static_cast<size_t>(std::ceil(q * n));
+  if (idx > 0) --idx;
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+enum class EvKind { kArrival = 0, kWindowClose = 1, kSliceDone = 2 };
+
+struct Event {
+  double t = 0.0;
+  long seq = 0;  ///< creation order; ties on t resolve deterministically
+  EvKind kind = EvKind::kArrival;
+  int idx = -1;  ///< request id / batch id / job id, per kind
+};
+
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.t != b.t) return a.t > b.t;
+    return a.seq > b.seq;
+  }
+};
+
+struct OpenBatch {
+  std::uint64_t fp = 0;
+  gyro::Input input;  ///< representative member (first request)
+  std::vector<int> request_ids;
+  bool closed = false;
+};
+
+struct JobState {
+  ServiceJobRecord rec;
+  xgyro::EnsembleInput batch;
+  mpi::FaultPlan faults;
+  net::MachineSpec machine;  ///< current allocation (recovery shrinks it)
+  int intervals_done = 0;
+  bool has_checkpoint = false;
+  int recoveries_left = 0;
+  double queue_since = 0.0;  ///< last time the job (re)entered the ready set
+  bool done = false;
+
+  // Result of the slice in flight, applied when its kSliceDone event fires.
+  bool slice_ok = false;
+  int slice_target = 0;
+  int nodes_held = 0;
+  ElasticJobResult slice;
+  std::string slice_error;
+  std::vector<RecoveryEvent> abort_recoveries;
+  std::uint64_t abort_snapshots_committed = 0;
+  std::uint64_t abort_snapshots_rejected = 0;
+};
+
+struct Engine {
+  const ServiceConfig& cfg;
+  const std::vector<Request>& reqs;
+
+  std::vector<RequestOutcome> outcomes;
+  std::vector<OpenBatch> batches;
+  std::vector<JobState> jobs;
+  std::vector<int> ready;  ///< job ids waiting for nodes
+  std::priority_queue<Event, std::vector<Event>, EventAfter> events;
+  long seq = 0;
+  int free_nodes = 0;
+  int cluster_nodes = 0;  ///< live capacity (failed nodes are gone for good)
+  telemetry::MetricsRegistry metrics;
+  double now = 0.0;
+  double makespan = 0.0;
+  int pending_requests = 0;  ///< admitted but job not yet started
+  std::map<std::string, int> tenant_inflight;  ///< admitted, not finished
+  double busy_node_seconds = 0.0;
+  double wait_abs_err_sum = 0.0;
+  int wait_err_n = 0;
+
+  Engine(const ServiceConfig& c, const std::vector<Request>& r)
+      : cfg(c), reqs(r) {}
+
+  [[nodiscard]] bool sliced() const { return !cfg.checkpoint_root.empty(); }
+
+  [[nodiscard]] net::MachineSpec machine_with(int n_nodes) const {
+    net::MachineSpec m = cfg.cluster;
+    m.n_nodes = n_nodes;
+    return m;
+  }
+
+  void schedule(double t, EvKind kind, int idx) {
+    events.push(Event{t, seq++, kind, idx});
+  }
+
+  /// Node-seconds of committed work ahead of a new arrival: planned seconds
+  /// of every ready job plus the unfinished remainder of running jobs.
+  [[nodiscard]] double backlog_node_seconds() const {
+    double total = 0.0;
+    for (const auto& js : jobs) {
+      if (js.done) continue;
+      const int remaining = cfg.n_report_intervals - js.intervals_done;
+      total += js.rec.predicted_seconds * remaining * js.machine.n_nodes;
+    }
+    return total;
+  }
+
+  Admission admit(const Request& rq) {
+    if (!plan_group(rq.input, 1, cfg.cluster).has_value()) {
+      return Admission::kRejectedInfeasible;
+    }
+    const auto it = tenant_inflight.find(rq.tenant);
+    if (it != tenant_inflight.end() && it->second >= cfg.tenant_quota) {
+      return Admission::kRejectedTenantQuota;
+    }
+    if (pending_requests >= cfg.max_queue_depth) {
+      return Admission::kRejectedQueueFull;
+    }
+    return Admission::kAccepted;
+  }
+
+  void on_arrival(int id) {
+    const Request& rq = reqs[id];
+    RequestOutcome& oc = outcomes[static_cast<size_t>(id)];
+    const Admission a = admit(rq);
+    oc.admission = a;
+    metrics.add_counter(std::string("service.requests.") + admission_name(a));
+    if (a != Admission::kAccepted) {
+      metrics.add_counter("tenant." + rq.tenant + ".rejected");
+      return;
+    }
+    metrics.add_counter("tenant." + rq.tenant + ".admitted");
+    ++pending_requests;
+    ++tenant_inflight[rq.tenant];
+    oc.predicted_wait_s = perfmodel::estimate_queue_wait(
+        backlog_node_seconds(), cfg.cluster.n_nodes);
+
+    if (cfg.batching && cfg.batching_window_s > 0.0 && cfg.max_batch > 1) {
+      for (size_t b = 0; b < batches.size(); ++b) {
+        auto& ob = batches[b];
+        if (ob.closed || ob.fp != oc.cmat_fingerprint) continue;
+        ob.request_ids.push_back(id);
+        if (static_cast<int>(ob.request_ids.size()) >= cfg.max_batch) {
+          close_batch(static_cast<int>(b));
+        }
+        return;
+      }
+    }
+    OpenBatch ob;
+    ob.fp = oc.cmat_fingerprint;
+    ob.input = rq.input;
+    ob.request_ids.push_back(id);
+    batches.push_back(std::move(ob));
+    const int bi = static_cast<int>(batches.size()) - 1;
+    if (cfg.batching && cfg.batching_window_s > 0.0 && cfg.max_batch > 1) {
+      schedule(now + cfg.batching_window_s, EvKind::kWindowClose, bi);
+    } else {
+      close_batch(bi);
+    }
+  }
+
+  /// One job-to-be: `size` members on `nodes` nodes with `gb`'s layout.
+  struct Chunk {
+    int size = 0;
+    int nodes = 0;
+    GroupBatch gb;
+  };
+
+  /// Best single-job allocation for EXACTLY k members: the node count
+  /// minimizing predicted node-seconds (or the first feasible count at or
+  /// above the nodes_per_job pin). Nothing if no allocation fits.
+  [[nodiscard]] std::optional<Chunk> place_exact(const gyro::Input& input,
+                                                 int k) const {
+    const int lo = cfg.nodes_per_job > 0
+                       ? std::min(cfg.nodes_per_job, cluster_nodes)
+                       : 1;
+    std::optional<Chunk> best;
+    double best_cost = 0.0;
+    for (int n = lo; n <= cluster_nodes; ++n) {
+      const auto gb = plan_batch_exact(input, k, machine_with(n));
+      if (!gb.has_value()) continue;
+      if (cfg.nodes_per_job > 0) return Chunk{k, n, *gb};
+      const double cost = double(n) * gb->predicted_seconds;
+      if (!best.has_value() || cost < best_cost) {
+        best = Chunk{k, n, *gb};
+        best_cost = cost;
+      }
+    }
+    return best;
+  }
+
+  /// Split a closed batch of `size` same-fingerprint members into jobs.
+  /// Two candidates are priced in predicted node-seconds:
+  ///   uniform — plan_group's divisor-constrained optimum, exactly what
+  ///             the offline planner realizes for this group;
+  ///   greedy  — chunks of the per-member-cheapest exact-k job, which can
+  ///             batch sizes plan_group cannot (a group of 3 on a
+  ///             2^n-rank machine becomes k=2 + k=1 instead of 3 × k=1).
+  /// The cheaper candidate wins, so the realized grouping is never worse
+  /// than the offline plan for the same group. Empty if even a single
+  /// member no longer fits (the cluster may have shrunk since admission).
+  [[nodiscard]] std::vector<Chunk> split_batch(const gyro::Input& input,
+                                               int size) const {
+    std::vector<Chunk> uniform;
+    double uniform_cost = 0.0;
+    {
+      const int lo = cfg.nodes_per_job > 0
+                         ? std::min(cfg.nodes_per_job, cluster_nodes)
+                         : 1;
+      std::optional<std::pair<int, GroupBatch>> best;
+      double best_cost = 0.0;
+      for (int n = lo; n <= cluster_nodes; ++n) {
+        const auto gb = plan_group(input, size, machine_with(n));
+        if (!gb.has_value()) continue;
+        const double cost = double(n) * (size / gb->k) * gb->predicted_seconds;
+        if (cfg.nodes_per_job > 0) {
+          best = {n, *gb};
+          best_cost = cost;
+          break;  // first fit from the pin
+        }
+        if (!best.has_value() || cost < best_cost) {
+          best = {n, *gb};
+          best_cost = cost;
+        }
+      }
+      if (best.has_value()) {
+        uniform.assign(static_cast<size_t>(size / best->second.k),
+                       Chunk{best->second.k, best->first, best->second});
+        uniform_cost = best_cost;
+      }
+    }
+
+    std::vector<Chunk> greedy;
+    double greedy_cost = 0.0;
+    for (int rem = size; rem > 0;) {
+      std::optional<Chunk> pick;
+      double pick_per_member = 0.0;
+      for (int k = 1; k <= rem; ++k) {
+        const auto c = place_exact(input, k);
+        if (!c.has_value()) continue;
+        const double pm = double(c->nodes) * c->gb.predicted_seconds / k;
+        // <= so ties go to the larger k: fewer jobs means fewer cmat
+        // builds, which the per-interval model does not price.
+        if (!pick.has_value() || pm <= pick_per_member) {
+          pick = c;
+          pick_per_member = pm;
+        }
+      }
+      if (!pick.has_value()) {
+        greedy.clear();
+        break;
+      }
+      greedy_cost += double(pick->nodes) * pick->gb.predicted_seconds;
+      rem -= pick->size;
+      greedy.push_back(*std::move(pick));
+    }
+
+    if (uniform.empty()) return greedy;
+    if (greedy.empty()) return uniform;
+    return greedy_cost < uniform_cost ? greedy : uniform;
+  }
+
+  /// Fold the member requests' fault plans into one per-job plan. Only the
+  /// earliest kill survives — recovery drops one node at a time, and a job
+  /// outliving several injected kills is a max_recoveries story the stress
+  /// harness drives through run_job_elastic's own multi-kill path.
+  [[nodiscard]] mpi::FaultPlan merge_faults(const std::vector<int>& ids,
+                                            int nranks) const {
+    mpi::FaultPlan plan;
+    std::optional<mpi::FaultPlan::Kill> first_kill;
+    for (const int id : ids) {
+      const auto& f = reqs[static_cast<size_t>(id)].faults;
+      if (!f.active()) continue;
+      if (plan.seed == 0) plan.seed = f.seed;
+      for (const auto& s : f.stragglers) plan.stragglers.push_back(s);
+      for (const auto& s : f.jitters) plan.jitters.push_back(s);
+      if (f.delay_probability > plan.delay_probability) {
+        plan.delay_probability = f.delay_probability;
+        plan.delay_s = f.delay_s;
+      }
+      for (const auto& k : f.kills) {
+        if (!first_kill.has_value() || k.time_s < first_kill->time_s) {
+          first_kill = k;
+        }
+      }
+    }
+    if (first_kill.has_value()) plan.kills.push_back(*first_kill);
+    return plan.pruned_to(nranks);
+  }
+
+  void close_batch(int bi) {
+    OpenBatch& ob = batches[static_cast<size_t>(bi)];
+    if (ob.closed) return;
+    ob.closed = true;
+    const int size = static_cast<int>(ob.request_ids.size());
+    const auto chunks = split_batch(ob.input, size);
+    if (chunks.empty()) {
+      // The cluster shrank below feasibility after these requests were
+      // admitted. Fail them structurally; the service keeps running.
+      for (const int id : ob.request_ids) {
+        RequestOutcome& oc = outcomes[static_cast<size_t>(id)];
+        oc.finish_s = now;
+        oc.completed = false;
+        --pending_requests;
+        --tenant_inflight[oc.tenant];
+        metrics.add_counter("tenant." + oc.tenant + ".failed");
+      }
+      metrics.add_counter("service.batches_unplaceable");
+      return;
+    }
+    int offset = 0;
+    for (const auto& chunk : chunks) {
+      const GroupBatch& gb = chunk.gb;
+      JobState js;
+      js.rec.id = static_cast<int>(jobs.size());
+      js.rec.request_ids.assign(ob.request_ids.begin() + offset,
+                                ob.request_ids.begin() + offset + chunk.size);
+      offset += chunk.size;
+      js.rec.cmat_fingerprint = ob.fp;
+      js.rec.k = gb.k;
+      js.rec.nodes = chunk.nodes;
+      js.rec.ranks_per_sim = gb.ranks_per_sim;
+      js.rec.decomp = gb.decomp;
+      js.rec.ready_s = now;
+      js.rec.predicted_seconds = gb.predicted_seconds;
+      for (const int id : js.rec.request_ids) {
+        js.batch.members.push_back(reqs[static_cast<size_t>(id)].input);
+        js.rec.priority =
+            std::max(js.rec.priority, reqs[static_cast<size_t>(id)].priority);
+        outcomes[static_cast<size_t>(id)].job = js.rec.id;
+      }
+      js.faults = merge_faults(js.rec.request_ids, gb.k * gb.ranks_per_sim);
+      js.machine = machine_with(chunk.nodes);
+      js.recoveries_left = cfg.max_recoveries;
+      js.queue_since = now;
+      metrics.add_counter("service.jobs");
+      ready.push_back(js.rec.id);
+      jobs.push_back(std::move(js));
+    }
+    try_schedule();
+  }
+
+  /// The cluster shrank below this job's allocation: replan the same k
+  /// onto the survivors (snapshots carry logical state, so a checkpointed
+  /// job keeps its progress across the smaller decomposition), or report
+  /// that nothing fits anymore.
+  bool replan_job(JobState& js) {
+    const auto c = place_exact(js.batch.members[0], js.rec.k);
+    if (!c.has_value()) return false;
+    js.machine = machine_with(c->nodes);
+    js.rec.nodes = c->nodes;
+    js.rec.ranks_per_sim = c->gb.ranks_per_sim;
+    js.rec.decomp = c->gb.decomp;
+    js.rec.predicted_seconds = c->gb.predicted_seconds;
+    js.faults = js.faults.pruned_to(js.rec.k * js.rec.ranks_per_sim);
+    metrics.add_counter("service.jobs_replanned");
+    return true;
+  }
+
+  /// Terminal failure for a queued job the surviving cluster can never
+  /// host: its member requests fail structurally and the service moves on.
+  void fail_stranded(JobState& js) {
+    js.rec.failure = "no feasible allocation on the surviving nodes";
+    js.rec.finish_s = now;
+    js.done = true;
+    if (js.rec.start_s < 0.0) {
+      pending_requests -= static_cast<int>(js.rec.request_ids.size());
+    }
+    metrics.add_counter("service.jobs_failed");
+    finish_requests(js, /*completed=*/false);
+  }
+
+  /// First-fit bin packing in (priority desc, queue age asc, id asc) order.
+  void try_schedule() {
+    std::sort(ready.begin(), ready.end(), [this](int a, int b) {
+      const JobState& ja = jobs[static_cast<size_t>(a)];
+      const JobState& jb = jobs[static_cast<size_t>(b)];
+      if (ja.rec.priority != jb.rec.priority) {
+        return ja.rec.priority > jb.rec.priority;
+      }
+      if (ja.queue_since != jb.queue_since) {
+        return ja.queue_since < jb.queue_since;
+      }
+      return a < b;
+    });
+    std::vector<int> still_waiting;
+    for (const int j : ready) {
+      JobState& js = jobs[static_cast<size_t>(j)];
+      if (js.machine.n_nodes > cluster_nodes && !replan_job(js)) {
+        fail_stranded(js);
+        continue;
+      }
+      if (js.machine.n_nodes <= free_nodes) {
+        free_nodes -= js.machine.n_nodes;
+        start_slice(j);
+      } else {
+        still_waiting.push_back(j);
+      }
+    }
+    ready = std::move(still_waiting);
+  }
+
+  void start_slice(int j) {
+    JobState& js = jobs[static_cast<size_t>(j)];
+    if (js.rec.start_s < 0.0) {
+      js.rec.start_s = now;
+      for (const int id : js.rec.request_ids) {
+        RequestOutcome& oc = outcomes[static_cast<size_t>(id)];
+        oc.start_s = now;
+        --pending_requests;
+        const double wait = now - oc.arrival_s;
+        metrics.histogram("service.queue_wait_s", wait_bounds())
+            .observe(wait);
+        wait_abs_err_sum += std::abs(wait - oc.predicted_wait_s);
+        ++wait_err_n;
+      }
+    }
+    js.slice_target = sliced()
+                          ? std::min(js.intervals_done + cfg.preempt_quantum,
+                                     cfg.n_report_intervals)
+                          : cfg.n_report_intervals;
+    js.nodes_held = js.machine.n_nodes;
+
+    RecoveryOptions ro;
+    if (sliced()) {
+      ro.checkpoint_dir =
+          cfg.checkpoint_root + strprintf("/job-%d", js.rec.id);
+    }
+    ro.checkpoint_every = 1;
+    ro.max_recoveries = js.recoveries_left;
+    ro.resume = js.has_checkpoint;
+    ro.faults = js.faults;
+    ro.check_invariants = cfg.check_invariants;
+    ro.watchdog_timeout_s = cfg.watchdog_timeout_s;
+    ro.enable_traffic = !cfg.report_dir.empty();
+    ro.coll_selector = cfg.coll_selector;
+    ro.sharing = xgyro::SharingPolicy::kSingleGroup;
+
+    double duration;
+    try {
+      ElasticJobResult r =
+          run_job_elastic(js.batch, js.machine, js.rec.ranks_per_sim,
+                          js.slice_target, cfg.mode, ro);
+      duration = r.run.makespan_s;
+      js.slice_ok = true;
+      js.slice = std::move(r);
+    } catch (const JobAborted& e) {
+      js.slice_ok = false;
+      js.slice_error = e.what();
+      js.abort_recoveries = e.recoveries();
+      js.abort_snapshots_committed = e.snapshots_committed();
+      js.abort_snapshots_rejected = e.snapshots_rejected();
+      duration = std::max(e.virtual_time_s(), 0.0);
+    }
+    ++js.rec.slices;
+    busy_node_seconds += double(js.nodes_held) * duration;
+    schedule(now + duration, EvKind::kSliceDone, j);
+  }
+
+  void finish_requests(JobState& js, bool completed) {
+    for (size_t i = 0; i < js.rec.request_ids.size(); ++i) {
+      const int id = js.rec.request_ids[i];
+      RequestOutcome& oc = outcomes[static_cast<size_t>(id)];
+      oc.finish_s = now;
+      oc.completed = completed;
+      if (completed) {
+        oc.diagnostics = js.slice.diagnostics[i];
+        metrics.add_counter("tenant." + oc.tenant + ".completed");
+      } else {
+        metrics.add_counter("tenant." + oc.tenant + ".failed");
+      }
+      --tenant_inflight[oc.tenant];
+    }
+  }
+
+  void write_job_report(const JobState& js) {
+    if (cfg.report_dir.empty()) return;
+    const net::Placement placement(js.machine);
+    telemetry::RunReport report = telemetry::build_run_report(
+        js.slice.run, placement, xgyro::solver_phases(),
+        strprintf("service-job-%d", js.rec.id), js.rec.k,
+        /*with_metrics=*/true);
+    report.have_recovery = true;
+    for (const auto& ev : js.rec.recoveries) {
+      report.recoveries.push_back({ev.kind, ev.world_rank, ev.virtual_time_s,
+                                   ev.phase, ev.resumed_interval,
+                                   ev.nodes_before, ev.nodes_after,
+                                   ev.ranks_per_sim_before,
+                                   ev.ranks_per_sim_after});
+    }
+    telemetry::write_run_report(
+        cfg.report_dir + strprintf("/job-%d.report.json", js.rec.id), report);
+  }
+
+  void on_slice_done(int j) {
+    JobState& js = jobs[static_cast<size_t>(j)];
+    if (!js.slice_ok) {
+      // The elastic executor gave up: surviving nodes come back, the dead
+      // ones are gone, the member requests fail.
+      int surviving = js.nodes_held;
+      for (const auto& ev : js.abort_recoveries) {
+        RecoveryEvent e = ev;
+        e.job = js.rec.id;
+        js.rec.recoveries.push_back(std::move(e));
+        surviving -= ev.nodes_before - ev.nodes_after;
+      }
+      surviving -= 1;  // the final, unrecovered failure takes its node too
+      if (surviving < 0) surviving = 0;
+      cluster_nodes -= js.nodes_held - surviving;
+      free_nodes += surviving;
+      js.rec.failure = js.slice_error;
+      js.rec.finish_s = now;
+      js.done = true;
+      metrics.add_counter("service.jobs_failed");
+      metrics.add_counter("service.recoveries", js.abort_recoveries.size());
+      finish_requests(js, /*completed=*/false);
+      try_schedule();
+      return;
+    }
+
+    ElasticJobResult& r = js.slice;
+    const int lost = js.nodes_held - r.machine.n_nodes;
+    cluster_nodes -= lost;
+    js.machine = r.machine;
+    js.rec.nodes = r.machine.n_nodes;
+    js.rec.ranks_per_sim = r.ranks_per_sim;
+    js.rec.busy_s += r.run.makespan_s;
+    js.recoveries_left -= static_cast<int>(r.recoveries.size());
+    metrics.add_counter("service.recoveries", r.recoveries.size());
+    for (const auto& ev : r.recoveries) {
+      RecoveryEvent e = ev;
+      e.job = js.rec.id;
+      js.rec.recoveries.push_back(std::move(e));
+      if (ev.kind == "rank_failure") {
+        js.faults = js.faults.without_kill(ev.world_rank);
+      }
+    }
+    js.faults = js.faults.pruned_to(js.rec.k * js.rec.ranks_per_sim);
+    js.intervals_done = js.slice_target;
+    js.has_checkpoint = sliced();
+
+    if (js.intervals_done >= cfg.n_report_intervals) {
+      js.rec.finish_s = now;
+      js.done = true;
+      free_nodes += js.machine.n_nodes;
+      metrics.add_counter("service.jobs_completed");
+      metrics.histogram("service.job_span_s", wait_bounds())
+          .observe(now - js.rec.ready_s);
+      finish_requests(js, /*completed=*/true);
+      write_job_report(js);
+      try_schedule();
+      return;
+    }
+
+    // Mid-job slice boundary: the one place a higher-priority job can take
+    // the nodes (the boundary snapshot makes the handoff lossless).
+    bool preempt = false;
+    if (js.has_checkpoint) {
+      for (const int w : ready) {
+        const JobState& waiting = jobs[static_cast<size_t>(w)];
+        if (waiting.rec.priority > js.rec.priority &&
+            waiting.machine.n_nodes > free_nodes &&
+            waiting.machine.n_nodes <= free_nodes + js.machine.n_nodes) {
+          preempt = true;
+          break;
+        }
+      }
+    }
+    if (preempt) {
+      ++js.rec.preemptions;
+      metrics.add_counter("service.preemptions");
+      free_nodes += js.machine.n_nodes;
+      js.queue_since = now;
+      ready.push_back(j);
+      try_schedule();
+    } else {
+      start_slice(j);  // keep the nodes, continue immediately
+    }
+  }
+
+  ServiceResult run() {
+    XG_REQUIRE(cfg.cluster.n_nodes >= 1, "service: empty cluster");
+    XG_REQUIRE(cfg.max_queue_depth >= 1, "service: max_queue_depth >= 1");
+    XG_REQUIRE(cfg.tenant_quota >= 1, "service: tenant_quota >= 1");
+    XG_REQUIRE(cfg.max_batch >= 1, "service: max_batch >= 1");
+    XG_REQUIRE(cfg.batching_window_s >= 0.0, "service: window >= 0");
+    XG_REQUIRE(cfg.n_report_intervals >= 1, "service: intervals >= 1");
+    XG_REQUIRE(cfg.preempt_quantum >= 1, "service: preempt_quantum >= 1");
+    XG_REQUIRE(cfg.nodes_per_job <= cfg.cluster.n_nodes,
+               "service: nodes_per_job exceeds the cluster");
+    if (!cfg.checkpoint_root.empty()) {
+      XG_REQUIRE(cfg.mode == gyro::Mode::kReal,
+                 "service: checkpointing (preemption) requires real mode");
+    }
+    if (!cfg.report_dir.empty()) {
+      std::filesystem::create_directories(cfg.report_dir);
+    }
+
+    free_nodes = cluster_nodes = cfg.cluster.n_nodes;
+    outcomes.resize(reqs.size());
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      const Request& rq = reqs[i];
+      XG_REQUIRE(rq.arrival_s >= 0.0, "service: arrival times must be >= 0");
+      RequestOutcome& oc = outcomes[i];
+      oc.id = static_cast<int>(i);
+      oc.tenant = rq.tenant;
+      oc.priority = rq.priority;
+      oc.arrival_s = rq.arrival_s;
+      oc.cmat_fingerprint = rq.input.cmat_fingerprint();
+    }
+    // Arrivals enter the event queue in submission order; ties on the
+    // virtual clock resolve by sequence number, so the stream vector's
+    // order is the arbiter for simultaneous arrivals.
+    std::vector<int> order(reqs.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+    std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
+      return reqs[static_cast<size_t>(a)].arrival_s <
+             reqs[static_cast<size_t>(b)].arrival_s;
+    });
+    for (const int id : order) {
+      schedule(reqs[static_cast<size_t>(id)].arrival_s, EvKind::kArrival, id);
+    }
+
+    while (!events.empty()) {
+      const Event ev = events.top();
+      events.pop();
+      now = ev.t;
+      makespan = std::max(makespan, now);
+      switch (ev.kind) {
+        case EvKind::kArrival: on_arrival(ev.idx); break;
+        case EvKind::kWindowClose: close_batch(ev.idx); break;
+        case EvKind::kSliceDone: on_slice_done(ev.idx); break;
+      }
+    }
+    XG_REQUIRE(ready.empty() && pending_requests == 0,
+               "service: drained with work still queued (scheduler bug)");
+
+    return finalize();
+  }
+
+  ServiceResult finalize() {
+    ServiceResult res;
+    std::vector<double> waits;
+    for (auto& oc : outcomes) {
+      if (oc.admission != Admission::kAccepted) {
+        ++res.rejected;
+      } else {
+        ++res.admitted;
+        if (oc.start_s >= 0.0) waits.push_back(oc.wait_s());
+        if (oc.completed) {
+          ++res.completed;
+        } else {
+          ++res.failed;
+        }
+      }
+    }
+    std::sort(waits.begin(), waits.end());
+    res.queue_wait.n = static_cast<int>(waits.size());
+    if (!waits.empty()) {
+      res.queue_wait.p50 = exact_quantile(waits, 0.50);
+      res.queue_wait.p95 = exact_quantile(waits, 0.95);
+      res.queue_wait.p99 = exact_quantile(waits, 0.99);
+      res.queue_wait.max = waits.back();
+      double sum = 0.0;
+      for (const double w : waits) sum += w;
+      res.queue_wait.mean = sum / double(waits.size());
+    }
+    res.makespan_s = makespan;
+    int jobs_completed = 0;
+    for (const auto& js : jobs) {
+      if (js.rec.failure.empty() && js.done) ++jobs_completed;
+    }
+    if (makespan > 0.0) {
+      res.jobs_per_hour = jobs_completed * 3600.0 / makespan;
+      res.requests_per_hour = res.completed * 3600.0 / makespan;
+      res.node_busy_frac =
+          busy_node_seconds / (double(cfg.cluster.n_nodes) * makespan);
+    }
+    metrics.set_gauge("service.makespan_s", res.makespan_s);
+    metrics.set_gauge("service.jobs_per_hour", res.jobs_per_hour);
+    metrics.set_gauge("service.requests_per_hour", res.requests_per_hour);
+    metrics.set_gauge("service.node_busy_frac", res.node_busy_frac);
+    metrics.set_gauge("service.queue_wait_mae_s",
+                      wait_err_n > 0 ? wait_abs_err_sum / wait_err_n : 0.0);
+    res.metrics = metrics.snapshot();
+    res.outcomes = std::move(outcomes);
+    res.jobs.reserve(jobs.size());
+    for (auto& js : jobs) res.jobs.push_back(std::move(js.rec));
+    return res;
+  }
+};
+
+}  // namespace
+
+CampaignService::CampaignService(ServiceConfig cfg) : cfg_(std::move(cfg)) {}
+
+ServiceResult CampaignService::run(const std::vector<Request>& stream) {
+  Engine engine(cfg_, stream);
+  return engine.run();
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+
+std::string ServiceResult::describe() const {
+  std::string out = strprintf(
+      "service: %d admitted / %d rejected, %d completed, %d failed, "
+      "%zu job(s), makespan %.6f s\n",
+      admitted, rejected, completed, failed, jobs.size(), makespan_s);
+  out += strprintf(
+      "  throughput: %.1f jobs/h, %.1f requests/h, node busy %.1f%%\n",
+      jobs_per_hour, requests_per_hour, 100.0 * node_busy_frac);
+  out += strprintf(
+      "  queue wait: p50 %.6f s, p95 %.6f s, p99 %.6f s (n=%d)\n",
+      queue_wait.p50, queue_wait.p95, queue_wait.p99, queue_wait.n);
+  for (const auto& j : jobs) {
+    out += strprintf(
+        "  job %d: k=%d fp=%016llx %d node(s) rps=%d prio=%d slices=%d "
+        "preempt=%d%s\n",
+        j.id, j.k, static_cast<unsigned long long>(j.cmat_fingerprint),
+        j.nodes, j.ranks_per_sim, j.priority, j.slices, j.preemptions,
+        j.failure.empty() ? "" : " FAILED");
+  }
+  return out;
+}
+
+telemetry::Json ServiceResult::to_json() const {
+  using telemetry::Json;
+  Json doc = Json::object();
+  doc.set("schema", "xgyro.service").set("schema_version", 1);
+  Json totals = Json::object();
+  totals.set("admitted", admitted)
+      .set("rejected", rejected)
+      .set("completed", completed)
+      .set("failed", failed)
+      .set("jobs", static_cast<std::int64_t>(jobs.size()));
+  doc.set("totals", std::move(totals));
+  Json throughput = Json::object();
+  throughput.set("makespan_s", makespan_s)
+      .set("jobs_per_hour", jobs_per_hour)
+      .set("requests_per_hour", requests_per_hour)
+      .set("node_busy_frac", node_busy_frac);
+  doc.set("throughput", std::move(throughput));
+  Json qw = Json::object();
+  qw.set("p50", queue_wait.p50)
+      .set("p95", queue_wait.p95)
+      .set("p99", queue_wait.p99)
+      .set("mean", queue_wait.mean)
+      .set("max", queue_wait.max)
+      .set("n", queue_wait.n);
+  doc.set("queue_wait_s", std::move(qw));
+  Json jarr = Json::array();
+  for (const auto& j : jobs) {
+    Json jj = Json::object();
+    jj.set("id", j.id)
+        .set("k", j.k)
+        .set("cmat_fingerprint", strprintf("%016llx", static_cast<unsigned long long>(j.cmat_fingerprint)))
+        .set("nodes", j.nodes)
+        .set("ranks_per_sim", j.ranks_per_sim)
+        .set("priority", j.priority)
+        .set("ready_s", j.ready_s)
+        .set("start_s", j.start_s)
+        .set("finish_s", j.finish_s)
+        .set("predicted_seconds", j.predicted_seconds)
+        .set("busy_s", j.busy_s)
+        .set("slices", j.slices)
+        .set("preemptions", j.preemptions)
+        .set("recoveries", static_cast<std::int64_t>(j.recoveries.size()))
+        .set("failure", j.failure);
+    Json members = Json::array();
+    for (const int id : j.request_ids) members.push(id);
+    jj.set("requests", std::move(members));
+    jarr.push(std::move(jj));
+  }
+  doc.set("jobs", std::move(jarr));
+  Json oarr = Json::array();
+  for (const auto& oc : outcomes) {
+    Json oj = Json::object();
+    oj.set("id", oc.id)
+        .set("tenant", oc.tenant)
+        .set("priority", oc.priority)
+        .set("admission", admission_name(oc.admission))
+        .set("arrival_s", oc.arrival_s)
+        .set("start_s", oc.start_s)
+        .set("finish_s", oc.finish_s)
+        .set("predicted_wait_s", oc.predicted_wait_s)
+        .set("wait_s", oc.wait_s())
+        .set("job", oc.job)
+        .set("completed", oc.completed);
+    oarr.push(std::move(oj));
+  }
+  doc.set("outcomes", std::move(oarr));
+  doc.set("metrics", metrics);
+  return doc;
+}
+
+}  // namespace xg::campaign

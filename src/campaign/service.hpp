@@ -1,0 +1,209 @@
+// Online campaign service: the paper's cmat-sharing trick applied to
+// arrival traffic instead of a pre-declared job list.
+//
+// A CampaignService absorbs a stream of simulation requests and turns it
+// into shared-cmat XGYRO jobs on the fly:
+//
+//   admission   — requests that can never fit the cluster's memory (even
+//                 alone, at k = 1) are rejected immediately; a bounded
+//                 queue depth and per-tenant quotas shed load before the
+//                 backlog grows unbounded;
+//   batching    — admitted requests whose collision inputs fingerprint
+//                 identically are coalesced, within a configurable
+//                 batching window, into one shared-cmat XGYRO job (the
+//                 whole point: the collisional constant tensor is built
+//                 once per job, not once per request);
+//   placement   — ready jobs are bin-packed onto the simulated cluster
+//                 (first-fit in priority order), with higher-priority
+//                 jobs able to preempt running ones at slice boundaries
+//                 through the checkpoint/restart path;
+//   telemetry   — per-tenant counters, queue-wait histograms + exact
+//                 percentiles, and optional per-job RunReports.
+//
+// The service shares campaign::plan_group with the offline planner, so
+// given the same request set arriving all at once it realizes the same
+// grouping the offline plan_campaign would (the differential property
+// tests in tests/service_test.cpp pin this down).
+//
+// Everything runs under the deterministic DES: the service clock is
+// virtual, job durations come from actually running each job (slice) with
+// mpi::run_simulation, and identical streams + config reproduce identical
+// results bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "gyro/input.hpp"
+#include "simmpi/fault.hpp"
+#include "simnet/machine.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace xg::campaign {
+
+/// One simulation request arriving at the service.
+struct Request {
+  std::string tenant = "default";
+  int priority = 0;        ///< higher runs first and may preempt lower
+  double arrival_s = 0.0;  ///< virtual arrival time (any order in the vector)
+  gyro::Input input;
+  mpi::FaultPlan faults;   ///< folded into the job this request joins
+};
+
+enum class Admission {
+  kAccepted = 0,
+  kRejectedQueueFull,
+  kRejectedTenantQuota,
+  kRejectedInfeasible,  ///< cannot fit the cluster memory even alone at k=1
+};
+
+[[nodiscard]] const char* admission_name(Admission a);
+
+struct ServiceConfig {
+  net::MachineSpec cluster;       ///< the multi-tenant allocation to pack
+  int max_queue_depth = 64;       ///< admitted-but-not-started request cap
+  int tenant_quota = 16;          ///< same cap, per tenant
+  double batching_window_s = 1.0; ///< how long an open batch waits for peers
+  int max_batch = 8;              ///< batch closes early at this size
+  bool batching = true;           ///< false = ablation: one job per request
+  /// Nodes per job: 0 picks, per batch, the node count minimizing predicted
+  /// node-seconds; > 0 pins every job to that many nodes (clamped to the
+  /// cluster and grown if the batch does not fit the pinned size).
+  int nodes_per_job = 0;
+  int n_report_intervals = 1;     ///< run length of every request
+  gyro::Mode mode = gyro::Mode::kReal;
+  /// Per-job checkpoint roots live under <checkpoint_root>/job-<id>. Empty
+  /// disables checkpointing — jobs then run in one non-preemptable slice.
+  /// Requires kReal mode.
+  std::string checkpoint_root;
+  /// Report intervals per execution slice when checkpointing: preemption
+  /// and recovery happen at slice boundaries, which are always snapshotted.
+  int preempt_quantum = 1;
+  int max_recoveries = 3;         ///< per job, across all its slices
+  bool check_invariants = true;
+  double watchdog_timeout_s = 60.0;
+  /// Collective decision table for every job (nullptr = built-in tuned).
+  std::shared_ptr<const mpi::CollSelector> coll_selector;
+  /// When set, a per-job RunReport is written to
+  /// <report_dir>/job-<id>.report.json as each job finishes.
+  std::string report_dir;
+};
+
+/// Where one request ended up.
+struct RequestOutcome {
+  int id = -1;                    ///< index into the submitted stream
+  std::string tenant;
+  int priority = 0;
+  Admission admission = Admission::kAccepted;
+  double arrival_s = 0.0;
+  double start_s = -1.0;          ///< first slice launch of its job
+  double finish_s = -1.0;         ///< job completion
+  double predicted_wait_s = 0.0;  ///< perfmodel estimate at admission
+  int job = -1;                   ///< ServiceJobRecord::id (-1 = rejected)
+  std::uint64_t cmat_fingerprint = 0;
+  bool completed = false;
+  gyro::Diagnostics diagnostics;  ///< final report interval (completed only)
+
+  [[nodiscard]] double wait_s() const {
+    return start_s >= 0.0 ? start_s - arrival_s : 0.0;
+  }
+};
+
+/// One shared-cmat job the service scheduled.
+struct ServiceJobRecord {
+  int id = -1;
+  std::vector<int> request_ids;   ///< members, in admission order
+  std::uint64_t cmat_fingerprint = 0;
+  int k = 0;                      ///< members (= request_ids.size())
+  int nodes = 0;                  ///< current allocation (recovery shrinks it)
+  int ranks_per_sim = 0;
+  gyro::Decomposition decomp;
+  int priority = 0;               ///< max over members
+  double ready_s = 0.0;           ///< batch close time
+  double start_s = -1.0;
+  double finish_s = -1.0;
+  double predicted_seconds = 0.0; ///< per report interval (perfmodel)
+  double busy_s = 0.0;            ///< summed slice makespans (incl. restarts)
+  int slices = 0;
+  int preemptions = 0;
+  std::vector<RecoveryEvent> recoveries;
+  std::string failure;            ///< empty = completed
+};
+
+/// Exact queue-wait percentiles over completed requests (computed from the
+/// sorted waits, not histogram buckets — deterministic and tight).
+struct QueueWaitStats {
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  double mean = 0.0, max = 0.0;
+  int n = 0;
+};
+
+struct ServiceResult {
+  std::vector<RequestOutcome> outcomes;  ///< index = request id
+  std::vector<ServiceJobRecord> jobs;    ///< index = job id
+  double makespan_s = 0.0;               ///< last finish (or last arrival)
+  int admitted = 0, rejected = 0, completed = 0, failed = 0;
+  double jobs_per_hour = 0.0;      ///< XGYRO jobs per virtual hour
+  double requests_per_hour = 0.0;  ///< completed requests per virtual hour
+  QueueWaitStats queue_wait;
+  double node_busy_frac = 0.0;     ///< Σ nodes×busy / (cluster × makespan)
+  telemetry::Json metrics;         ///< xgyro.metrics snapshot
+
+  [[nodiscard]] std::string describe() const;
+  /// { "schema": "xgyro.service", "schema_version": 1, ... }
+  [[nodiscard]] telemetry::Json to_json() const;
+};
+
+/// The service itself. Single-shot: feed it one stream, get the result.
+class CampaignService {
+ public:
+  explicit CampaignService(ServiceConfig cfg);
+
+  /// Admit and execute a whole arrival stream, then drain the queue.
+  /// Deterministic: same stream + config ⇒ bit-identical result.
+  [[nodiscard]] ServiceResult run(const std::vector<Request>& stream);
+
+ private:
+  ServiceConfig cfg_;
+};
+
+/// Seeded synthetic arrival streams for benchmarks, smoke tests, and the
+/// randomized stress harness. Spec grammar (components separated by ';'):
+///
+///   seed=N       RNG seed (default 1)
+///   n=N          number of requests (default 8)
+///   rate=R       mean arrival rate in requests per virtual second;
+///                inter-arrivals are exponential (default 1.0)
+///   tenants=N    tenant names t0..t{N-1}, drawn uniformly (default 1)
+///   sigs=N       distinct cmat signatures, via collision.nu_ee scaling
+///                (default 1)
+///   prios=N      priorities 0..N-1, drawn uniformly (default 1)
+///   species=N    species count of the base Input::small_test (default 1)
+///   skew=0|1     1 skews the signature draw geometrically (P(s) ∝ 2^-s)
+///                instead of uniformly (default 0)
+///   kills=F      fraction of requests carrying a one-rank kill fault
+///                (rank 1, early); needs a checkpointing service config
+///                with >= 2-node jobs to recover (default 0)
+///
+/// Every request gets a distinct sweep-safe gradient (a_ln_t) and seed, so
+/// members differ physically while sharing cmat within a signature.
+struct StreamSpec {
+  std::uint64_t seed = 1;
+  int n = 8;
+  double rate_hz = 1.0;
+  int tenants = 1;
+  int signatures = 1;
+  int priorities = 1;
+  int species = 1;
+  bool skew = false;
+  double kill_frac = 0.0;
+
+  static StreamSpec parse(const std::string& spec);
+  [[nodiscard]] std::vector<Request> generate() const;
+};
+
+}  // namespace xg::campaign

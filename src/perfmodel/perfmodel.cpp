@@ -360,6 +360,12 @@ PlanPoint plan_xgyro(const gyro::Input& input, int k,
   return p;
 }
 
+double estimate_queue_wait(double backlog_node_seconds, int cluster_nodes) {
+  XG_REQUIRE(cluster_nodes >= 1, "estimate_queue_wait: need >= 1 node");
+  if (backlog_node_seconds <= 0.0) return 0.0;
+  return backlog_node_seconds / cluster_nodes;
+}
+
 int min_feasible_nodes_cgyro(const gyro::Input& input, int max_nodes) {
   for (int n = 1; n <= max_nodes; n *= 2) {
     const auto machine = nl03c_machine(n);

@@ -113,4 +113,12 @@ PlanPoint plan_xgyro(const gyro::Input& input, int k,
 /// simulation does require at least 32 nodes".
 int min_feasible_nodes_cgyro(const gyro::Input& input, int max_nodes);
 
+/// Closed-form queue-wait estimate for a request admitted to the campaign
+/// service: the committed backlog (node-seconds of planned work ahead of
+/// it) drained by the whole allocation at full utilization. A lower bound —
+/// packing gaps, preemption, and per-slice restart overhead only push the
+/// realized wait up — but monotone in the backlog, which is what the
+/// admission-time prediction is for.
+double estimate_queue_wait(double backlog_node_seconds, int cluster_nodes);
+
 }  // namespace xg::perfmodel

@@ -99,11 +99,13 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       }
     } else if (key == "kill") {
       const auto [r, t] = split_pair(value, '@', "kill");
-      plan.kill_rank = parse_rank(r, "faults:kill rank");
-      plan.kill_time_s = parse_double(t, "faults:kill time");
-      if (plan.kill_time_s < 0.0) {
+      FaultPlan::Kill k;
+      k.rank = parse_rank(r, "faults:kill rank");
+      k.time_s = parse_double(t, "faults:kill time");
+      if (k.time_s < 0.0) {
         throw InputError("faults: kill time must be >= 0");
       }
+      plan.kills.push_back(k);
     } else {
       throw InputError(strprintf("faults: unknown component '%s'", key.c_str()));
     }
@@ -124,8 +126,8 @@ std::string FaultPlan::describe() const {
   if (delay_probability > 0.0 && delay_s > 0.0) {
     out += strprintf(" delay=%.3gx%.3g", delay_probability, delay_s);
   }
-  if (kill_rank >= 0) {
-    out += strprintf(" kill=%d@%.9g", kill_rank, kill_time_s);
+  for (const auto& k : kills) {
+    out += strprintf(" kill=%d@%.9g", k.rank, k.time_s);
   }
   return out;
 }

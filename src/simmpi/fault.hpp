@@ -29,7 +29,9 @@ namespace xg::mpi {
 ///   delay=PxS           each eager message is held back S extra virtual
 ///                       seconds with probability P (per-sender draw)
 ///   kill=R@T            rank R throws RankFailure at the first virtual-clock
-///                       observation point at or after time T
+///                       observation point at or after time T (repeatable:
+///                       each clause arms an independent kill, so a recovered
+///                       job can be killed again in a later attempt)
 ///
 /// Example: "seed=42;straggler=2x3.0;jitter=2x0.5;delay=0.3x5e-6;kill=1@0.02"
 struct FaultPlan {
@@ -38,19 +40,35 @@ struct FaultPlan {
     double value = 1.0;
   };
 
+  struct Kill {
+    int rank = -1;
+    double time_s = 0.0;
+  };
+
   std::uint64_t seed = 0;
   std::vector<RankScale> stragglers;  ///< {rank, slowdown factor >= 1}
   std::vector<RankScale> jitters;     ///< {rank, max jitter fraction >= 0}
   double delay_probability = 0.0;     ///< per-message delay probability
   double delay_s = 0.0;               ///< extra virtual latency per delayed msg
-  int kill_rank = -1;                 ///< -1 = nobody dies
-  double kill_time_s = 0.0;           ///< virtual time of the kill
+  std::vector<Kill> kills;            ///< armed kills; empty = nobody dies
 
   /// True if any fault mechanism is configured.
   [[nodiscard]] bool active() const {
     return !stragglers.empty() || !jitters.empty() ||
-           (delay_probability > 0.0 && delay_s > 0.0) || kill_rank >= 0;
+           (delay_probability > 0.0 && delay_s > 0.0) || !kills.empty();
   }
+
+  /// Earliest kill time armed for `rank`, or a negative value if immortal.
+  [[nodiscard]] double kill_time_for(int rank) const {
+    double t = -1.0;
+    for (const auto& k : kills) {
+      if (k.rank == rank && (t < 0.0 || k.time_s < t)) t = k.time_s;
+    }
+    return t;
+  }
+
+  /// Convenience: arm one more kill clause.
+  void add_kill(int rank, double time_s) { kills.push_back({rank, time_s}); }
 
   /// True if the plan perturbs the message schedule (enables the mailbox
   /// arrival-order clamp that keeps per-channel FIFO timestamps legal).
@@ -64,14 +82,37 @@ struct FaultPlan {
   /// Per-rank RNG seed: splitmix64-expanded so adjacent ranks decorrelate.
   [[nodiscard]] std::uint64_t rank_seed(int rank) const;
 
-  /// Copy of this plan with the kill clause removed. Elastic recovery treats
-  /// a fired kill as a transient fault: the resumed attempt keeps the
+  /// Copy of this plan with kill clauses removed. Elastic recovery treats a
+  /// fired kill as a transient fault: the resumed attempt keeps the
   /// stragglers, jitter, and message delays (same seed) but must not die
   /// again at the same virtual time — the restarted clock begins at zero.
-  [[nodiscard]] FaultPlan without_kill() const {
+  /// `fired_rank >= 0` strips only the clauses armed for that rank, so a
+  /// plan with kills for several ranks keeps firing across attempts (the
+  /// mechanism behind max_recoveries-exhaustion tests); the default strips
+  /// every kill.
+  [[nodiscard]] FaultPlan without_kill(int fired_rank = -1) const {
     FaultPlan plan = *this;
-    plan.kill_rank = -1;
-    plan.kill_time_s = 0.0;
+    if (fired_rank < 0) {
+      plan.kills.clear();
+    } else {
+      std::erase_if(plan.kills,
+                    [fired_rank](const Kill& k) { return k.rank == fired_rank; });
+    }
+    return plan;
+  }
+
+  /// Copy with every rank-targeted clause aimed at ranks >= nranks removed.
+  /// Elastic recovery shrinks the job; clauses aimed at ranks that no
+  /// longer exist must not trip the runtime's configuration guard when the
+  /// surviving allocation retries.
+  [[nodiscard]] FaultPlan pruned_to(int nranks) const {
+    FaultPlan plan = *this;
+    std::erase_if(plan.stragglers,
+                  [nranks](const RankScale& s) { return s.rank >= nranks; });
+    std::erase_if(plan.jitters,
+                  [nranks](const RankScale& s) { return s.rank >= nranks; });
+    std::erase_if(plan.kills,
+                  [nranks](const Kill& k) { return k.rank >= nranks; });
     return plan;
   }
 

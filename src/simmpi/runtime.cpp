@@ -239,9 +239,10 @@ Runtime::Runtime(net::MachineSpec spec, int nranks, RuntimeOptions opts)
                strprintf("faults: jitter rank %d >= nranks %d", s.rank,
                          nranks_));
   }
-  XG_REQUIRE(opts_.faults.kill_rank < nranks_,
-             strprintf("faults: kill rank %d >= nranks %d",
-                       opts_.faults.kill_rank, nranks_));
+  for (const auto& k : opts_.faults.kills) {
+    XG_REQUIRE(k.rank < nranks_,
+               strprintf("faults: kill rank %d >= nranks %d", k.rank, nranks_));
+  }
   mailboxes_.reserve(nranks_);
   wait_states_.reserve(nranks_);
   for (int r = 0; r < nranks_; ++r) {
@@ -361,9 +362,7 @@ RunResult Runtime::run(const std::function<void(Proc&)>& body) {
       procs[r].fault_rng_ = Rng(opts_.faults.rank_seed(r));
       procs[r].straggle_factor_ = placement_.rank_compute_scale(r);
       procs[r].jitter_frac_ = opts_.faults.jitter_frac(r);
-      if (opts_.faults.kill_rank == r) {
-        procs[r].kill_at_ = opts_.faults.kill_time_s;
-      }
+      procs[r].kill_at_ = opts_.faults.kill_time_for(r);
     }
   }
 

@@ -347,10 +347,9 @@ TEST(ElasticRecovery, SpareNodeKeepsPhysicsBitIdentical) {
   const TempDir dir("elastic_spare");
   opts.checkpoint_dir = dir.path;
   opts.faults.seed = 11;
-  opts.faults.kill_rank = 1;
   // Late enough that at least one snapshot has committed, so the recovery
   // resumes instead of restarting from scratch.
-  opts.faults.kill_time_s = 0.75 * clean.run.makespan_s;
+  opts.faults.add_kill(1, 0.75 * clean.run.makespan_s);
   const auto faulty =
       campaign::run_job_elastic(batch, machine, 2, 4, Mode::kReal, opts);
 
@@ -389,8 +388,7 @@ TEST(ElasticRecovery, ShrinkReplansToFewerRanksPerSim) {
   const TempDir dir("elastic_shrink");
   opts.checkpoint_dir = dir.path;
   opts.faults.seed = 5;
-  opts.faults.kill_rank = 2;
-  opts.faults.kill_time_s = 0.75 * clean.run.makespan_s;
+  opts.faults.add_kill(2, 0.75 * clean.run.makespan_s);
   const auto faulty =
       campaign::run_job_elastic(batch, machine, 4, 4, Mode::kReal, opts);
 
@@ -428,7 +426,7 @@ TEST(ElasticRecovery, ResumeSkipsCompletedIntervals) {
   EXPECT_EQ(second.diagnostics[0].phi_rms, first.diagnostics[0].phi_rms);
 }
 
-TEST(ElasticRecovery, ExhaustedRecoveriesRethrow) {
+TEST(ElasticRecovery, ExhaustedRecoveriesRaiseStructuredAbort) {
   const Input in = Input::small_test(1);
   xgyro::EnsembleInput batch;
   batch.members.push_back(in);
@@ -436,11 +434,17 @@ TEST(ElasticRecovery, ExhaustedRecoveriesRethrow) {
   opts.cgyro_layout = true;
   opts.max_recoveries = 0;
   opts.faults.seed = 1;
-  opts.faults.kill_rank = 0;
-  opts.faults.kill_time_s = 1e-9;
-  EXPECT_THROW(campaign::run_job_elastic(batch, net::testbox(2, 2), 2, 1,
-                                         Mode::kReal, opts),
-               mpi::RankFailure);
+  opts.faults.add_kill(0, 1e-9);
+  try {
+    campaign::run_job_elastic(batch, net::testbox(2, 2), 2, 1, Mode::kReal,
+                              opts);
+    FAIL() << "expected JobAborted";
+  } catch (const campaign::JobAborted& e) {
+    EXPECT_EQ(e.kind(), "rank_failure");
+    EXPECT_EQ(e.reason(), "recovery budget exhausted");
+    EXPECT_EQ(e.world_rank(), 0);
+    EXPECT_TRUE(e.recoveries().empty());  // budget was zero: nothing recovered
+  }
 }
 
 }  // namespace

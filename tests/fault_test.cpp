@@ -49,8 +49,11 @@ TEST(FaultPlan, ParsesFullSpec) {
   EXPECT_DOUBLE_EQ(plan.delay_probability, 0.3);
   EXPECT_DOUBLE_EQ(plan.delay_s, 5e-6);
   EXPECT_TRUE(plan.perturbs_messages());
-  EXPECT_EQ(plan.kill_rank, 1);
-  EXPECT_DOUBLE_EQ(plan.kill_time_s, 0.02);
+  ASSERT_EQ(plan.kills.size(), 1u);
+  EXPECT_EQ(plan.kills[0].rank, 1);
+  EXPECT_DOUBLE_EQ(plan.kills[0].time_s, 0.02);
+  EXPECT_DOUBLE_EQ(plan.kill_time_for(1), 0.02);
+  EXPECT_LT(plan.kill_time_for(0), 0.0);
   EXPECT_FALSE(plan.describe().empty());
 }
 

@@ -253,5 +253,16 @@ TEST(Planner, RejectsIndivisibleEnsemble) {
   EXPECT_THROW(plan_xgyro(in, 7, nl03c_machine(32)), Error);
 }
 
+TEST(QueueWait, EstimateIsMonotoneAndGuarded) {
+  // Empty backlog waits nothing; otherwise backlog drains at full cluster
+  // utilization (the admission-time lower bound the service reports).
+  EXPECT_DOUBLE_EQ(estimate_queue_wait(0.0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(estimate_queue_wait(-1.0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(estimate_queue_wait(100.0, 4), 25.0);
+  EXPECT_GT(estimate_queue_wait(200.0, 4), estimate_queue_wait(100.0, 4));
+  EXPECT_LT(estimate_queue_wait(100.0, 8), estimate_queue_wait(100.0, 4));
+  EXPECT_THROW(estimate_queue_wait(1.0, 0), Error);
+}
+
 }  // namespace
 }  // namespace xg::perfmodel
