@@ -16,6 +16,17 @@
 // requests per virtual hour, must not lose on makespan, and both runs must
 // complete every admitted request. Queue-wait percentiles for both arms are
 // recorded for the baseline harness.
+//
+// A third arm reruns the batched configuration with the full observability
+// plane on (event sink + periodic monitor snapshots + an SLO monitor) and
+// gates two claims: the virtual-time results are bit-identical to the
+// unobserved run (observability must never perturb the simulation), and
+// the wall-clock overhead of emitting/consuming the event stream stays
+// under 2% (best-of-N, interleaved, with a small absolute slack so timer
+// noise on a fast run cannot fail the gate). Wall-clock fields in the JSON
+// are --ignore'd by the baseline harness; the record count is gated.
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -24,6 +35,7 @@
 
 #include "campaign/service.hpp"
 #include "perfmodel/perfmodel.hpp"
+#include "telemetry/events.hpp"
 #include "telemetry/json.hpp"
 #include "util/format.hpp"
 #include "util/rng.hpp"
@@ -59,7 +71,8 @@ std::vector<xg::campaign::Request> make_stream(int n, int signatures,
 
 xg::campaign::ServiceResult run_arm(
     const std::vector<xg::campaign::Request>& stream, bool batching,
-    int intervals, double window_s, int max_batch) {
+    int intervals, double window_s, int max_batch,
+    xg::telemetry::EventSink* sink = nullptr) {
   xg::campaign::ServiceConfig cfg;
   cfg.cluster = xg::perfmodel::nl03c_machine(32);
   cfg.batching = batching;
@@ -67,8 +80,22 @@ xg::campaign::ServiceResult run_arm(
   cfg.max_batch = max_batch;
   cfg.n_report_intervals = intervals;
   cfg.mode = xg::gyro::Mode::kModel;
+  if (sink != nullptr) {
+    // The whole plane: event stream, periodic snapshots, SLO monitor.
+    cfg.events = sink;
+    cfg.metrics_every_s = 0.5;
+    cfg.slo = "wait=1e6;target=0.9;burn=2";
+  }
   xg::campaign::CampaignService service(cfg);
   return service.run(stream);
+}
+
+template <typename F>
+double wall_ms(F&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
 xg::telemetry::Json arm_json(const xg::campaign::ServiceResult& r) {
@@ -114,6 +141,30 @@ int main(int argc, char** argv) {
                                /*max_batch=*/8);
   const auto ablation = run_arm(stream, false, intervals, 0.5, 8);
 
+  // Observability arm: the batched configuration with the event plane on.
+  // Interleaved best-of-N wall times keep the overhead comparison fair on
+  // a machine with drifting load.
+  const int reps = smoke ? 3 : 5;
+  double plain_best_ms = 1e300, observed_best_ms = 1e300;
+  telemetry::EventBuffer events;
+  campaign::ServiceResult observed;
+  for (int rep = 0; rep < reps; ++rep) {
+    plain_best_ms = std::min(plain_best_ms, wall_ms([&] {
+      (void)run_arm(stream, true, intervals, 0.5, 8);
+    }));
+    observed_best_ms = std::min(observed_best_ms, wall_ms([&] {
+      events.records.clear();
+      observed = run_arm(stream, true, intervals, 0.5, 8, &events);
+    }));
+  }
+  const double overhead_pct =
+      plain_best_ms > 0.0
+          ? 100.0 * (observed_best_ms - plain_best_ms) / plain_best_ms
+          : 0.0;
+  const telemetry::EventLogStats ev = telemetry::validate_events(events.records);
+  const bool bit_identical = observed.describe() == batched.describe() &&
+                             observed.makespan_s == batched.makespan_s;
+
   std::printf("=== Online service: cmat-signature batching vs no batching "
               "(%d requests, 32 nodes) ===\n\n", n);
   std::printf("%-12s %8s %14s %12s %10s %10s %10s\n", "arm", "jobs",
@@ -131,6 +182,12 @@ int main(int argc, char** argv) {
                 batched.describe().c_str(), ablation.describe().c_str());
   }
 
+  std::printf("\nobservability: %d event record(s), overhead %.2f%% "
+              "(best-of-%d: %.1f ms observed vs %.1f ms plain), virtual "
+              "results %s\n",
+              ev.records, overhead_pct, reps, observed_best_ms,
+              plain_best_ms, bit_identical ? "bit-identical" : "DIVERGED");
+
   bool pass = true;
   if (batched.completed != n || ablation.completed != n) {
     std::printf("\nFAIL: not every request completed (batched %d, ablation "
@@ -140,6 +197,24 @@ int main(int argc, char** argv) {
   // The gate: strict throughput win, and never a makespan loss.
   if (batched.requests_per_hour <= ablation.requests_per_hour) pass = false;
   if (batched.makespan_s > ablation.makespan_s) pass = false;
+  // Observability gates: the event plane must not perturb the virtual-time
+  // results, the emitted log must be schema-valid and complete, and its
+  // wall-clock cost must stay under 2% (plus 2 ms of absolute slack so
+  // timer noise on a fast run cannot flake the gate).
+  if (!bit_identical) {
+    std::printf("FAIL: observability perturbed the virtual-time results\n");
+    pass = false;
+  }
+  if (!ev.ended || ev.completed != n) {
+    std::printf("FAIL: event log incomplete (%d completed of %d, ended=%d)\n",
+                ev.completed, n, ev.ended ? 1 : 0);
+    pass = false;
+  }
+  if (observed_best_ms > plain_best_ms * 1.02 + 2.0) {
+    std::printf("FAIL: observability overhead %.2f%% exceeds the 2%% gate\n",
+                overhead_pct);
+    pass = false;
+  }
 
   const double speedup = ablation.requests_per_hour > 0.0
                              ? batched.requests_per_hour /
@@ -157,6 +232,16 @@ int main(int argc, char** argv) {
         .set("batched", arm_json(batched))
         .set("ablation", arm_json(ablation))
         .set("speedup", speedup)
+        .set("observability",
+             telemetry::Json::object()
+                 .set("records", ev.records)
+                 .set("snapshots", ev.by_type.count("monitor.snapshot")
+                                       ? ev.by_type.at("monitor.snapshot")
+                                       : 0)
+                 .set("bit_identical", bit_identical)
+                 .set("overhead_pct", overhead_pct)
+                 .set("wall_plain_ms", plain_best_ms)
+                 .set("wall_observed_ms", observed_best_ms))
         .set("pass", pass);
     telemetry::write_json_file(json_out, doc);
     std::printf("series written to %s\n", json_out.c_str());

@@ -14,42 +14,50 @@
 #      the measured winner)
 #   8. campaign service smoke (a short arrival stream through xgyro_serve:
 #      admission, batching, placement, and the exit-0 convention)
+#   9. service observability smoke (xgyro_serve with the streamed event
+#      log, snapshots and an SLO, replayed through xgyro_servemon:
+#      validation, sketch-vs-exact cross-check, trace export, event-log
+#      determinism, and the aborted-run partial-log guarantee)
 #
-# Steps 3–8 are also registered with ctest (check_determinism_script,
+# Steps 3–9 are also registered with ctest (check_determinism_script,
 # trace_export_smoke, docs_consistency_check, bench_baseline_smoke,
-# colltune_smoke, service_smoke); they rerun here standalone so a failure
-# prints its own transcript even when ctest is skipped.
+# colltune_smoke, service_smoke, servemon_smoke); they rerun here
+# standalone so a failure prints its own transcript even when ctest is
+# skipped.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-echo "=== [1/8] default build + ctest ==="
+echo "=== [1/9] default build + ctest ==="
 cmake --preset default
 cmake --build --preset default -j "$JOBS"
 ctest --preset default
 
-echo "=== [2/8] sanitized build ==="
+echo "=== [2/9] sanitized build ==="
 cmake --preset sanitize
 cmake --build --preset sanitize -j "$JOBS"
 
-echo "=== [3/8] determinism check ==="
+echo "=== [3/9] determinism check ==="
 bash scripts/check_determinism.sh build
 
-echo "=== [4/8] telemetry trace-export smoke ==="
+echo "=== [4/9] telemetry trace-export smoke ==="
 bash scripts/trace_smoke.sh build
 
-echo "=== [5/8] docs consistency check ==="
+echo "=== [5/9] docs consistency check ==="
 bash scripts/docs_check.sh build
 
-echo "=== [6/8] bench baseline smoke ==="
+echo "=== [6/9] bench baseline smoke ==="
 ./build/examples/xgyro_bench_check --smoke .
 
-echo "=== [7/8] collective autotuner smoke ==="
+echo "=== [7/9] collective autotuner smoke ==="
 ./build/examples/xgyro_colltune --smoke --out build/colltune_smoke.coll_table.json
 
-echo "=== [8/8] campaign service smoke ==="
+echo "=== [8/9] campaign service smoke ==="
 ./build/examples/xgyro_serve --gen "seed=3;n=6;rate=4;tenants=2;sigs=2" \
   --nodes 2 --ranks-per-node 4 --window 0.5
+
+echo "=== [9/9] service observability smoke ==="
+bash scripts/servemon_smoke.sh build/examples
 
 echo "ci.sh: all gates passed"

@@ -21,8 +21,12 @@
 #include <set>
 #include <string>
 
+#include <memory>
+
+#include "campaign/monitor.hpp"
 #include "campaign/service.hpp"
 #include "simnet/machine.hpp"
+#include "telemetry/events.hpp"
 #include "telemetry/json.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
@@ -47,6 +51,9 @@ struct Options {
   std::string report_out;
   std::string metrics_out;
   std::string report_dir;
+  std::string events_out;
+  double metrics_every = 0.0;
+  std::string slo;
 };
 
 int parse_int(const std::string& flag, const std::string& value) {
@@ -95,6 +102,14 @@ void print_help() {
       "  --report FILE       write the xgyro.service JSON document\n"
       "  --metrics-out FILE  write the metrics snapshot (xgyro.metrics)\n"
       "  --report-dir DIR    write per-job RunReports (job-<id>.report.json)\n"
+      "  --events-out FILE   stream the xgyro.events JSONL lifecycle log;\n"
+      "                      flushed per record, so an aborted run leaves a\n"
+      "                      valid partial log ending in service.aborted\n"
+      "  --metrics-every S   emit a monitor.snapshot record every S virtual\n"
+      "                      seconds (needs --events-out) [0 = off]\n"
+      "  --slo SPEC          queue-wait SLO with burn-rate alerts, e.g.\n"
+      "                      \"wait=100;target=0.9;window=500;burn=2\"\n"
+      "                      (needs --events-out)\n"
       "  --help              print this reference and exit\n"
       "\n"
       "exit status:\n"
@@ -172,6 +187,15 @@ Options parse_args(int argc, char** argv) {
     } else if (a == "--report-dir") {
       once(a);
       o.report_dir = need_value(i++);
+    } else if (a == "--events-out") {
+      once(a);
+      o.events_out = need_value(i++);
+    } else if (a == "--metrics-every") {
+      once(a);
+      o.metrics_every = parse_double(a, need_value(i++));
+    } else if (a == "--slo") {
+      once(a);
+      o.slo = need_value(i++);
     } else if (a == "--help" || a == "-h") {
       print_help();
       std::exit(0);
@@ -191,6 +215,18 @@ Options parse_args(int argc, char** argv) {
   if (o.ranks_per_node < 1) {
     throw xg::InputError("--ranks-per-node must be >= 1");
   }
+  if (o.metrics_every < 0.0) {
+    throw xg::InputError("--metrics-every must be >= 0");
+  }
+  if (o.events_out.empty() && o.metrics_every > 0.0) {
+    throw xg::InputError("--metrics-every requires --events-out");
+  }
+  if (o.events_out.empty() && !o.slo.empty()) {
+    throw xg::InputError("--slo requires --events-out");
+  }
+  if (!o.slo.empty()) {
+    (void)xg::campaign::SloSpec::parse(o.slo);  // fail fast on bad grammar
+  }
   return o;
 }
 
@@ -198,6 +234,9 @@ Options parse_args(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   using namespace xg;
+  // Outlives the try so a structured failure mid-run can still append the
+  // service.aborted terminal record — post-mortems always have data.
+  std::unique_ptr<telemetry::EventLogWriter> events;
   try {
     const Options opt = parse_args(argc, argv);
 
@@ -218,6 +257,12 @@ int main(int argc, char** argv) {
     cfg.preempt_quantum = opt.quantum;
     cfg.max_recoveries = opt.max_recoveries;
     cfg.report_dir = opt.report_dir;
+    if (!opt.events_out.empty()) {
+      events = std::make_unique<telemetry::EventLogWriter>(opt.events_out);
+      cfg.events = events.get();
+      cfg.metrics_every_s = opt.metrics_every;
+      cfg.slo = opt.slo;
+    }
 
     campaign::CampaignService service(cfg);
     const campaign::ServiceResult res = service.run(stream);
@@ -231,6 +276,10 @@ int main(int argc, char** argv) {
       telemetry::write_json_file(opt.metrics_out, res.metrics);
       std::printf("metrics written to %s\n", opt.metrics_out.c_str());
     }
+    if (events != nullptr) {
+      std::printf("event log written to %s (%ld records)\n",
+                  events->path().c_str(), events->records_written());
+    }
     if (res.failed > 0) {
       std::fprintf(stderr, "xgyro_serve: %d admitted request(s) failed\n",
                    res.failed);
@@ -238,6 +287,7 @@ int main(int argc, char** argv) {
     }
     return 0;
   } catch (const Error& e) {
+    if (events != nullptr) events->abort(e.what());
     std::fprintf(stderr, "xgyro_serve: %s\n", e.what());
     return 1;
   }

@@ -6,8 +6,8 @@
 #   1. Flag parity: every --flag printed by `xgyro_cli --help` must appear
 #      in the guide's marked reference block, and every --flag in the block
 #      must exist in --help (same for xgyro_report's usage text,
-#      xgyro_bench_check --help, xgyro_colltune --help, and
-#      xgyro_serve --help).
+#      xgyro_bench_check --help, xgyro_colltune --help, xgyro_serve --help,
+#      and xgyro_servemon --help).
 #   2. Every `sh`-tagged fenced command block in the guide parses
 #      (bash -n) and — unless its first line marks it as a build step —
 #      executes successfully, in order, in a scratch directory with the
@@ -15,7 +15,8 @@
 #   3. CLI error paths: duplicate flags, malformed numbers, and conflicting
 #      combinations exit 1 with a single-line diagnostic; --help exits 0;
 #      xgyro_serve additionally exits 2 (not 1) when admitted requests
-#      fail, per its documented 0/1/2 convention.
+#      fail, per its documented 0/1/2 convention, and xgyro_servemon
+#      exits 1 on missing/corrupt logs and bad SLO grammar.
 #
 # Registered with ctest as `docs_consistency_check` and run as gate 5 of
 # ci.sh. Run from the repository root.
@@ -28,7 +29,9 @@ REPORT="$BUILD_DIR/examples/xgyro_report"
 BENCH_CHECK="$BUILD_DIR/examples/xgyro_bench_check"
 COLLTUNE="$BUILD_DIR/examples/xgyro_colltune"
 SERVE="$BUILD_DIR/examples/xgyro_serve"
-for f in "$GUIDE" "$CLI" "$REPORT" "$BENCH_CHECK" "$COLLTUNE" "$SERVE"; do
+SERVEMON="$BUILD_DIR/examples/xgyro_servemon"
+for f in "$GUIDE" "$CLI" "$REPORT" "$BENCH_CHECK" "$COLLTUNE" "$SERVE" \
+         "$SERVEMON"; do
   if [[ ! -e "$f" ]]; then
     echo "docs_check: missing $f" >&2
     exit 1
@@ -92,6 +95,16 @@ if ! diff -u "$WORK/serve.help.flags" "$WORK/serve.guide.flags" \
     > "$WORK/serve.diff"; then
   cat "$WORK/serve.diff" >&2
   fail "xgyro_serve --help and $GUIDE disagree on the flag set"
+fi
+
+"$SERVEMON" --help > "$WORK/servemon.help"
+extract_flags < "$WORK/servemon.help" > "$WORK/servemon.help.flags"
+marker_block xgyro_servemon-flags | extract_flags \
+  > "$WORK/servemon.guide.flags"
+if ! diff -u "$WORK/servemon.help.flags" "$WORK/servemon.guide.flags" \
+    > "$WORK/servemon.diff"; then
+  cat "$WORK/servemon.diff" >&2
+  fail "xgyro_servemon --help and $GUIDE disagree on the flag set"
 fi
 
 # --- 2. every sh fence parses; non-build fences execute -------------------
@@ -187,4 +200,35 @@ rc=0
 grep -q "^xgyro_serve: " "$WORK/serve2.err" \
   || fail "xgyro_serve failed-requests path: diagnostic not prefixed"
 
-echo "docs_check: $N_FENCES guide fences and all five flag references verified"
+# Observability flags need the event sink; SLO/metrics grammar fails fast.
+expect_serve_error "slo w/o events"       --gen "n=2" --slo "wait=10"
+expect_serve_error "metrics w/o events"   --gen "n=2" --metrics-every 1
+expect_serve_error "bad slo grammar"      --gen "n=2" \
+  --events-out "$WORK/ev.jsonl" --slo "banana=1"
+expect_serve_error "negative metrics"     --gen "n=2" \
+  --events-out "$WORK/ev.jsonl" --metrics-every -1
+
+expect_servemon_error() {  # $1 = description, rest = args; wants exit 1 + one line
+  local desc=$1; shift
+  local rc=0
+  "$SERVEMON" "$@" > "$WORK/mon_err.out" 2> "$WORK/mon_err.err" || rc=$?
+  [[ "$rc" -eq 1 ]] || fail "xgyro_servemon $desc: expected exit 1, got $rc"
+  [[ "$(wc -l < "$WORK/mon_err.err")" -eq 1 ]] \
+    || { cat "$WORK/mon_err.err" >&2
+         fail "xgyro_servemon $desc: expected a single-line diagnostic"; }
+  grep -q "^xgyro_servemon: " "$WORK/mon_err.err" \
+    || fail "xgyro_servemon $desc: diagnostic not prefixed"
+}
+
+printf '{"not":"an event log"}\n' > "$WORK/bad.events.jsonl"
+expect_servemon_error "missing --events"  --summary
+expect_servemon_error "duplicate flag"    --events a --events b
+expect_servemon_error "unreadable log"    --events "$WORK/nope.jsonl"
+expect_servemon_error "invalid log"       --events "$WORK/bad.events.jsonl"
+expect_servemon_error "bad window"        --events a --window -1
+expect_servemon_error "bad slo grammar"   --events a --slo "wait=-5"
+expect_servemon_error "unknown flag"      --events a --bogus
+
+"$SERVEMON" --help > /dev/null || fail "xgyro_servemon --help must exit 0"
+
+echo "docs_check: $N_FENCES guide fences and all six flag references verified"

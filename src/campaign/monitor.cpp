@@ -1,0 +1,352 @@
+#include "campaign/monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/strings.hpp"
+
+namespace xg::campaign {
+
+using telemetry::Json;
+
+// ---------------------------------------------------------------------------
+// SloSpec
+
+SloSpec SloSpec::parse(const std::string& spec) {
+  SloSpec out;
+  for (const auto& raw : split(spec, ';')) {
+    const std::string_view item = trim(raw);
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      throw InputError(strprintf("slo: expected key=value, got '%.*s'",
+                                 int(item.size()), item.data()));
+    }
+    const std::string key = to_lower(trim(item.substr(0, eq)));
+    const std::string_view value = trim(item.substr(eq + 1));
+    if (key == "wait") {
+      out.wait_s = parse_double(value, "slo:wait");
+      if (out.wait_s <= 0.0) throw InputError("slo: wait must be > 0");
+    } else if (key == "target") {
+      out.target = parse_double(value, "slo:target");
+      if (out.target <= 0.0 || out.target >= 1.0) {
+        throw InputError("slo: target must be in (0,1)");
+      }
+    } else if (key == "window") {
+      out.window_s = parse_double(value, "slo:window");
+      if (out.window_s < 0.0) throw InputError("slo: window must be >= 0");
+    } else if (key == "burn") {
+      out.burn_alert = parse_double(value, "slo:burn");
+      if (out.burn_alert <= 0.0) throw InputError("slo: burn must be > 0");
+    } else {
+      throw InputError(strprintf("slo: unknown component '%s'", key.c_str()));
+    }
+  }
+  if (!out.enabled()) {
+    throw InputError("slo: 'wait=SECONDS' is required");
+  }
+  return out;
+}
+
+Json SloSpec::to_json() const {
+  return Json::object()
+      .set("wait_s", wait_s)
+      .set("target", target)
+      .set("window_s", window_s)
+      .set("burn_alert", burn_alert);
+}
+
+Json wait_calibration_json(const perfmodel::WaitCalibration& c) {
+  return Json::object()
+      .set("n", c.n)
+      .set("mae_s", c.mae_s)
+      .set("bias_s", c.bias_s)
+      .set("mean_realized_s", c.mean_realized_s)
+      .set("mean_predicted_s", c.mean_predicted_s)
+      .set("ratio", c.ratio)
+      .set("coverage", c.coverage)
+      .set("tolerance", c.tolerance)
+      .set("min_coverage", c.min_coverage)
+      .set("significant", c.significant)
+      .set("pass", c.pass);
+}
+
+// ---------------------------------------------------------------------------
+// ServiceMonitor
+
+ServiceMonitor::ServiceMonitor(double window_s, SloSpec slo,
+                               int sketch_compression)
+    : window_s_(window_s), slo_(slo), compression_(sketch_compression) {
+  XG_REQUIRE(window_s >= 0.0, "monitor: window must be >= 0");
+}
+
+void ServiceMonitor::trim(double t) {
+  // The deque serves two consumers with possibly different horizons; keep
+  // enough history for the longer one. Either horizon at 0 means that
+  // consumer wants the whole run, so nothing can be dropped.
+  if (window_s_ <= 0.0 || (slo_.enabled() && slo_.window_s <= 0.0)) return;
+  const double horizon = std::max(window_s_, slo_.enabled() ? slo_.window_s
+                                                            : 0.0);
+  while (!window_.empty() && window_.front().t < t - horizon) {
+    window_.pop_front();
+  }
+}
+
+double ServiceMonitor::slo_compliance() const {
+  if (slo_.window_s <= 0.0) {
+    return placed_ > 0 ? static_cast<double>(slo_met_) / placed_ : 1.0;
+  }
+  int n = 0, met = 0;
+  for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
+    if (it->t < now_ - slo_.window_s) break;
+    ++n;
+    if (it->wait_s <= slo_.wait_s) ++met;
+  }
+  return n > 0 ? static_cast<double>(met) / n : 1.0;
+}
+
+std::vector<Json> ServiceMonitor::consume(const Json& record) {
+  std::vector<Json> alerts;
+  const Json* type_field = record.find("type");
+  if (type_field == nullptr) return alerts;
+  const std::string& type = type_field->as_string();
+  if (const Json* t = record.find("t"); t != nullptr) {
+    now_ = std::max(now_, t->as_double());
+  }
+  if (type.rfind("request.", 0) != 0) return alerts;
+
+  const int id = static_cast<int>(record.at("request").as_int());
+  if (type == "request.submitted") {
+    const std::string& tenant = record.at("tenant").as_string();
+    auto [it, fresh] =
+        tenants_.try_emplace(tenant,
+                             Tenant{telemetry::QuantileSketch(compression_)});
+    (void)fresh;
+    ++it->second.submitted;
+    tenant_of_[id] = tenant;
+  } else if (type == "request.admitted") {
+    const auto tit = tenant_of_.find(id);
+    if (tit != tenant_of_.end()) {
+      ++tenants_[tit->second].admitted;
+      queued_[id] = {tit->second, now_};
+    }
+  } else if (type == "request.rejected") {
+    const auto tit = tenant_of_.find(id);
+    if (tit != tenant_of_.end()) ++tenants_[tit->second].rejected;
+  } else if (type == "request.placed") {
+    const double wait = record.at("wait_s").as_double();
+    double pred = 0.0;
+    if (const Json* p = record.find("predicted_wait_s"); p != nullptr) {
+      pred = p->as_double();
+    }
+    const auto tit = tenant_of_.find(id);
+    if (tit != tenant_of_.end()) tenants_[tit->second].waits.observe(wait);
+    queued_.erase(id);
+    ++placed_;
+    if (slo_.enabled() && wait <= slo_.wait_s) ++slo_met_;
+    med_waits_.insert(
+        std::lower_bound(med_waits_.begin(), med_waits_.end(), wait), wait);
+    window_.push_back({now_, wait, pred});
+    trim(now_);
+    pred_.push_back(pred);
+    real_.push_back(wait);
+
+    if (slo_.enabled()) {
+      const double compliance = slo_compliance();
+      const double burn = (1.0 - compliance) / (1.0 - slo_.target);
+      // Edge-triggered with a small warm-up so the first late placement
+      // of a run does not fire on its own.
+      if (placed_ >= 4 && burn >= slo_.burn_alert) {
+        if (!alerting_) {
+          alerting_ = true;
+          ++alerts_;
+          alerts.push_back(Json::object()
+                               .set("compliance", compliance)
+                               .set("burn_rate", burn)
+                               .set("slo", slo_.to_json()));
+        }
+      } else {
+        alerting_ = false;
+      }
+    }
+  } else if (type == "request.preempted") {
+    ++preemptions_;
+  } else if (type == "request.resumed") {
+    ++resumes_;
+  } else if (type == "request.completed" || type == "request.failed") {
+    queued_.erase(id);  // failed-before-placement requests leave the queue
+    const auto tit = tenant_of_.find(id);
+    if (tit != tenant_of_.end()) {
+      Tenant& tn = tenants_[tit->second];
+      if (type == "request.completed") {
+        ++tn.completed;
+      } else {
+        ++tn.failed;
+      }
+    }
+  }
+
+  // Starvation tracking: age of the oldest still-queued request against
+  // the median wait of everyone already placed. The queue is bounded by
+  // max_queue_depth, so this scan is cheap.
+  if (!queued_.empty()) {
+    double oldest = 0.0;
+    for (const auto& [qid, entry] : queued_) {
+      oldest = std::max(oldest, now_ - entry.second);
+    }
+    oldest_age_peak_s_ = std::max(oldest_age_peak_s_, oldest);
+    if (!med_waits_.empty()) {
+      const double median = med_waits_[(med_waits_.size() - 1) / 2];
+      if (median > 0.0) {
+        starvation_peak_ = std::max(starvation_peak_, oldest / median);
+      }
+    }
+  }
+  return alerts;
+}
+
+double ServiceMonitor::jain_fairness() const {
+  double sum = 0.0, sum_sq = 0.0;
+  int n = 0;
+  for (const auto& [name, tn] : tenants_) {
+    (void)name;
+    const double x = tn.completed;
+    sum += x;
+    sum_sq += x * x;
+    ++n;
+  }
+  if (n == 0 || sum <= 0.0) return 1.0;
+  return sum * sum / (n * sum_sq);
+}
+
+perfmodel::WaitCalibration ServiceMonitor::calibration() const {
+  return perfmodel::calibrate_queue_wait(pred_, real_);
+}
+
+const telemetry::QuantileSketch* ServiceMonitor::tenant_sketch(
+    const std::string& tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it != tenants_.end() ? &it->second.waits : nullptr;
+}
+
+telemetry::QuantileSketch ServiceMonitor::overall_sketch() const {
+  telemetry::QuantileSketch all(compression_);
+  for (const auto& [name, tn] : tenants_) {
+    (void)name;
+    all.merge(tn.waits);
+  }
+  return all;
+}
+
+namespace {
+
+Json sketch_stats(const telemetry::QuantileSketch& s) {
+  return Json::object()
+      .set("n", static_cast<std::int64_t>(s.count()))
+      .set("mean", s.mean())
+      .set("p50", s.quantile(0.50))
+      .set("p95", s.quantile(0.95))
+      .set("p99", s.quantile(0.99))
+      .set("max", s.max());
+}
+
+}  // namespace
+
+Json ServiceMonitor::snapshot() {
+  trim(now_);
+  double oldest = 0.0;
+  for (const auto& [qid, entry] : queued_) {
+    (void)qid;
+    oldest = std::max(oldest, now_ - entry.second);
+  }
+  const double median =
+      med_waits_.empty() ? 0.0 : med_waits_[(med_waits_.size() - 1) / 2];
+
+  Json snap = Json::object();
+  snap.set("queued", static_cast<std::int64_t>(queued_.size()))
+      .set("oldest_wait_s", oldest)
+      .set("starvation_ratio", median > 0.0 ? oldest / median : 0.0)
+      .set("fairness_jain", jain_fairness())
+      .set("placed", placed_)
+      .set("preemptions", preemptions_)
+      .set("resumes", resumes_);
+
+  Json tenants = Json::object();
+  for (const auto& [name, tn] : tenants_) {
+    tenants.set(name, sketch_stats(tn.waits)
+                          .set("submitted", tn.submitted)
+                          .set("completed", tn.completed)
+                          .set("failed", tn.failed)
+                          .set("rejected", tn.rejected));
+  }
+  snap.set("tenants", std::move(tenants));
+
+  // Windowed view: placements inside the rolling horizon only.
+  std::vector<double> wpred, wreal;
+  double wmax = 0.0, wsum = 0.0;
+  for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
+    if (window_s_ > 0.0 && it->t < now_ - window_s_) break;
+    wpred.push_back(it->predicted_s);
+    wreal.push_back(it->wait_s);
+    wmax = std::max(wmax, it->wait_s);
+    wsum += it->wait_s;
+  }
+  Json win = Json::object();
+  win.set("horizon_s", window_s_)
+      .set("n", static_cast<std::int64_t>(wreal.size()))
+      .set("wait_mean_s", wreal.empty() ? 0.0 : wsum / double(wreal.size()))
+      .set("wait_max_s", wmax);
+  snap.set("window", std::move(win));
+  snap.set("calibration", wait_calibration_json(
+                              perfmodel::calibrate_queue_wait(wpred, wreal)));
+
+  if (slo_.enabled()) {
+    const double compliance = slo_compliance();
+    snap.set("slo", slo_.to_json()
+                        .set("compliance", compliance)
+                        .set("burn_rate",
+                             (1.0 - compliance) / (1.0 - slo_.target))
+                        .set("alerting", alerting_)
+                        .set("alerts", alerts_));
+  }
+  return snap;
+}
+
+Json ServiceMonitor::report() const {
+  Json doc = Json::object();
+  doc.set("fairness_jain", jain_fairness())
+      .set("placed", placed_)
+      .set("preemptions", preemptions_)
+      .set("resumes", resumes_)
+      .set("starvation",
+           Json::object()
+               .set("peak_ratio", starvation_peak_)
+               .set("peak_age_s", oldest_age_peak_s_));
+  Json tenants = Json::object();
+  for (const auto& [name, tn] : tenants_) {
+    tenants.set(name, sketch_stats(tn.waits)
+                          .set("submitted", tn.submitted)
+                          .set("completed", tn.completed)
+                          .set("failed", tn.failed)
+                          .set("rejected", tn.rejected)
+                          .set("sketch_centroids", tn.waits.centroids()));
+  }
+  doc.set("tenants", std::move(tenants));
+  doc.set("overall", sketch_stats(overall_sketch()));
+  doc.set("calibration", wait_calibration_json(calibration()));
+  if (slo_.enabled()) {
+    const double compliance =
+        placed_ > 0 ? static_cast<double>(slo_met_) / placed_ : 1.0;
+    doc.set("slo", slo_.to_json()
+                       .set("met", slo_met_)
+                       .set("compliance", compliance)
+                       .set("burn_rate",
+                            (1.0 - compliance) / (1.0 - slo_.target))
+                       .set("alerts", alerts_));
+  }
+  return doc;
+}
+
+}  // namespace xg::campaign

@@ -1,0 +1,135 @@
+// Rolling-window service monitors computed online from the event stream.
+//
+// A ServiceMonitor is a pure function of the event records fed to it:
+// the live engine and an offline replay of the same log reach identical
+// monitor state, which is what lets xgyro_servemon reproduce the numbers a
+// running service reported. It tracks, per tenant, queue-wait
+// distributions in mergeable quantile sketches (exact end-of-run
+// percentiles live in the service.end record for cross-checking), plus:
+//
+//   starvation  — age of the oldest still-queued request vs. the median
+//                 wait of the already-placed cohort;
+//   fairness    — Jain's index over per-tenant completed counts;
+//   SLO         — rolling compliance of "wait ≤ threshold" against a
+//                 target, with edge-triggered burn-rate alerts emitted
+//                 back into the event log;
+//   calibration — the admission-time queue-wait prediction replayed
+//                 against realized waits (perfmodel::calibrate_queue_wait,
+//                 gated like the PR-5 divergence gate).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "perfmodel/perfmodel.hpp"
+#include "telemetry/events.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/sketch.hpp"
+
+namespace xg::campaign {
+
+/// One service-level objective on queue wait. Spec grammar (';'-separated):
+///
+///   wait=S     the objective: queue wait ≤ S virtual seconds (required)
+///   target=F   fraction of placements that must meet it (default 0.95)
+///   window=S   rolling compliance window in virtual seconds
+///              (default 0 = whole run so far)
+///   burn=R     alert when burn rate ≥ R (default 2.0); burn rate is
+///              (1 - compliance) / (1 - target), so 1.0 = exactly on
+///              budget, 2.0 = burning error budget twice as fast
+struct SloSpec {
+  double wait_s = 0.0;
+  double target = 0.95;
+  double window_s = 0.0;
+  double burn_alert = 2.0;
+
+  [[nodiscard]] bool enabled() const { return wait_s > 0.0; }
+  static SloSpec parse(const std::string& spec);
+  [[nodiscard]] telemetry::Json to_json() const;
+};
+
+class ServiceMonitor {
+ public:
+  /// `window_s` bounds the rolling placement window used by the snapshot
+  /// calibration and SLO compliance when the SLO has no window of its own
+  /// (0 = unbounded: windows cover the whole run).
+  explicit ServiceMonitor(double window_s = 0.0, SloSpec slo = {},
+                          int sketch_compression = 128);
+
+  /// Feed one event record (live or replayed — monitor.snapshot and
+  /// slo.alert records are ignored, so replaying a log that already
+  /// contains them does not double count). Returns the payloads of any
+  /// slo.alert records this event triggered; the caller wraps them in
+  /// make_event and writes them to the sink.
+  std::vector<telemetry::Json> consume(const telemetry::Json& record);
+
+  /// Rolling-window snapshot payload for a monitor.snapshot record at the
+  /// current virtual time: queued/oldest-age/starvation, per-tenant sketch
+  /// percentiles, fairness, windowed calibration, SLO compliance.
+  [[nodiscard]] telemetry::Json snapshot();
+
+  /// End-of-run report: cumulative sketches, fairness, starvation peak,
+  /// calibration verdict, SLO summary. This is what servemon renders.
+  [[nodiscard]] telemetry::Json report() const;
+
+  [[nodiscard]] double jain_fairness() const;
+  [[nodiscard]] perfmodel::WaitCalibration calibration() const;
+  [[nodiscard]] const telemetry::QuantileSketch* tenant_sketch(
+      const std::string& tenant) const;
+  /// All per-tenant sketches merged (demonstrates mergeability; equals the
+  /// sketch of the full placement stream up to compression).
+  [[nodiscard]] telemetry::QuantileSketch overall_sketch() const;
+  [[nodiscard]] int alerts() const { return alerts_; }
+  [[nodiscard]] int placed() const { return placed_; }
+  [[nodiscard]] double now() const { return now_; }
+
+ private:
+  struct Tenant {
+    telemetry::QuantileSketch waits;
+    int submitted = 0;
+    int admitted = 0;
+    int rejected = 0;
+    int completed = 0;
+    int failed = 0;
+  };
+
+  struct Placement {
+    double t = 0.0;
+    double wait_s = 0.0;
+    double predicted_s = 0.0;
+  };
+
+  void trim(double t);
+  [[nodiscard]] double slo_compliance() const;
+
+  double window_s_;
+  SloSpec slo_;
+  int compression_;
+  double now_ = 0.0;
+  std::map<std::string, Tenant> tenants_;
+  std::map<int, std::string> tenant_of_;
+  std::map<int, std::pair<std::string, double>> queued_;  ///< id → (tenant, t)
+  std::deque<Placement> window_;   ///< placements inside the rolling window
+  std::vector<double> med_waits_;  ///< insert-sorted waits (cohort median)
+  double starvation_peak_ = 0.0;   ///< max oldest-age/median ratio seen
+  double oldest_age_peak_s_ = 0.0;
+  int placed_ = 0;
+  int slo_met_ = 0;     ///< cumulative placements meeting the SLO
+  int alerts_ = 0;
+  bool alerting_ = false;
+  int preemptions_ = 0;
+  int resumes_ = 0;
+  // Cumulative (predicted, realized) pairs for the end-of-run calibration
+  // verdict; the rolling window_ drives the per-snapshot one.
+  std::vector<double> pred_;
+  std::vector<double> real_;
+};
+
+/// JSON rendering of a calibration verdict (shared by ServiceResult and
+/// monitor snapshots).
+[[nodiscard]] telemetry::Json wait_calibration_json(
+    const perfmodel::WaitCalibration& c);
+
+}  // namespace xg::campaign

@@ -4,10 +4,13 @@
 #include <cmath>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <queue>
 #include <utility>
 
+#include "campaign/monitor.hpp"
 #include "perfmodel/perfmodel.hpp"
+#include "telemetry/events.hpp"
 #include "telemetry/report.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
@@ -141,7 +144,15 @@ double exact_quantile(const std::vector<double>& sorted, double q) {
   return sorted[idx];
 }
 
-enum class EvKind { kArrival = 0, kWindowClose = 1, kSliceDone = 2 };
+enum class EvKind {
+  kArrival = 0,
+  kWindowClose = 1,
+  kSliceDone = 2,
+  // Observability tick: reads monitor state and emits a monitor.snapshot
+  // record. Never mutates scheduling state, so enabling it leaves the
+  // service's virtual-time results bit-identical.
+  kMetricsTick = 3,
+};
 
 struct Event {
   double t = 0.0;
@@ -162,6 +173,7 @@ struct OpenBatch {
   gyro::Input input;  ///< representative member (first request)
   std::vector<int> request_ids;
   bool closed = false;
+  double close_s = 0.0;  ///< scheduled window close (event-log annotation)
 };
 
 struct JobState {
@@ -174,6 +186,7 @@ struct JobState {
   int recoveries_left = 0;
   double queue_since = 0.0;  ///< last time the job (re)entered the ready set
   bool done = false;
+  bool was_preempted = false;  ///< next start_slice is a resume
 
   // Result of the slice in flight, applied when its kSliceDone event fires.
   bool slice_ok = false;
@@ -207,8 +220,36 @@ struct Engine {
   double wait_abs_err_sum = 0.0;
   int wait_err_n = 0;
 
+  // Observability plane. All of it is inert when cfg.events is null: no
+  // extra DES events, no per-transition work — the virtual-time results
+  // are bit-identical either way (the bench's identity gate pins this).
+  telemetry::EventSink* sink = nullptr;
+  std::unique_ptr<ServiceMonitor> monitor;
+  long ev_seq = 0;
+  std::map<std::string, std::vector<double>> tenant_waits;  ///< insert-sorted
+  std::vector<double> pred_waits, real_waits;
+
   Engine(const ServiceConfig& c, const std::vector<Request>& r)
       : cfg(c), reqs(r) {}
+
+  [[nodiscard]] bool observing() const { return sink != nullptr; }
+
+  [[nodiscard]] telemetry::Json new_event(const char* type) {
+    return telemetry::make_event(ev_seq++, now, type);
+  }
+
+  /// Write one record and run it through the monitor; any SLO alerts the
+  /// record triggers are appended to the log (and fed back through the
+  /// monitor, which ignores them — no recursion).
+  void emit(telemetry::Json rec) {
+    sink->write(rec);
+    for (auto& alert : monitor->consume(rec)) {
+      telemetry::Json al = new_event("slo.alert");
+      for (const auto& [key, value] : alert.items()) al.set(key, value);
+      sink->write(al);
+      monitor->consume(al);
+    }
+  }
 
   [[nodiscard]] bool sliced() const { return !cfg.checkpoint_root.empty(); }
 
@@ -248,14 +289,40 @@ struct Engine {
     return Admission::kAccepted;
   }
 
+  void emit_batched(int id, int bi) {
+    const OpenBatch& ob = batches[static_cast<size_t>(bi)];
+    emit(new_event("request.batched")
+             .set("request", id)
+             .set("batch", bi)
+             .set("signature", strprintf("%016llx",
+                                         static_cast<unsigned long long>(
+                                             ob.fp)))
+             .set("window_close_s", ob.close_s)
+             .set("peers", static_cast<std::int64_t>(ob.request_ids.size())));
+  }
+
   void on_arrival(int id) {
     const Request& rq = reqs[id];
     RequestOutcome& oc = outcomes[static_cast<size_t>(id)];
+    if (observing()) {
+      emit(new_event("request.submitted")
+               .set("request", id)
+               .set("tenant", rq.tenant)
+               .set("priority", rq.priority)
+               .set("signature",
+                    strprintf("%016llx", static_cast<unsigned long long>(
+                                             oc.cmat_fingerprint))));
+    }
     const Admission a = admit(rq);
     oc.admission = a;
     metrics.add_counter(std::string("service.requests.") + admission_name(a));
     if (a != Admission::kAccepted) {
       metrics.add_counter("tenant." + rq.tenant + ".rejected");
+      if (observing()) {
+        emit(new_event("request.rejected")
+                 .set("request", id)
+                 .set("reason", admission_name(a)));
+      }
       return;
     }
     metrics.add_counter("tenant." + rq.tenant + ".admitted");
@@ -263,12 +330,19 @@ struct Engine {
     ++tenant_inflight[rq.tenant];
     oc.predicted_wait_s = perfmodel::estimate_queue_wait(
         backlog_node_seconds(), cfg.cluster.n_nodes);
+    if (observing()) {
+      emit(new_event("request.admitted")
+               .set("request", id)
+               .set("queue_depth", pending_requests)
+               .set("predicted_wait_s", oc.predicted_wait_s));
+    }
 
     if (cfg.batching && cfg.batching_window_s > 0.0 && cfg.max_batch > 1) {
       for (size_t b = 0; b < batches.size(); ++b) {
         auto& ob = batches[b];
         if (ob.closed || ob.fp != oc.cmat_fingerprint) continue;
         ob.request_ids.push_back(id);
+        if (observing()) emit_batched(id, static_cast<int>(b));
         if (static_cast<int>(ob.request_ids.size()) >= cfg.max_batch) {
           close_batch(static_cast<int>(b));
         }
@@ -279,9 +353,13 @@ struct Engine {
     ob.fp = oc.cmat_fingerprint;
     ob.input = rq.input;
     ob.request_ids.push_back(id);
+    const bool windowed =
+        cfg.batching && cfg.batching_window_s > 0.0 && cfg.max_batch > 1;
+    ob.close_s = windowed ? now + cfg.batching_window_s : now;
     batches.push_back(std::move(ob));
     const int bi = static_cast<int>(batches.size()) - 1;
-    if (cfg.batching && cfg.batching_window_s > 0.0 && cfg.max_batch > 1) {
+    if (observing()) emit_batched(id, bi);
+    if (windowed) {
       schedule(now + cfg.batching_window_s, EvKind::kWindowClose, bi);
     } else {
       close_batch(bi);
@@ -433,6 +511,11 @@ struct Engine {
         --pending_requests;
         --tenant_inflight[oc.tenant];
         metrics.add_counter("tenant." + oc.tenant + ".failed");
+        if (observing()) {
+          emit(new_event("request.failed")
+                   .set("request", id)
+                   .set("reason", "batch unplaceable on surviving nodes"));
+        }
       }
       metrics.add_counter("service.batches_unplaceable");
       return;
@@ -542,6 +625,33 @@ struct Engine {
             .observe(wait);
         wait_abs_err_sum += std::abs(wait - oc.predicted_wait_s);
         ++wait_err_n;
+        // Incremental percentile state: waits land insert-sorted, so both
+        // periodic snapshots and finalize() read order statistics without
+        // ever re-sorting the stream.
+        auto& tw = tenant_waits[oc.tenant];
+        tw.insert(std::lower_bound(tw.begin(), tw.end(), wait), wait);
+        pred_waits.push_back(oc.predicted_wait_s);
+        real_waits.push_back(wait);
+        if (observing()) {
+          emit(new_event("request.placed")
+                   .set("request", id)
+                   .set("job", js.rec.id)
+                   .set("nodes", js.machine.n_nodes)
+                   .set("k", js.rec.k)
+                   .set("ranks_per_sim", js.rec.ranks_per_sim)
+                   .set("ready_s", js.rec.ready_s)
+                   .set("wait_s", wait)
+                   .set("predicted_wait_s", oc.predicted_wait_s));
+        }
+      }
+    } else if (js.was_preempted) {
+      js.was_preempted = false;
+      if (observing()) {
+        for (const int id : js.rec.request_ids) {
+          emit(new_event("request.resumed")
+                   .set("request", id)
+                   .set("job", js.rec.id));
+        }
       }
     }
     js.slice_target = sliced()
@@ -599,6 +709,19 @@ struct Engine {
         metrics.add_counter("tenant." + oc.tenant + ".failed");
       }
       --tenant_inflight[oc.tenant];
+      if (observing()) {
+        if (completed) {
+          emit(new_event("request.completed")
+                   .set("request", id)
+                   .set("job", js.rec.id)
+                   .set("turnaround_s", now - oc.arrival_s));
+        } else {
+          emit(new_event("request.failed")
+                   .set("request", id)
+                   .set("job", js.rec.id)
+                   .set("reason", js.rec.failure));
+        }
+      }
     }
   }
 
@@ -700,6 +823,15 @@ struct Engine {
       metrics.add_counter("service.preemptions");
       free_nodes += js.machine.n_nodes;
       js.queue_since = now;
+      js.was_preempted = true;
+      if (observing()) {
+        for (const int id : js.rec.request_ids) {
+          emit(new_event("request.preempted")
+                   .set("request", id)
+                   .set("job", js.rec.id)
+                   .set("intervals_done", js.intervals_done));
+        }
+      }
       ready.push_back(j);
       try_schedule();
     } else {
@@ -723,6 +855,17 @@ struct Engine {
     }
     if (!cfg.report_dir.empty()) {
       std::filesystem::create_directories(cfg.report_dir);
+    }
+    sink = cfg.events;
+    if (observing()) {
+      SloSpec slo;
+      if (!cfg.slo.empty()) slo = SloSpec::parse(cfg.slo);
+      monitor = std::make_unique<ServiceMonitor>(cfg.monitor_window_s, slo);
+    } else {
+      XG_REQUIRE(cfg.slo.empty(),
+                 "service: slo monitoring requires an event sink");
+      XG_REQUIRE(cfg.metrics_every_s <= 0.0,
+                 "service: metrics_every_s requires an event sink");
     }
 
     free_nodes = cluster_nodes = cfg.cluster.n_nodes;
@@ -749,16 +892,62 @@ struct Engine {
     for (const int id : order) {
       schedule(reqs[static_cast<size_t>(id)].arrival_s, EvKind::kArrival, id);
     }
+    if (observing()) {
+      using telemetry::Json;
+      emit(new_event("service.start")
+               .set("schema", telemetry::kEventSchema)
+               .set("schema_version", telemetry::kEventSchemaVersion)
+               .set("cluster", Json::object()
+                                   .set("nodes", cfg.cluster.n_nodes)
+                                   .set("ranks_per_node",
+                                        cfg.cluster.ranks_per_node))
+               .set("config",
+                    Json::object()
+                        .set("max_queue_depth", cfg.max_queue_depth)
+                        .set("tenant_quota", cfg.tenant_quota)
+                        .set("batching_window_s", cfg.batching_window_s)
+                        .set("max_batch", cfg.max_batch)
+                        .set("batching", cfg.batching)
+                        .set("nodes_per_job", cfg.nodes_per_job)
+                        .set("n_report_intervals", cfg.n_report_intervals)
+                        .set("preempt_quantum", cfg.preempt_quantum)
+                        .set("metrics_every_s", cfg.metrics_every_s)
+                        .set("monitor_window_s", cfg.monitor_window_s)
+                        .set("slo", cfg.slo))
+               .set("n_requests", static_cast<std::int64_t>(reqs.size())));
+      if (cfg.metrics_every_s > 0.0) {
+        schedule(cfg.metrics_every_s, EvKind::kMetricsTick, -1);
+      }
+    }
 
     while (!events.empty()) {
       const Event ev = events.top();
       events.pop();
+      if (ev.kind == EvKind::kMetricsTick) {
+        // Pure observer: snapshot + reschedule while the service still has
+        // real events in flight. A tick that outlives the last real event
+        // is dropped without touching the clock, so makespan (and every
+        // virtual-time result) is bit-identical with observability on or
+        // off.
+        if (!events.empty()) {
+          now = ev.t;
+          telemetry::Json snap = new_event("monitor.snapshot");
+          const telemetry::Json payload = monitor->snapshot();
+          for (const auto& [key, value] : payload.items()) {
+            snap.set(key, value);
+          }
+          emit(std::move(snap));
+          schedule(now + cfg.metrics_every_s, EvKind::kMetricsTick, -1);
+        }
+        continue;
+      }
       now = ev.t;
       makespan = std::max(makespan, now);
       switch (ev.kind) {
         case EvKind::kArrival: on_arrival(ev.idx); break;
         case EvKind::kWindowClose: close_batch(ev.idx); break;
         case EvKind::kSliceDone: on_slice_done(ev.idx); break;
+        case EvKind::kMetricsTick: break;  // handled above
       }
     }
     XG_REQUIRE(ready.empty() && pending_requests == 0,
@@ -767,15 +956,28 @@ struct Engine {
     return finalize();
   }
 
+  static QueueWaitStats stats_of_sorted(const std::vector<double>& sorted) {
+    QueueWaitStats st;
+    st.n = static_cast<int>(sorted.size());
+    if (!sorted.empty()) {
+      st.p50 = exact_quantile(sorted, 0.50);
+      st.p95 = exact_quantile(sorted, 0.95);
+      st.p99 = exact_quantile(sorted, 0.99);
+      st.max = sorted.back();
+      double sum = 0.0;
+      for (const double w : sorted) sum += w;
+      st.mean = sum / double(sorted.size());
+    }
+    return st;
+  }
+
   ServiceResult finalize() {
     ServiceResult res;
-    std::vector<double> waits;
     for (auto& oc : outcomes) {
       if (oc.admission != Admission::kAccepted) {
         ++res.rejected;
       } else {
         ++res.admitted;
-        if (oc.start_s >= 0.0) waits.push_back(oc.wait_s());
         if (oc.completed) {
           ++res.completed;
         } else {
@@ -783,17 +985,19 @@ struct Engine {
         }
       }
     }
-    std::sort(waits.begin(), waits.end());
-    res.queue_wait.n = static_cast<int>(waits.size());
-    if (!waits.empty()) {
-      res.queue_wait.p50 = exact_quantile(waits, 0.50);
-      res.queue_wait.p95 = exact_quantile(waits, 0.95);
-      res.queue_wait.p99 = exact_quantile(waits, 0.99);
-      res.queue_wait.max = waits.back();
-      double sum = 0.0;
-      for (const double w : waits) sum += w;
-      res.queue_wait.mean = sum / double(waits.size());
+    // Order statistics come from the insert-sorted per-tenant samples (no
+    // end-of-run re-sort): the global view is a merge of already-sorted
+    // runs, and each tenant's is read off directly.
+    std::vector<double> waits;
+    for (const auto& [tenant, tw] : tenant_waits) {
+      std::vector<double> merged;
+      merged.reserve(waits.size() + tw.size());
+      std::merge(waits.begin(), waits.end(), tw.begin(), tw.end(),
+                 std::back_inserter(merged));
+      waits = std::move(merged);
+      res.tenant_queue_wait[tenant] = stats_of_sorted(tw);
     }
+    res.queue_wait = stats_of_sorted(waits);
     res.makespan_s = makespan;
     int jobs_completed = 0;
     for (const auto& js : jobs) {
@@ -811,10 +1015,59 @@ struct Engine {
     metrics.set_gauge("service.node_busy_frac", res.node_busy_frac);
     metrics.set_gauge("service.queue_wait_mae_s",
                       wait_err_n > 0 ? wait_abs_err_sum / wait_err_n : 0.0);
+    {
+      std::map<std::string, int> completed_by_tenant;
+      for (const auto& oc : outcomes) {
+        completed_by_tenant[oc.tenant] += oc.completed ? 1 : 0;
+      }
+      double sum = 0.0, sum_sq = 0.0;
+      for (const auto& [tenant, n] : completed_by_tenant) {
+        sum += n;
+        sum_sq += double(n) * n;
+      }
+      res.fairness_jain =
+          completed_by_tenant.empty() || sum <= 0.0
+              ? 1.0
+              : sum * sum / (double(completed_by_tenant.size()) * sum_sq);
+    }
+    res.wait_calibration = wait_calibration_json(
+        perfmodel::calibrate_queue_wait(pred_waits, real_waits));
     res.metrics = metrics.snapshot();
     res.outcomes = std::move(outcomes);
     res.jobs.reserve(jobs.size());
     for (auto& js : jobs) res.jobs.push_back(std::move(js.rec));
+
+    if (observing()) {
+      using telemetry::Json;
+      auto wait_json = [](const QueueWaitStats& st) {
+        return Json::object()
+            .set("p50", st.p50)
+            .set("p95", st.p95)
+            .set("p99", st.p99)
+            .set("mean", st.mean)
+            .set("max", st.max)
+            .set("n", st.n);
+      };
+      Json by_tenant = Json::object();
+      for (const auto& [tenant, st] : res.tenant_queue_wait) {
+        by_tenant.set(tenant, wait_json(st));
+      }
+      emit(new_event("service.end")
+               .set("totals",
+                    Json::object()
+                        .set("admitted", res.admitted)
+                        .set("rejected", res.rejected)
+                        .set("completed", res.completed)
+                        .set("failed", res.failed)
+                        .set("jobs",
+                             static_cast<std::int64_t>(res.jobs.size())))
+               .set("makespan_s", res.makespan_s)
+               .set("queue_wait_s", wait_json(res.queue_wait))
+               .set("queue_wait_by_tenant", std::move(by_tenant))
+               .set("fairness_jain", res.fairness_jain)
+               .set("calibration", res.wait_calibration));
+      res.observability = monitor->report();
+    }
     return res;
   }
 };
@@ -842,6 +1095,10 @@ std::string ServiceResult::describe() const {
   out += strprintf(
       "  queue wait: p50 %.6f s, p95 %.6f s, p99 %.6f s (n=%d)\n",
       queue_wait.p50, queue_wait.p95, queue_wait.p99, queue_wait.n);
+  if (tenant_queue_wait.size() > 1) {
+    out += strprintf("  fairness (Jain): %.4f over %zu tenant(s)\n",
+                     fairness_jain, tenant_queue_wait.size());
+  }
   for (const auto& j : jobs) {
     out += strprintf(
         "  job %d: k=%d fp=%016llx %d node(s) rps=%d prio=%d slices=%d "
@@ -856,7 +1113,7 @@ std::string ServiceResult::describe() const {
 telemetry::Json ServiceResult::to_json() const {
   using telemetry::Json;
   Json doc = Json::object();
-  doc.set("schema", "xgyro.service").set("schema_version", 1);
+  doc.set("schema", "xgyro.service").set("schema_version", 2);
   Json totals = Json::object();
   totals.set("admitted", admitted)
       .set("rejected", rejected)
@@ -870,14 +1127,26 @@ telemetry::Json ServiceResult::to_json() const {
       .set("requests_per_hour", requests_per_hour)
       .set("node_busy_frac", node_busy_frac);
   doc.set("throughput", std::move(throughput));
-  Json qw = Json::object();
-  qw.set("p50", queue_wait.p50)
-      .set("p95", queue_wait.p95)
-      .set("p99", queue_wait.p99)
-      .set("mean", queue_wait.mean)
-      .set("max", queue_wait.max)
-      .set("n", queue_wait.n);
-  doc.set("queue_wait_s", std::move(qw));
+  const auto wait_json = [](const QueueWaitStats& st) {
+    return Json::object()
+        .set("p50", st.p50)
+        .set("p95", st.p95)
+        .set("p99", st.p99)
+        .set("mean", st.mean)
+        .set("max", st.max)
+        .set("n", st.n);
+  };
+  doc.set("queue_wait_s", wait_json(queue_wait));
+  Json by_tenant = Json::object();
+  for (const auto& [tenant, st] : tenant_queue_wait) {
+    by_tenant.set(tenant, wait_json(st));
+  }
+  doc.set("queue_wait_by_tenant", std::move(by_tenant));
+  doc.set("fairness_jain", fairness_jain);
+  if (wait_calibration.is_object()) {
+    doc.set("wait_calibration", wait_calibration);
+  }
+  if (observability.is_object()) doc.set("observability", observability);
   Json jarr = Json::array();
   for (const auto& j : jobs) {
     Json jj = Json::object();

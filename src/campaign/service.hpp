@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -42,6 +43,10 @@
 #include "simnet/machine.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/metrics.hpp"
+
+namespace xg::telemetry {
+class EventSink;
+}
 
 namespace xg::campaign {
 
@@ -91,6 +96,19 @@ struct ServiceConfig {
   /// When set, a per-job RunReport is written to
   /// <report_dir>/job-<id>.report.json as each job finishes.
   std::string report_dir;
+  /// Observability plane (all optional; off by default, in which case the
+  /// DES behaves bit-identically to a sink-less run):
+  /// Borrowed event sink — one xgyro.events record per lifecycle
+  /// transition is written (and flushed) as it happens. nullptr = off.
+  telemetry::EventSink* events = nullptr;
+  /// With a sink: emit a monitor.snapshot record every this many virtual
+  /// seconds while the service has work in flight. 0 = end-of-run only.
+  double metrics_every_s = 0.0;
+  /// Rolling horizon for windowed monitor views (0 = whole run so far).
+  double monitor_window_s = 0.0;
+  /// SLO objective (SloSpec grammar, e.g. "wait=100;target=0.9;burn=2").
+  /// Empty = no SLO monitoring. Requires an event sink.
+  std::string slo;
 };
 
 /// Where one request ended up.
@@ -150,11 +168,18 @@ struct ServiceResult {
   double jobs_per_hour = 0.0;      ///< XGYRO jobs per virtual hour
   double requests_per_hour = 0.0;  ///< completed requests per virtual hour
   QueueWaitStats queue_wait;
+  /// Exact per-tenant wait stats (same order statistics, per tenant) —
+  /// the reference the sketch-backed monitors are checked against.
+  std::map<std::string, QueueWaitStats> tenant_queue_wait;
+  double fairness_jain = 1.0;      ///< Jain's index over per-tenant completions
+  telemetry::Json wait_calibration;  ///< perfmodel calibration verdict
   double node_busy_frac = 0.0;     ///< Σ nodes×busy / (cluster × makespan)
   telemetry::Json metrics;         ///< xgyro.metrics snapshot
+  /// ServiceMonitor end-of-run report (null unless an event sink was set).
+  telemetry::Json observability;
 
   [[nodiscard]] std::string describe() const;
-  /// { "schema": "xgyro.service", "schema_version": 1, ... }
+  /// { "schema": "xgyro.service", "schema_version": 2, ... }
   [[nodiscard]] telemetry::Json to_json() const;
 };
 

@@ -366,6 +366,44 @@ double estimate_queue_wait(double backlog_node_seconds, int cluster_nodes) {
   return backlog_node_seconds / cluster_nodes;
 }
 
+WaitCalibration calibrate_queue_wait(const std::vector<double>& predicted_s,
+                                     const std::vector<double>& realized_s,
+                                     double tolerance, double min_coverage) {
+  if (predicted_s.size() != realized_s.size()) {
+    throw InputError(strprintf(
+        "calibrate_queue_wait: %zu predictions vs %zu realized waits",
+        predicted_s.size(), realized_s.size()));
+  }
+  WaitCalibration c;
+  c.tolerance = tolerance;
+  c.min_coverage = min_coverage;
+  c.n = static_cast<int>(predicted_s.size());
+  if (c.n == 0) return c;
+  double abs_err = 0.0, err = 0.0, pred = 0.0, real = 0.0;
+  int covered = 0;
+  for (size_t i = 0; i < predicted_s.size(); ++i) {
+    const double e = predicted_s[i] - realized_s[i];
+    abs_err += std::abs(e);
+    err += e;
+    pred += predicted_s[i];
+    real += realized_s[i];
+    // A hair of slack so predicted == realized (e.g. both zero on an idle
+    // service) counts as the lower bound holding.
+    if (predicted_s[i] <= realized_s[i] + 1e-9) ++covered;
+  }
+  c.mae_s = abs_err / c.n;
+  c.bias_s = err / c.n;
+  c.mean_predicted_s = pred / c.n;
+  c.mean_realized_s = real / c.n;
+  c.ratio = c.mean_realized_s > 0.0 ? c.mae_s / c.mean_realized_s : 0.0;
+  c.coverage = static_cast<double>(covered) / c.n;
+  c.significant = c.n >= kWaitCalibrationMinSamples &&
+                  c.mean_realized_s >= kWaitCalibrationMinMeanWaitS;
+  c.pass = !c.significant ||
+           (c.ratio <= tolerance && c.coverage >= min_coverage);
+  return c;
+}
+
 int min_feasible_nodes_cgyro(const gyro::Input& input, int max_nodes) {
   for (int n = 1; n <= max_nodes; n *= 2) {
     const auto machine = nl03c_machine(n);

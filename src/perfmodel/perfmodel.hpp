@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "cluster/memory.hpp"
 #include "gyro/decomposition.hpp"
@@ -120,5 +121,44 @@ int min_feasible_nodes_cgyro(const gyro::Input& input, int max_nodes);
 /// realized wait up — but monotone in the backlog, which is what the
 /// admission-time prediction is for.
 double estimate_queue_wait(double backlog_node_seconds, int cluster_nodes);
+
+/// Calibration verdict for a batch of (predicted, realized) queue-wait
+/// pairs, gated like the divergence report: a ratio tolerance plus a
+/// significance cut so a near-idle service (waits in the noise) is
+/// reported but not gated.
+struct WaitCalibration {
+  int n = 0;
+  double mae_s = 0.0;             ///< mean |predicted - realized|
+  double bias_s = 0.0;            ///< mean (predicted - realized), signed
+  double mean_realized_s = 0.0;
+  double mean_predicted_s = 0.0;
+  double ratio = 0.0;             ///< mae / mean realized wait
+  double coverage = 0.0;          ///< fraction with predicted <= realized
+  bool significant = false;       ///< n and mean wait above the cuts
+  bool pass = true;               ///< !significant, or ratio/coverage within
+  double tolerance = 0.0;
+  double min_coverage = 0.0;
+};
+
+/// Gate defaults. estimate_queue_wait is a lower bound, so calibration
+/// checks two things: the error stays inside a multiplicative envelope of
+/// the realized wait (MAE / mean ≤ tolerance), and the lower-bound
+/// property actually holds for most requests (coverage ≥ min_coverage —
+/// not 1.0, because priority preemption can start a request before the
+/// backlog ahead of it drains).
+inline constexpr double kDefaultWaitTolerance = 1.0;
+inline constexpr double kDefaultWaitMinCoverage = 0.7;
+/// Significance cuts: below either, the verdict reports but always passes.
+inline constexpr int kWaitCalibrationMinSamples = 16;
+inline constexpr double kWaitCalibrationMinMeanWaitS = 1.0;
+
+/// Compare admission-time predictions with realized waits (parallel
+/// vectors, one entry per placed request). Throws xg::InputError when the
+/// vectors disagree in length.
+WaitCalibration calibrate_queue_wait(
+    const std::vector<double>& predicted_s,
+    const std::vector<double>& realized_s,
+    double tolerance = kDefaultWaitTolerance,
+    double min_coverage = kDefaultWaitMinCoverage);
 
 }  // namespace xg::perfmodel

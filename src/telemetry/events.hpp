@@ -1,0 +1,135 @@
+// Streaming service event log: one schema-versioned JSONL record per
+// request-lifecycle transition of the online campaign service.
+//
+// The log is the service's observability substrate: it is written
+// *during* the run (each record is flushed as soon as it is emitted, so a
+// crashed service still leaves a valid partial log ending in a
+// `service.aborted` record), and every monitor/report/trace view is a pure
+// function of the record stream — replaying a log through the same
+// monitors reproduces the live numbers bit for bit.
+//
+// Record grammar (each line is one compact JSON object):
+//
+//   common fields    seq (0,1,2,... contiguous), t (virtual seconds,
+//                    non-decreasing), type
+//   service.start    first record: schema "xgyro.events", schema_version,
+//                    cluster/config echo
+//   request.*        request-lifecycle transitions (see
+//                    events.cpp:kTransitions for the legal state machine):
+//                    submitted → admitted | rejected; admitted → batched;
+//                    batched → placed | failed; placed → preempted |
+//                    completed | failed; preempted → resumed | failed
+//                    (a preempted job can be stranded by cluster shrink);
+//                    resumed → preempted | completed | failed.
+//                    rejected/completed/failed are terminal, exactly once.
+//   monitor.snapshot periodic rolling-window monitor state (no lifecycle
+//                    effect)
+//   slo.alert        burn-rate alert emitted by the SLO monitor
+//   service.end      last record of a clean run: totals
+//   service.aborted  last record of a crashed run: reason
+//
+// validate_events() checks the whole grammar: contiguous seq, monotone t,
+// exactly-once terminals, and per-request transition legality; a log that
+// ends in service.aborted is exempt from the every-request-terminal rule
+// (that is what makes flushed partial logs schema-valid).
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace xg::telemetry {
+
+inline constexpr const char* kEventSchema = "xgyro.events";
+inline constexpr int kEventSchemaVersion = 1;
+
+/// Where emitted event records go. The service borrows a sink; ownership
+/// stays with the caller (CLI, bench, or test).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void write(const Json& record) = 0;
+};
+
+/// In-memory sink for tests and benchmarks.
+class EventBuffer : public EventSink {
+ public:
+  void write(const Json& record) override { records.push_back(record); }
+  std::vector<Json> records;
+};
+
+/// JSONL file sink. Every record is written as one compact line and
+/// flushed immediately, so the log on disk is always a valid prefix of
+/// the stream — a post-mortem after a crash has data up to the crash.
+class EventLogWriter : public EventSink {
+ public:
+  /// Opens (truncates) `path`. Throws xg::Error when unwritable.
+  explicit EventLogWriter(const std::string& path);
+  ~EventLogWriter() override;
+  EventLogWriter(const EventLogWriter&) = delete;
+  EventLogWriter& operator=(const EventLogWriter&) = delete;
+
+  void write(const Json& record) override;
+
+  /// Append the `service.aborted` terminal record (continuing the seq/t
+  /// stream) and close the file. Call on structured failure paths so the
+  /// partial log stays schema-valid. No-op if nothing was written yet or
+  /// the log is already closed.
+  void abort(const std::string& reason);
+
+  [[nodiscard]] long records_written() const { return n_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* f_ = nullptr;
+  long n_ = 0;
+  long last_seq_ = -1;
+  double last_t_ = 0.0;
+};
+
+/// Build one event record with the common fields set; callers .set() the
+/// type-specific fields on the result.
+[[nodiscard]] Json make_event(long seq, double t, const std::string& type);
+
+/// Summary of a validated event log.
+struct EventLogStats {
+  int records = 0;
+  int requests = 0;      ///< distinct request ids with a submitted record
+  int terminals = 0;     ///< rejected + completed + failed
+  int completed = 0;
+  int failed = 0;
+  int rejected = 0;
+  bool aborted = false;  ///< log ends in service.aborted
+  bool ended = false;    ///< log ends in service.end
+  std::map<std::string, int> by_type;
+};
+
+/// Validate a parsed record stream against the full grammar (see file
+/// header). Throws xg::InputError naming the offending seq on any
+/// violation: gaps/duplicates/out-of-order seq, time running backwards,
+/// a missing or malformed service.start header, an illegal per-request
+/// transition, a second terminal, events after the log's terminal record,
+/// or a submitted request left non-terminal in a log that did not abort.
+EventLogStats validate_events(const std::vector<Json>& records);
+
+/// Parse a JSONL event log file into records (no validation beyond JSON
+/// well-formedness per line; empty trailing line allowed).
+std::vector<Json> load_event_log(const std::string& path);
+
+/// load_event_log + validate_events.
+EventLogStats validate_event_log_file(const std::string& path);
+
+/// Render a validated record stream as a Chrome trace-event document
+/// (schema xgyro.trace, accepted by check_chrome_trace and the Perfetto
+/// UI): one process (pid) per tenant, one thread (tid) per request, with
+/// "queue" / "batch" / "run" / "preempted" complete-event slices covering
+/// each request's life, and a "service" process whose per-job tracks show
+/// job placement spans. A whole service run then opens in the same UI as
+/// a single-job trace.
+Json service_chrome_trace(const std::vector<Json>& records);
+
+}  // namespace xg::telemetry

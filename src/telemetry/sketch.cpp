@@ -1,0 +1,184 @@
+#include "telemetry/sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace xg::telemetry {
+
+/// One pass of the merging-digest compression: fold sorted centroids
+/// together while each stays under the 4·n·q(1-q)/δ weight bound.
+std::vector<QuantileSketch::Centroid> QuantileSketch::compress(
+    std::vector<Centroid> all, double n, int compression) {
+  std::vector<Centroid> merged;
+  merged.reserve(all.size());
+  double acc = 0.0;  // weight strictly before the centroid being built
+  for (const auto& c : all) {
+    if (!merged.empty()) {
+      const double combined =
+          static_cast<double>(merged.back().count + c.count);
+      const double q_mid =
+          (acc - static_cast<double>(merged.back().count) + combined / 2.0) /
+          n;
+      const double limit =
+          std::max(1.0, 4.0 * n * q_mid * (1.0 - q_mid) / compression);
+      if (combined <= limit) {
+        Centroid& last = merged.back();
+        const double w_last = static_cast<double>(last.count);
+        const double w_new = static_cast<double>(c.count);
+        last.mean = (last.mean * w_last + c.mean * w_new) / (w_last + w_new);
+        last.count += c.count;
+        acc += w_new;
+        continue;
+      }
+    }
+    merged.push_back(c);
+    acc += static_cast<double>(c.count);
+  }
+  return merged;
+}
+
+QuantileSketch::QuantileSketch(int compression) : compression_(compression) {
+  XG_REQUIRE(compression >= 8, "sketch: compression must be >= 8");
+  centroids_.reserve(static_cast<size_t>(compression) + 8);
+  pending_.reserve(static_cast<size_t>(compression));
+}
+
+void QuantileSketch::observe(double value) {
+  XG_REQUIRE(std::isfinite(value), "sketch: observation must be finite");
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  pending_.push_back(value);
+  if (pending_.size() >= static_cast<size_t>(compression_)) flush();
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.count_ == 0) return;
+  other.flush();
+  flush();
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  std::vector<Centroid> all;
+  all.reserve(centroids_.size() + other.centroids_.size());
+  std::merge(centroids_.begin(), centroids_.end(), other.centroids_.begin(),
+             other.centroids_.end(), std::back_inserter(all),
+             [](const Centroid& a, const Centroid& b) {
+               return a.mean < b.mean;
+             });
+  centroids_ = compress(std::move(all), static_cast<double>(count_),
+                        compression_);
+}
+
+void QuantileSketch::flush() const {
+  if (pending_.empty()) return;
+  std::sort(pending_.begin(), pending_.end());
+  std::vector<Centroid> incoming;
+  incoming.reserve(pending_.size());
+  for (const double v : pending_) incoming.push_back({v, 1});
+  pending_.clear();
+
+  std::vector<Centroid> all;
+  all.reserve(centroids_.size() + incoming.size());
+  std::merge(centroids_.begin(), centroids_.end(), incoming.begin(),
+             incoming.end(), std::back_inserter(all),
+             [](const Centroid& a, const Centroid& b) {
+               return a.mean < b.mean;
+             });
+  centroids_ = compress(std::move(all), static_cast<double>(count_),
+                        compression_);
+}
+
+double QuantileSketch::quantile(double q) const {
+  XG_REQUIRE(q >= 0.0 && q <= 1.0, "sketch: quantile q must be in [0,1]");
+  if (count_ == 0) return 0.0;
+  flush();
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+
+  // Target rank, matching the exact-quantile convention used by the
+  // service (the ceil(q·n)-th order statistic, 1-based).
+  const double target =
+      std::ceil(q * static_cast<double>(count_));
+  double acc = 0.0;
+  for (size_t i = 0; i < centroids_.size(); ++i) {
+    const double w = static_cast<double>(centroids_[i].count);
+    if (acc + w >= target) {
+      if (centroids_[i].count == 1) return centroids_[i].mean;
+      // Interpolate inside the centroid toward its neighbors.
+      const double lo = i == 0 ? min_ : (centroids_[i - 1].mean +
+                                         centroids_[i].mean) / 2.0;
+      const double hi = i + 1 == centroids_.size()
+                            ? max_
+                            : (centroids_[i].mean +
+                               centroids_[i + 1].mean) / 2.0;
+      const double frac = w <= 1.0 ? 0.5 : (target - acc) / w;
+      return std::clamp(lo + (hi - lo) * frac, min_, max_);
+    }
+    acc += w;
+  }
+  return max_;
+}
+
+int QuantileSketch::centroids() const {
+  flush();
+  return static_cast<int>(centroids_.size());
+}
+
+Json QuantileSketch::to_json() const {
+  flush();
+  Json doc = Json::object();
+  doc.set("compression", compression_)
+      .set("count", static_cast<std::int64_t>(count_))
+      .set("min", min())
+      .set("max", max())
+      .set("sum", sum_);
+  Json cents = Json::array();
+  for (const auto& c : centroids_) {
+    Json pair = Json::array();
+    pair.push(c.mean);
+    pair.push(static_cast<std::int64_t>(c.count));
+    cents.push(std::move(pair));
+  }
+  doc.set("centroids", std::move(cents));
+  return doc;
+}
+
+QuantileSketch QuantileSketch::from_json(const Json& doc) {
+  QuantileSketch s(static_cast<int>(doc.at("compression").as_int()));
+  const Json& cents = doc.at("centroids");
+  std::uint64_t total = 0;
+  for (const auto& pair : cents.elems()) {
+    XG_REQUIRE(pair.is_array() && pair.size() == 2,
+               "sketch: centroid must be a [mean, count] pair");
+    Centroid c;
+    c.mean = pair.elems()[0].as_double();
+    const std::int64_t n = pair.elems()[1].as_int();
+    XG_REQUIRE(n >= 1, "sketch: centroid count must be >= 1");
+    c.count = static_cast<std::uint64_t>(n);
+    total += c.count;
+    s.centroids_.push_back(c);
+  }
+  s.count_ = total;
+  s.sum_ = doc.at("sum").as_double();
+  s.min_ = doc.at("min").as_double();
+  s.max_ = doc.at("max").as_double();
+  XG_REQUIRE(total == static_cast<std::uint64_t>(doc.at("count").as_int()),
+             "sketch: centroid counts disagree with 'count'");
+  return s;
+}
+
+}  // namespace xg::telemetry

@@ -1,0 +1,77 @@
+// Mergeable quantile sketch for streaming wait/latency distributions.
+//
+// A t-digest-style centroid sketch: observations accumulate in a small
+// buffer and are periodically compressed into a sorted list of (mean,
+// count) centroids whose individual weights are bounded by 4·n·q(1-q)/δ —
+// tight at the tails (p95/p99 stay near-exact), looser at the median. With
+// fewer than δ/4 observations every sample keeps its own centroid, so small
+// sketches are exact. Everything is deterministic (no randomized
+// compaction) and two sketches merge by re-compressing the union of their
+// centroid lists, so per-tenant sketches can be combined into a global one
+// without touching the raw stream — the property the service monitors need
+// for 10⁴–10⁶-request logs where storing every wait is off the table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace xg::telemetry {
+
+class QuantileSketch {
+ public:
+  /// `compression` (δ) bounds the centroid count (O(δ), independent of n)
+  /// and the rank error (worst-case ≈ n/δ at the median, far tighter at
+  /// the tails).
+  explicit QuantileSketch(int compression = 128);
+
+  void observe(double value);
+  /// Fold another sketch in (order-sensitive but deterministic).
+  void merge(const QuantileSketch& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Quantile estimate for q in [0, 1]: linear interpolation between
+  /// centroid means, clamped to [min, max]. Exact while every observation
+  /// still has its own centroid (n ≤ compression/4). Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Number of centroids currently held (after flushing the buffer).
+  [[nodiscard]] int centroids() const;
+
+  /// { "compression": δ, "count": n, "min", "max", "sum",
+  ///   "centroids": [[mean, count], ...] } — exact round-trip via
+  ///   from_json, so sketches can travel inside monitor snapshots.
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static QuantileSketch from_json(const Json& doc);
+
+ private:
+  struct Centroid {
+    double mean = 0.0;
+    std::uint64_t count = 0;
+  };
+
+  void flush() const;
+  static std::vector<Centroid> compress(std::vector<Centroid> all, double n,
+                                        int compression);
+
+  int compression_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  /// Compressed state + pending buffer. Mutable: flush() is logically
+  /// const (it re-represents the same distribution) and quantile()/
+  /// centroids()/to_json() need a flushed view.
+  mutable std::vector<Centroid> centroids_;
+  mutable std::vector<double> pending_;
+};
+
+}  // namespace xg::telemetry

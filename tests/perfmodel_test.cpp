@@ -264,5 +264,62 @@ TEST(QueueWait, EstimateIsMonotoneAndGuarded) {
   EXPECT_THROW(estimate_queue_wait(1.0, 0), Error);
 }
 
+TEST(WaitCalibrationGate, SmallOrQuietSamplesReportButNeverGate) {
+  // 4 wildly wrong predictions: under the sample-count cut.
+  const WaitCalibration few = calibrate_queue_wait(
+      {100.0, 100.0, 100.0, 100.0}, {2.0, 2.0, 2.0, 2.0});
+  EXPECT_FALSE(few.significant);
+  EXPECT_TRUE(few.pass);
+  EXPECT_EQ(few.n, 4);
+
+  // 20 wrong predictions of waits in the noise: under the mean-wait cut.
+  std::vector<double> pred(20, 5.0), real(20, 0.1);
+  const WaitCalibration quiet = calibrate_queue_wait(pred, real);
+  EXPECT_FALSE(quiet.significant);
+  EXPECT_TRUE(quiet.pass);
+  EXPECT_LT(quiet.mean_realized_s, kWaitCalibrationMinMeanWaitS);
+}
+
+TEST(WaitCalibrationGate, AccurateLowerBoundPasses) {
+  // Predictions sit just under the realized waits, as a lower bound
+  // should: tight ratio, full coverage.
+  std::vector<double> pred, real;
+  for (int i = 0; i < 20; ++i) {
+    real.push_back(8.0 + 0.25 * i);
+    pred.push_back(real.back() - 0.5);
+  }
+  const WaitCalibration c = calibrate_queue_wait(pred, real);
+  EXPECT_TRUE(c.significant);
+  EXPECT_TRUE(c.pass);
+  EXPECT_NEAR(c.mae_s, 0.5, 1e-12);
+  EXPECT_NEAR(c.bias_s, -0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(c.coverage, 1.0);
+  EXPECT_LT(c.ratio, 0.1);
+}
+
+TEST(WaitCalibrationGate, OverpredictionTripsBothCuts) {
+  // Predictions far above the realized waits: ratio blows the tolerance
+  // and coverage collapses (the lower-bound property is gone).
+  std::vector<double> pred(20, 30.0), real(20, 10.0);
+  const WaitCalibration c = calibrate_queue_wait(pred, real);
+  EXPECT_TRUE(c.significant);
+  EXPECT_FALSE(c.pass);
+  EXPECT_GT(c.ratio, kDefaultWaitTolerance);
+  EXPECT_DOUBLE_EQ(c.coverage, 0.0);
+
+  // The same data under a looser gate passes the ratio but still fails
+  // coverage; relaxing both clears it.
+  EXPECT_FALSE(calibrate_queue_wait(pred, real, 3.0).pass);
+  EXPECT_TRUE(calibrate_queue_wait(pred, real, 3.0, 0.0).pass);
+}
+
+TEST(WaitCalibrationGate, RejectsMismatchedVectors) {
+  EXPECT_THROW(calibrate_queue_wait({1.0, 2.0}, {1.0}), InputError);
+  const WaitCalibration empty = calibrate_queue_wait({}, {});
+  EXPECT_EQ(empty.n, 0);
+  EXPECT_TRUE(empty.pass);
+  EXPECT_FALSE(empty.significant);
+}
+
 }  // namespace
 }  // namespace xg::perfmodel

@@ -23,7 +23,9 @@
 #include <vector>
 
 #include "campaign/campaign.hpp"
+#include "campaign/monitor.hpp"
 #include "campaign/service.hpp"
+#include "telemetry/events.hpp"
 #include "cluster/memory.hpp"
 #include "gyro/simulation.hpp"
 #include "perfmodel/perfmodel.hpp"
@@ -327,8 +329,26 @@ TEST_P(ServiceStress, InvariantsHoldUnderRandomizedLoad) {
   // every fault-injecting case; single-slice jobs otherwise.
   if (seed % 2 == 1 || kills) cfg.checkpoint_root = ckpt.path;
   if (kills) cfg.nodes_per_job = 2;  // recovery needs a node to drop
+  // Every stress seed runs with the observability plane on; some also
+  // exercise periodic snapshots and the SLO monitor under load.
+  telemetry::EventBuffer events;
+  cfg.events = &events;
+  if (seed % 3 == 1) cfg.metrics_every_s = 0.5;
+  if (seed % 4 == 2) cfg.slo = "wait=0.25;target=0.9;burn=2";
   CampaignService service(cfg);
   const auto res = service.run(stream);
+
+  // --- event log: the emitted stream must satisfy the full grammar
+  // (contiguous seq, legal state machines, exactly-once terminals) and its
+  // census must agree with the service result.
+  const telemetry::EventLogStats ev = telemetry::validate_events(events.records);
+  EXPECT_TRUE(ev.ended);
+  EXPECT_FALSE(ev.aborted);
+  EXPECT_EQ(ev.requests, static_cast<int>(stream.size()));
+  EXPECT_EQ(ev.rejected, res.rejected);
+  EXPECT_EQ(ev.completed, res.completed);
+  EXPECT_EQ(ev.failed, res.failed);
+  EXPECT_EQ(ev.terminals, ev.rejected + ev.completed + ev.failed);
 
   // --- exactly-once: every accepted request reaches one terminal state and
   // appears in exactly one job's member list, exactly once.
@@ -401,10 +421,27 @@ TEST_P(ServiceStress, InvariantsHoldUnderRandomizedLoad) {
   }
 
   // --- determinism: the whole service run is a pure function of
-  // (stream, config).
+  // (stream, config), including its event stream — and turning the
+  // observability plane off must not perturb the virtual-time results.
   if (seed % 5 == 0) {
-    const auto again = CampaignService(cfg).run(stream);
+    telemetry::EventBuffer events2;
+    ServiceConfig cfg2 = cfg;
+    cfg2.events = &events2;
+    const auto again = CampaignService(cfg2).run(stream);
     EXPECT_EQ(again.describe(), res.describe());
+    ASSERT_EQ(events2.records.size(), events.records.size());
+    for (size_t i = 0; i < events.records.size(); ++i) {
+      EXPECT_EQ(events2.records[i].dump(), events.records[i].dump())
+          << "record " << i;
+    }
+
+    ServiceConfig blind = cfg;
+    blind.events = nullptr;
+    blind.metrics_every_s = 0.0;
+    blind.slo.clear();
+    const auto unobserved = CampaignService(blind).run(stream);
+    EXPECT_EQ(unobserved.describe(), res.describe());
+    EXPECT_EQ(unobserved.makespan_s, res.makespan_s);
   }
 }
 
