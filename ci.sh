@@ -13,7 +13,9 @@
 #      round-trips: write -> load -> selector resolves every swept cell to
 #      the measured winner)
 #   8. campaign service smoke (a short arrival stream through xgyro_serve:
-#      admission, batching, placement, and the exit-0 convention)
+#      admission, batching, placement, and the exit-0 convention — then the
+#      same stream down the production path: perfmodel fast path with a
+#      full DES audit, EASY backfilling, and adaptive windows)
 #   9. service observability smoke (xgyro_serve with the streamed event
 #      log, snapshots and an SLO, replayed through xgyro_servemon:
 #      validation, sketch-vs-exact cross-check, trace export, event-log
@@ -56,6 +58,13 @@ echo "=== [7/9] collective autotuner smoke ==="
 echo "=== [8/9] campaign service smoke ==="
 ./build/examples/xgyro_serve --gen "seed=3;n=6;rate=4;tenants=2;sigs=2" \
   --nodes 2 --ranks-per-node 4 --window 0.5
+# The production-stream path: modeled fast path with every job audited
+# (audit-frac 1 keeps the smoke bit-identical to the DES while still
+# exercising the divergence gate), backfilling placement, and adaptive
+# windows. Exit 2 would flag a tripped audit gate.
+./build/examples/xgyro_serve --gen "seed=3;n=6;rate=4;tenants=2;sigs=2" \
+  --nodes 2 --ranks-per-node 4 --window 0.5 \
+  --fast-path --audit-frac 1.0 --backfill --window-auto
 
 echo "=== [9/9] service observability smoke ==="
 bash scripts/servemon_smoke.sh build/examples

@@ -54,6 +54,12 @@ struct Options {
   std::string events_out;
   double metrics_every = 0.0;
   std::string slo;
+  bool fast_path = false;
+  double audit_frac = 0.05;
+  bool audit_frac_set = false;
+  long audit_seed = 1;
+  bool backfill = false;
+  bool window_auto = false;
 };
 
 int parse_int(const std::string& flag, const std::string& value) {
@@ -110,12 +116,25 @@ void print_help() {
       "  --slo SPEC          queue-wait SLO with burn-rate alerts, e.g.\n"
       "                      \"wait=100;target=0.9;window=500;burn=2\"\n"
       "                      (needs --events-out)\n"
+      "  --fast-path         price jobs from the perfmodel instead of\n"
+      "                      DES-executing them; a seeded sample still runs\n"
+      "                      the DES and feeds the audit divergence gate\n"
+      "  --audit-frac F      fraction of jobs DES-audited under --fast-path\n"
+      "                      [0.05]; fault-carrying jobs are always audited\n"
+      "  --audit-seed N      seed for the per-job audit draw [1]\n"
+      "  --backfill          EASY backfilling: jobs behind a blocked head\n"
+      "                      start only if they cannot delay its predicted\n"
+      "                      start (default: greedy first-fit)\n"
+      "  --window-auto       per-signature adaptive batching window tuned\n"
+      "                      from the observed arrival mix (needs windowed\n"
+      "                      batching: --window > 0, --max-batch > 1)\n"
       "  --help              print this reference and exit\n"
       "\n"
       "exit status:\n"
       "  0  every admitted request completed (rejections are not errors)\n"
       "  1  usage, input, or configuration error\n"
-      "  2  at least one admitted request failed (recovery exhausted)\n");
+      "  2  at least one admitted request failed (recovery exhausted),\n"
+      "     or the fast-path audit gate failed\n");
 }
 
 Options parse_args(int argc, char** argv) {
@@ -196,6 +215,22 @@ Options parse_args(int argc, char** argv) {
     } else if (a == "--slo") {
       once(a);
       o.slo = need_value(i++);
+    } else if (a == "--fast-path") {
+      once(a);
+      o.fast_path = true;
+    } else if (a == "--audit-frac") {
+      once(a);
+      o.audit_frac = parse_double(a, need_value(i++));
+      o.audit_frac_set = true;
+    } else if (a == "--audit-seed") {
+      once(a);
+      o.audit_seed = parse_int(a, need_value(i++));
+    } else if (a == "--backfill") {
+      once(a);
+      o.backfill = true;
+    } else if (a == "--window-auto") {
+      once(a);
+      o.window_auto = true;
     } else if (a == "--help" || a == "-h") {
       print_help();
       std::exit(0);
@@ -227,6 +262,19 @@ Options parse_args(int argc, char** argv) {
   if (!o.slo.empty()) {
     (void)xg::campaign::SloSpec::parse(o.slo);  // fail fast on bad grammar
   }
+  if (o.audit_frac_set && !o.fast_path) {
+    throw xg::InputError("--audit-frac requires --fast-path");
+  }
+  if (o.audit_frac < 0.0 || o.audit_frac > 1.0) {
+    throw xg::InputError("--audit-frac must be in [0,1]");
+  }
+  if (o.audit_seed < 0) throw xg::InputError("--audit-seed must be >= 0");
+  if (o.window_auto && (!o.batching || o.window_s <= 0.0 ||
+                        o.max_batch <= 1)) {
+    throw xg::InputError(
+        "--window-auto requires windowed batching "
+        "(no --no-batching, --window > 0, --max-batch > 1)");
+  }
   return o;
 }
 
@@ -257,6 +305,12 @@ int main(int argc, char** argv) {
     cfg.preempt_quantum = opt.quantum;
     cfg.max_recoveries = opt.max_recoveries;
     cfg.report_dir = opt.report_dir;
+    cfg.fast_path = opt.fast_path;
+    cfg.audit_frac = opt.audit_frac;
+    cfg.audit_seed = static_cast<std::uint64_t>(opt.audit_seed);
+    cfg.placement = opt.backfill ? campaign::PlacementPolicy::kBackfill
+                                 : campaign::PlacementPolicy::kFirstFit;
+    cfg.window_auto = opt.window_auto;
     if (!opt.events_out.empty()) {
       events = std::make_unique<telemetry::EventLogWriter>(opt.events_out);
       cfg.events = events.get();
@@ -284,6 +338,18 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "xgyro_serve: %d admitted request(s) failed\n",
                    res.failed);
       return 2;
+    }
+    if (res.fast_path.is_object()) {
+      const telemetry::Json& audit = res.fast_path.at("audit");
+      if (!audit.at("pass").as_bool()) {
+        std::fprintf(stderr,
+                     "xgyro_serve: fast-path audit gate FAILED "
+                     "(worst ratio %.3f > tolerance %.3f over %lld audits)\n",
+                     audit.at("worst_ratio").as_double(),
+                     audit.at("tolerance").as_double(),
+                     static_cast<long long>(audit.at("n").as_int()));
+        return 2;
+      }
     }
     return 0;
   } catch (const Error& e) {

@@ -14,7 +14,8 @@
 //   0  log valid; every enabled check passed
 //   1  usage error, unreadable log, or validation failure
 //   2  an analysis gate tripped: sketch percentiles off the recorded
-//      exact ones, calibration gate failed, or (with --slo) alerts fired
+//      exact ones, calibration gate failed, (with --slo) alerts fired,
+//      or (with --audit) the fast-path divergence gate failed
 #include <cmath>
 #include <cstdio>
 #include <set>
@@ -32,6 +33,7 @@ struct Options {
   std::string events;
   bool validate = false;
   bool summary = false;
+  bool audit = false;
   std::string slo;
   std::string tenant;
   double window_s = 0.0;
@@ -61,6 +63,9 @@ void print_help() {
       "  --slo SPEC        evaluate an SLO during replay, e.g.\n"
       "                    \"wait=100;target=0.9;window=500;burn=2\";\n"
       "                    alerts firing make the exit status 2\n"
+      "  --audit           re-derive the fast-path audit verdict from the\n"
+      "                    replayed job.audited records; a failing gate (or\n"
+      "                    a log with no audits) makes the exit status 2\n"
       "  --tenant NAME     restrict the per-tenant table to one tenant\n"
       "  --window S        rolling monitor window in virtual seconds\n"
       "                    [0 = whole run]\n"
@@ -71,7 +76,8 @@ void print_help() {
       "exit status:\n"
       "  0  log valid; every enabled check passed\n"
       "  1  usage error, unreadable log, or validation failure\n"
-      "  2  sketch/exact mismatch, calibration gate, or SLO alerts\n");
+      "  2  sketch/exact mismatch, calibration gate, SLO alerts, or a\n"
+      "     failing fast-path audit gate\n");
 }
 
 Options parse_args(int argc, char** argv) {
@@ -104,6 +110,9 @@ Options parse_args(int argc, char** argv) {
     } else if (a == "--slo") {
       once(a);
       o.slo = need_value(i++);
+    } else if (a == "--audit") {
+      once(a);
+      o.audit = true;
     } else if (a == "--tenant") {
       once(a);
       o.tenant = need_value(i++);
@@ -167,7 +176,7 @@ int main(int argc, char** argv) {
     }
 
     int exit_code = 0;
-    if (opt.summary || !opt.json_out.empty()) {
+    if (opt.summary || opt.audit || !opt.json_out.empty()) {
       campaign::SloSpec slo;
       if (!opt.slo.empty()) slo = campaign::SloSpec::parse(opt.slo);
       campaign::ServiceMonitor monitor(opt.window_s, slo);
@@ -236,6 +245,33 @@ int main(int argc, char** argv) {
               sj->at("burn_rate").as_double(), monitor.alerts(),
               monitor.alerts() > 0 ? " [SLO BURN]" : "");
           if (monitor.alerts() > 0) exit_code = 2;
+        }
+      }
+
+      if (opt.audit) {
+        const Json* fp = report.find("fast_path");
+        if (fp == nullptr) {
+          std::printf(
+              "fast path: no job.modeled/job.audited records in this log "
+              "[AUDIT GATE]\n");
+          exit_code = 2;
+        } else {
+          const Json& audit = fp->at("audit");
+          const bool pass = audit.at("pass").as_bool();
+          std::printf(
+              "fast path: %lld modeled, %lld audited (%lld forced)\n"
+              "audit gate: n=%lld, mean price %.6f s vs measured %.6f s, "
+              "worst ratio %.3f (tolerance %.1f) -> %s\n",
+              static_cast<long long>(fp->at("modeled").as_int()),
+              static_cast<long long>(fp->at("audited").as_int()),
+              static_cast<long long>(fp->at("forced").as_int()),
+              static_cast<long long>(audit.at("n").as_int()),
+              audit.at("mean_price_s").as_double(),
+              audit.at("mean_measured_s").as_double(),
+              audit.at("worst_ratio").as_double(),
+              audit.at("tolerance").as_double(),
+              pass ? "PASS" : "AUDIT GATE");
+          if (!pass) exit_code = 2;
         }
       }
 

@@ -15,10 +15,13 @@
 # queue-wait percentiles get a looser 5% suffix tolerance (--tol-for on the
 # dotted paths): a percentile jumps discretely when any single request's
 # wait crosses it, so a benign scheduling change moves p99 further than the
-# aggregate throughput it gates alongside. Its observability arm records
+# aggregate throughput it gates alongside (the suffix match covers the
+# scale study's per-arm percentiles too). Its observability arm records
 # wall-clock overhead numbers that are likewise --ignore'd (the <2% gate
 # lives in the bench binary itself); the deterministic event-record census
-# stays gated.
+# stays gated, as are the scale study's throughput, audit worst-ratio, and
+# starvation-peak numbers (all virtual-time, bit-deterministic — only the
+# production arm's wall_production_ms is machine-dependent).
 #
 # Recording refuses baselines that fail their own self-test (identity must
 # pass, a +10% perturbation must be detected), so anything this script
@@ -55,8 +58,11 @@ trap 'rm -rf "$WORK"' EXIT
 # recorded speedups gate the selector's win itself.
 "$BENCH/allreduce_scaling" --json "$WORK/allreduce_scaling.json" \
   > "$WORK/allreduce_scaling.out"
-# Online service vs no-batching ablation on the paper's 32-node machine:
-# the recorded speedup gates the batching win itself.
+# Online service vs no-batching ablation on the paper's 32-node machine,
+# plus the 10⁵-request fast-path scale study and its two ablations: the
+# recorded speedup gates the batching win, and the recorded scale arms gate
+# the backfilling and adaptive-window wins (the full stream takes ~1 min of
+# wall clock — the DES only touches the ~1% audited slice).
 "$BENCH/campaign_service" --json "$WORK/campaign_service.json" \
   > "$WORK/campaign_service.out"
 
@@ -79,6 +85,7 @@ trap 'rm -rf "$WORK"' EXIT
   --tol-for queue_wait_s.p95=0.05 \
   --tol-for queue_wait_s.p99=0.05 \
   --ignore overhead_pct --ignore wall_plain_ms --ignore wall_observed_ms \
+  --ignore wall_production_ms \
   --out "$OUT_DIR/BENCH_campaign_service.json"
 
 "$CHECK" --smoke "$OUT_DIR"

@@ -208,6 +208,20 @@ expect_serve_error "bad slo grammar"      --gen "n=2" \
 expect_serve_error "negative metrics"     --gen "n=2" \
   --events-out "$WORK/ev.jsonl" --metrics-every -1
 
+# Production-stream flags: the audit knobs bind to --fast-path, the
+# adaptive window needs a window to adapt.
+expect_serve_error "audit-frac w/o fast-path" --gen "n=2" --audit-frac 0.5
+expect_serve_error "audit-frac above one"     --gen "n=2" \
+  --fast-path --audit-frac 1.5
+expect_serve_error "negative audit-frac"      --gen "n=2" \
+  --fast-path --audit-frac -0.1
+expect_serve_error "negative audit-seed"      --gen "n=2" \
+  --fast-path --audit-seed -1
+expect_serve_error "window-auto w/o batching" --gen "n=2" \
+  --no-batching --window-auto
+expect_serve_error "window-auto w/o window"   --gen "n=2" \
+  --window 0 --window-auto
+
 expect_servemon_error() {  # $1 = description, rest = args; wants exit 1 + one line
   local desc=$1; shift
   local rc=0

@@ -20,7 +20,8 @@ namespace {
 /// on the whole machine. Returns false if no decomposition exists or the
 /// memory does not fit.
 bool evaluate_batch(const gyro::Input& input, const net::MachineSpec& machine,
-                    int k, gyro::Decomposition* decomp_out, double* seconds_out) {
+                    int k, const mpi::CollSelector* selector,
+                    gyro::Decomposition* decomp_out, double* seconds_out) {
   if (machine.total_ranks() % k != 0) return false;
   const int ranks_per_sim = machine.total_ranks() / k;
   gyro::Decomposition d;
@@ -32,7 +33,7 @@ bool evaluate_batch(const gyro::Input& input, const net::MachineSpec& machine,
   const auto fit = cluster::check_fit(
       gyro::Simulation::memory_inventory(input, d, k), machine);
   if (!fit.fits) return false;
-  const auto plan = perfmodel::plan_xgyro(input, k, machine);
+  const auto plan = perfmodel::plan_xgyro(input, k, machine, selector);
   if (decomp_out != nullptr) *decomp_out = d;
   if (seconds_out != nullptr) *seconds_out = plan.per_report.total();
   return true;
@@ -41,7 +42,8 @@ bool evaluate_batch(const gyro::Input& input, const net::MachineSpec& machine,
 }  // namespace
 
 std::optional<GroupBatch> plan_group(const gyro::Input& input, int group_size,
-                                     const net::MachineSpec& machine) {
+                                     const net::MachineSpec& machine,
+                                     const mpi::CollSelector* selector) {
   XG_REQUIRE(group_size >= 1, "plan_group: empty group");
   // Best k: minimize (#jobs × predicted seconds per job).
   std::optional<GroupBatch> best;
@@ -50,7 +52,7 @@ std::optional<GroupBatch> plan_group(const gyro::Input& input, int group_size,
     if (group_size % k != 0) continue;
     gyro::Decomposition d;
     double seconds = 0.0;
-    if (!evaluate_batch(input, machine, k, &d, &seconds)) continue;
+    if (!evaluate_batch(input, machine, k, selector, &d, &seconds)) continue;
     const double cost = (group_size / k) * seconds;
     if (!best.has_value() || cost < best_cost) {
       best = GroupBatch{k, machine.total_ranks() / k, d, seconds};
@@ -61,11 +63,14 @@ std::optional<GroupBatch> plan_group(const gyro::Input& input, int group_size,
 }
 
 std::optional<GroupBatch> plan_batch_exact(const gyro::Input& input, int k,
-                                           const net::MachineSpec& machine) {
+                                           const net::MachineSpec& machine,
+                                           const mpi::CollSelector* selector) {
   XG_REQUIRE(k >= 1, "plan_batch_exact: empty batch");
   gyro::Decomposition d;
   double seconds = 0.0;
-  if (!evaluate_batch(input, machine, k, &d, &seconds)) return std::nullopt;
+  if (!evaluate_batch(input, machine, k, selector, &d, &seconds)) {
+    return std::nullopt;
+  }
   return GroupBatch{k, machine.total_ranks() / k, d, seconds};
 }
 

@@ -61,8 +61,13 @@ struct GroupBatch {
 /// (no decomposition, or a single simulation overflows the memory budget).
 /// Shared by the offline planner below and the online campaign service, so
 /// both realize the same grouping given the same members and machine.
+/// `selector` makes predicted_seconds selector-aware (nullptr = built-in
+/// tuned table) — pass the decision table the jobs will actually run with
+/// so the service's fast path prices the same schedules the DES executes.
 std::optional<GroupBatch> plan_group(const gyro::Input& input, int group_size,
-                                     const net::MachineSpec& machine);
+                                     const net::MachineSpec& machine,
+                                     const mpi::CollSelector* selector =
+                                         nullptr);
 
 /// Feasibility + predicted cost of running EXACTLY k members of `input`'s
 /// physics as one job on the whole machine (no splitting into smaller
@@ -71,7 +76,9 @@ std::optional<GroupBatch> plan_group(const gyro::Input& input, int group_size,
 /// online service uses this to consider uneven batch splits (e.g. a batch
 /// of 3 as one k=2 job plus one k=1 job on a 2^n-rank machine).
 std::optional<GroupBatch> plan_batch_exact(const gyro::Input& input, int k,
-                                           const net::MachineSpec& machine);
+                                           const net::MachineSpec& machine,
+                                           const mpi::CollSelector* selector =
+                                               nullptr);
 
 /// Greedy planner: members are grouped by cmat fingerprint; each group is
 /// batched per plan_group and chunked into group_size/k jobs. k = 1

@@ -58,6 +58,18 @@ Json SloSpec::to_json() const {
       .set("burn_alert", burn_alert);
 }
 
+Json audit_gate_json(const perfmodel::AuditGate& g) {
+  return Json::object()
+      .set("n", g.n)
+      .set("mean_price_s", g.mean_price_s)
+      .set("mean_measured_s", g.mean_measured_s)
+      .set("worst_ratio", g.worst_ratio)
+      .set("mean_ratio", g.mean_ratio)
+      .set("tolerance", g.tolerance)
+      .set("significant", g.significant)
+      .set("pass", g.pass);
+}
+
 Json wait_calibration_json(const perfmodel::WaitCalibration& c) {
   return Json::object()
       .set("n", c.n)
@@ -80,6 +92,27 @@ ServiceMonitor::ServiceMonitor(double window_s, SloSpec slo,
                                int sketch_compression)
     : window_s_(window_s), slo_(slo), compression_(sketch_compression) {
   XG_REQUIRE(window_s >= 0.0, "monitor: window must be >= 0");
+}
+
+void ServiceMonitor::RunningMedian::observe(double x) {
+  if (lo_.empty() || x <= lo_.top()) {
+    lo_.push(x);
+  } else {
+    hi_.push(x);
+  }
+  // Rebalance so lo_ holds ceil(n/2) elements; its top is then the lower
+  // median sorted[(n-1)/2].
+  if (lo_.size() > hi_.size() + 1) {
+    hi_.push(lo_.top());
+    lo_.pop();
+  } else if (hi_.size() > lo_.size()) {
+    lo_.push(hi_.top());
+    hi_.pop();
+  }
+}
+
+double ServiceMonitor::RunningMedian::median() const {
+  return lo_.empty() ? 0.0 : lo_.top();
 }
 
 void ServiceMonitor::trim(double t) {
@@ -115,6 +148,21 @@ std::vector<Json> ServiceMonitor::consume(const Json& record) {
   if (const Json* t = record.find("t"); t != nullptr) {
     now_ = std::max(now_, t->as_double());
   }
+  if (type == "job.modeled") {
+    ++jobs_modeled_;
+    return alerts;
+  }
+  if (type == "job.audited") {
+    ++jobs_audited_;
+    const Json* forced = record.find("forced");
+    if (forced != nullptr && forced->as_bool()) {
+      ++audits_forced_;
+    } else {
+      audit_price_.push_back(record.at("price_s").as_double());
+      audit_measured_.push_back(record.at("measured_s").as_double());
+    }
+    return alerts;
+  }
   if (type.rfind("request.", 0) != 0) return alerts;
 
   const int id = static_cast<int>(record.at("request").as_int());
@@ -131,6 +179,7 @@ std::vector<Json> ServiceMonitor::consume(const Json& record) {
     if (tit != tenant_of_.end()) {
       ++tenants_[tit->second].admitted;
       queued_[id] = {tit->second, now_};
+      queued_age_.insert({now_, id});
     }
   } else if (type == "request.rejected") {
     const auto tit = tenant_of_.find(id);
@@ -143,11 +192,13 @@ std::vector<Json> ServiceMonitor::consume(const Json& record) {
     }
     const auto tit = tenant_of_.find(id);
     if (tit != tenant_of_.end()) tenants_[tit->second].waits.observe(wait);
-    queued_.erase(id);
+    if (const auto qit = queued_.find(id); qit != queued_.end()) {
+      queued_age_.erase({qit->second.second, id});
+      queued_.erase(qit);
+    }
     ++placed_;
     if (slo_.enabled() && wait <= slo_.wait_s) ++slo_met_;
-    med_waits_.insert(
-        std::lower_bound(med_waits_.begin(), med_waits_.end(), wait), wait);
+    med_waits_.observe(wait);
     window_.push_back({now_, wait, pred});
     trim(now_);
     pred_.push_back(pred);
@@ -176,7 +227,11 @@ std::vector<Json> ServiceMonitor::consume(const Json& record) {
   } else if (type == "request.resumed") {
     ++resumes_;
   } else if (type == "request.completed" || type == "request.failed") {
-    queued_.erase(id);  // failed-before-placement requests leave the queue
+    // Failed-before-placement requests leave the queue here.
+    if (const auto qit = queued_.find(id); qit != queued_.end()) {
+      queued_age_.erase({qit->second.second, id});
+      queued_.erase(qit);
+    }
     const auto tit = tenant_of_.find(id);
     if (tit != tenant_of_.end()) {
       Tenant& tn = tenants_[tit->second];
@@ -189,19 +244,14 @@ std::vector<Json> ServiceMonitor::consume(const Json& record) {
   }
 
   // Starvation tracking: age of the oldest still-queued request against
-  // the median wait of everyone already placed. The queue is bounded by
-  // max_queue_depth, so this scan is cheap.
-  if (!queued_.empty()) {
-    double oldest = 0.0;
-    for (const auto& [qid, entry] : queued_) {
-      oldest = std::max(oldest, now_ - entry.second);
-    }
+  // the median wait of everyone already placed. The (t, id) index makes
+  // the oldest lookup O(log n) per event instead of a full queue scan.
+  if (!queued_age_.empty()) {
+    const double oldest = std::max(now_ - queued_age_.begin()->first, 0.0);
     oldest_age_peak_s_ = std::max(oldest_age_peak_s_, oldest);
-    if (!med_waits_.empty()) {
-      const double median = med_waits_[(med_waits_.size() - 1) / 2];
-      if (median > 0.0) {
-        starvation_peak_ = std::max(starvation_peak_, oldest / median);
-      }
+    const double median = med_waits_.median();
+    if (median > 0.0) {
+      starvation_peak_ = std::max(starvation_peak_, oldest / median);
     }
   }
   return alerts;
@@ -223,6 +273,10 @@ double ServiceMonitor::jain_fairness() const {
 
 perfmodel::WaitCalibration ServiceMonitor::calibration() const {
   return perfmodel::calibrate_queue_wait(pred_, real_);
+}
+
+perfmodel::AuditGate ServiceMonitor::audit_gate() const {
+  return perfmodel::audit_fast_path(audit_price_, audit_measured_);
 }
 
 const telemetry::QuantileSketch* ServiceMonitor::tenant_sketch(
@@ -256,13 +310,11 @@ Json sketch_stats(const telemetry::QuantileSketch& s) {
 
 Json ServiceMonitor::snapshot() {
   trim(now_);
-  double oldest = 0.0;
-  for (const auto& [qid, entry] : queued_) {
-    (void)qid;
-    oldest = std::max(oldest, now_ - entry.second);
-  }
-  const double median =
-      med_waits_.empty() ? 0.0 : med_waits_[(med_waits_.size() - 1) / 2];
+  const double oldest =
+      queued_age_.empty()
+          ? 0.0
+          : std::max(now_ - queued_age_.begin()->first, 0.0);
+  const double median = med_waits_.median();
 
   Json snap = Json::object();
   snap.set("queued", static_cast<std::int64_t>(queued_.size()))
@@ -301,6 +353,12 @@ Json ServiceMonitor::snapshot() {
   snap.set("window", std::move(win));
   snap.set("calibration", wait_calibration_json(
                               perfmodel::calibrate_queue_wait(wpred, wreal)));
+  if (jobs_modeled_ + jobs_audited_ > 0) {
+    snap.set("fast_path", Json::object()
+                              .set("modeled", jobs_modeled_)
+                              .set("audited", jobs_audited_)
+                              .set("forced", audits_forced_));
+  }
 
   if (slo_.enabled()) {
     const double compliance = slo_compliance();
@@ -336,6 +394,13 @@ Json ServiceMonitor::report() const {
   doc.set("tenants", std::move(tenants));
   doc.set("overall", sketch_stats(overall_sketch()));
   doc.set("calibration", wait_calibration_json(calibration()));
+  if (jobs_modeled_ + jobs_audited_ > 0) {
+    doc.set("fast_path", Json::object()
+                             .set("modeled", jobs_modeled_)
+                             .set("audited", jobs_audited_)
+                             .set("forced", audits_forced_)
+                             .set("audit", audit_gate_json(audit_gate())));
+  }
   if (slo_.enabled()) {
     const double compliance =
         placed_ > 0 ? static_cast<double>(slo_met_) / placed_ : 1.0;

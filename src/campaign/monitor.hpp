@@ -15,11 +15,25 @@
 //                 back into the event log;
 //   calibration — the admission-time queue-wait prediction replayed
 //                 against realized waits (perfmodel::calibrate_queue_wait,
-//                 gated like the PR-5 divergence gate).
+//                 gated like the PR-5 divergence gate);
+//   fast path   — job.modeled / job.audited counts and the sampled-audit
+//                 divergence gate (perfmodel::audit_fast_path) replayed
+//                 from the (price, measured) pairs in job.audited records,
+//                 so servemon re-derives the same verdict the live service
+//                 reported.
+//
+// Internal structures are chosen for production stream sizes: the running
+// cohort median uses a two-heap tracker and the oldest-queued age an
+// ordered (t, id) index, so per-event cost is O(log n) — a 10⁵-request
+// stream emits ~10⁶ events and a linear scan per event would dominate the
+// whole service run.
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <map>
+#include <queue>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -76,6 +90,12 @@ class ServiceMonitor {
 
   [[nodiscard]] double jain_fairness() const;
   [[nodiscard]] perfmodel::WaitCalibration calibration() const;
+  /// Fast-path audit verdict from the replayed job.audited records
+  /// (forced audits are excluded — a fault-carrying job's DES cost
+  /// includes recoveries the price never models).
+  [[nodiscard]] perfmodel::AuditGate audit_gate() const;
+  [[nodiscard]] int jobs_modeled() const { return jobs_modeled_; }
+  [[nodiscard]] int jobs_audited() const { return jobs_audited_; }
   [[nodiscard]] const telemetry::QuantileSketch* tenant_sketch(
       const std::string& tenant) const;
   /// All per-tenant sketches merged (demonstrates mergeability; equals the
@@ -101,6 +121,21 @@ class ServiceMonitor {
     double predicted_s = 0.0;
   };
 
+  /// Streaming lower-median tracker: the classic two-heap construction
+  /// (max-heap of the lower half, min-heap of the upper half). Insertion
+  /// is O(log n) against O(n) for an insert-sorted vector, and the value
+  /// read is the same order statistic (sorted[(n-1)/2]) the vector gave.
+  class RunningMedian {
+   public:
+    void observe(double x);
+    [[nodiscard]] double median() const;  ///< 0.0 when empty
+    [[nodiscard]] size_t count() const { return lo_.size() + hi_.size(); }
+
+   private:
+    std::priority_queue<double> lo_;  ///< lower half (top = its max)
+    std::priority_queue<double, std::vector<double>, std::greater<>> hi_;
+  };
+
   void trim(double t);
   [[nodiscard]] double slo_compliance() const;
 
@@ -111,8 +146,9 @@ class ServiceMonitor {
   std::map<std::string, Tenant> tenants_;
   std::map<int, std::string> tenant_of_;
   std::map<int, std::pair<std::string, double>> queued_;  ///< id → (tenant, t)
+  std::set<std::pair<double, int>> queued_age_;  ///< (t, id): begin = oldest
   std::deque<Placement> window_;   ///< placements inside the rolling window
-  std::vector<double> med_waits_;  ///< insert-sorted waits (cohort median)
+  RunningMedian med_waits_;        ///< placed-cohort median wait
   double starvation_peak_ = 0.0;   ///< max oldest-age/median ratio seen
   double oldest_age_peak_s_ = 0.0;
   int placed_ = 0;
@@ -125,11 +161,21 @@ class ServiceMonitor {
   // verdict; the rolling window_ drives the per-snapshot one.
   std::vector<double> pred_;
   std::vector<double> real_;
+  // Fast-path bookkeeping replayed from job.modeled / job.audited records.
+  int jobs_modeled_ = 0;
+  int jobs_audited_ = 0;
+  int audits_forced_ = 0;
+  std::vector<double> audit_price_;     ///< sampled (non-forced) audits only
+  std::vector<double> audit_measured_;
 };
 
 /// JSON rendering of a calibration verdict (shared by ServiceResult and
 /// monitor snapshots).
 [[nodiscard]] telemetry::Json wait_calibration_json(
     const perfmodel::WaitCalibration& c);
+
+/// JSON rendering of a fast-path audit verdict (shared by ServiceResult
+/// and the monitor report).
+[[nodiscard]] telemetry::Json audit_gate_json(const perfmodel::AuditGate& g);
 
 }  // namespace xg::campaign

@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <queue>
+#include <set>
 #include <utility>
 
 #include "campaign/monitor.hpp"
@@ -26,6 +27,15 @@ const char* admission_name(Admission a) {
     case Admission::kRejectedQueueFull: return "rejected_queue_full";
     case Admission::kRejectedTenantQuota: return "rejected_tenant_quota";
     case Admission::kRejectedInfeasible: return "rejected_infeasible";
+  }
+  return "unknown";
+}
+
+const char* placement_name(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::kFirstFit: return "first-fit";
+    case PlacementPolicy::kFifo: return "fifo";
+    case PlacementPolicy::kBackfill: return "backfill";
   }
   return "unknown";
 }
@@ -187,6 +197,9 @@ struct JobState {
   double queue_since = 0.0;  ///< last time the job (re)entered the ready set
   bool done = false;
   bool was_preempted = false;  ///< next start_slice is a resume
+  bool mode_emitted = false;   ///< job.modeled already written
+  double backlog_contrib = 0.0;  ///< this job's share of the backlog total
+  double slice_end_s = 0.0;      ///< when the slice in flight ends
 
   // Result of the slice in flight, applied when its kSliceDone event fires.
   bool slice_ok = false;
@@ -220,13 +233,31 @@ struct Engine {
   double wait_abs_err_sum = 0.0;
   int wait_err_n = 0;
 
+  // Production-stream bookkeeping. A 10⁵-request stream makes any
+  // per-arrival O(#jobs) work quadratic, so the backlog is maintained
+  // incrementally, open batches are indexed by fingerprint, and planner
+  // results are memoized per (fingerprint, k) — every request of a
+  // signature shares one plan evaluation.
+  double backlog_ns = 0.0;  ///< Σ per-job remaining predicted node-seconds
+  std::map<std::uint64_t, int> open_by_fp;  ///< fp → open batch index
+  std::map<std::uint64_t, bool> feasible;   ///< fp → fits cfg.cluster at k=1
+  std::set<int> running_jobs;  ///< jobs with a slice in flight
+  /// Per-signature inter-arrival EMA driving the adaptive window.
+  struct SigRate {
+    double last_s = -1.0;
+    double gap_ema_s = 0.0;
+  };
+  std::map<std::uint64_t, SigRate> sig_rate;
+  // Sampled-audit (price, measured) pairs; forced audits are excluded.
+  std::vector<double> audit_price, audit_measured;
+
   // Observability plane. All of it is inert when cfg.events is null: no
   // extra DES events, no per-transition work — the virtual-time results
   // are bit-identical either way (the bench's identity gate pins this).
   telemetry::EventSink* sink = nullptr;
   std::unique_ptr<ServiceMonitor> monitor;
   long ev_seq = 0;
-  std::map<std::string, std::vector<double>> tenant_waits;  ///< insert-sorted
+  std::map<std::string, std::vector<double>> tenant_waits;  ///< unsorted
   std::vector<double> pred_waits, real_waits;
 
   Engine(const ServiceConfig& c, const std::vector<Request>& r)
@@ -263,24 +294,37 @@ struct Engine {
     events.push(Event{t, seq++, kind, idx});
   }
 
-  /// Node-seconds of committed work ahead of a new arrival: planned seconds
-  /// of every ready job plus the unfinished remainder of running jobs.
-  [[nodiscard]] double backlog_node_seconds() const {
-    double total = 0.0;
-    for (const auto& js : jobs) {
-      if (js.done) continue;
-      const int remaining = cfg.n_report_intervals - js.intervals_done;
-      total += js.rec.predicted_seconds * remaining * js.machine.n_nodes;
-    }
-    return total;
+  /// Node-seconds of committed work ahead of a new arrival. Maintained
+  /// incrementally: each live job carries its current contribution and
+  /// set_backlog moves the total by the delta, so an arrival reads the
+  /// backlog in O(1) — the old full scan was O(#jobs) per arrival,
+  /// quadratic over a 10⁵-request stream.
+  [[nodiscard]] double backlog_node_seconds() const { return backlog_ns; }
+
+  [[nodiscard]] double job_remaining_ns(const JobState& js) const {
+    const int remaining = cfg.n_report_intervals - js.intervals_done;
+    return js.rec.predicted_seconds * remaining * js.machine.n_nodes;
   }
 
-  Admission admit(const Request& rq) {
-    if (!plan_group(rq.input, 1, cfg.cluster).has_value()) {
-      return Admission::kRejectedInfeasible;
+  void set_backlog(JobState& js, double contrib) {
+    backlog_ns += contrib - js.backlog_contrib;
+    js.backlog_contrib = contrib;
+    if (backlog_ns < 0.0) backlog_ns = 0.0;  // floating-point drift guard
+  }
+
+  Admission admit(const Request& rq, std::uint64_t fp) {
+    // Feasibility depends only on the signature's cmat-relevant shape and
+    // the configured (pristine) cluster, so it is memoized per
+    // fingerprint — one planner sweep per signature, not per request.
+    auto [it, fresh] = feasible.try_emplace(fp, false);
+    if (fresh) {
+      it->second =
+          plan_group(rq.input, 1, cfg.cluster, cfg.coll_selector.get())
+              .has_value();
     }
-    const auto it = tenant_inflight.find(rq.tenant);
-    if (it != tenant_inflight.end() && it->second >= cfg.tenant_quota) {
+    if (!it->second) return Admission::kRejectedInfeasible;
+    const auto ti = tenant_inflight.find(rq.tenant);
+    if (ti != tenant_inflight.end() && ti->second >= cfg.tenant_quota) {
       return Admission::kRejectedTenantQuota;
     }
     if (pending_requests >= cfg.max_queue_depth) {
@@ -304,6 +348,18 @@ struct Engine {
   void on_arrival(int id) {
     const Request& rq = reqs[id];
     RequestOutcome& oc = outcomes[static_cast<size_t>(id)];
+    // Per-signature inter-arrival EMA feeding the adaptive window. Every
+    // arrival updates it, admitted or not — a rejected request still
+    // carries rate information about its signature.
+    if (cfg.window_auto) {
+      SigRate& sr = sig_rate[oc.cmat_fingerprint];
+      if (sr.last_s >= 0.0) {
+        const double gap = std::max(now - sr.last_s, 1e-9);
+        sr.gap_ema_s =
+            sr.gap_ema_s > 0.0 ? 0.7 * sr.gap_ema_s + 0.3 * gap : gap;
+      }
+      sr.last_s = now;
+    }
     if (observing()) {
       emit(new_event("request.submitted")
                .set("request", id)
@@ -313,7 +369,7 @@ struct Engine {
                     strprintf("%016llx", static_cast<unsigned long long>(
                                              oc.cmat_fingerprint))));
     }
-    const Admission a = admit(rq);
+    const Admission a = admit(rq, oc.cmat_fingerprint);
     oc.admission = a;
     metrics.add_counter(std::string("service.requests.") + admission_name(a));
     if (a != Admission::kAccepted) {
@@ -337,33 +393,76 @@ struct Engine {
                .set("predicted_wait_s", oc.predicted_wait_s));
     }
 
-    if (cfg.batching && cfg.batching_window_s > 0.0 && cfg.max_batch > 1) {
-      for (size_t b = 0; b < batches.size(); ++b) {
-        auto& ob = batches[b];
-        if (ob.closed || ob.fp != oc.cmat_fingerprint) continue;
+    const bool windowed =
+        cfg.batching && cfg.batching_window_s > 0.0 && cfg.max_batch > 1;
+    if (windowed) {
+      // At most one batch per signature is open at any time, so the open
+      // set is an fp-keyed index — the old linear scan over every batch
+      // ever created was O(#batches) per arrival.
+      const auto it = open_by_fp.find(oc.cmat_fingerprint);
+      if (it != open_by_fp.end()) {
+        const int b = it->second;
+        auto& ob = batches[static_cast<size_t>(b)];
         ob.request_ids.push_back(id);
-        if (observing()) emit_batched(id, static_cast<int>(b));
+        if (observing()) emit_batched(id, b);
         if (static_cast<int>(ob.request_ids.size()) >= cfg.max_batch) {
-          close_batch(static_cast<int>(b));
+          close_batch(b);
         }
         return;
       }
     }
+    const std::uint64_t fp = oc.cmat_fingerprint;
     OpenBatch ob;
-    ob.fp = oc.cmat_fingerprint;
+    ob.fp = fp;
     ob.input = rq.input;
     ob.request_ids.push_back(id);
-    const bool windowed =
-        cfg.batching && cfg.batching_window_s > 0.0 && cfg.max_batch > 1;
-    ob.close_s = windowed ? now + cfg.batching_window_s : now;
+    const double window =
+        !windowed ? 0.0
+                  : (cfg.window_auto ? pick_window(fp, rq.input)
+                                     : cfg.batching_window_s);
+    ob.close_s = now + window;
     batches.push_back(std::move(ob));
     const int bi = static_cast<int>(batches.size()) - 1;
     if (observing()) emit_batched(id, bi);
-    if (windowed) {
-      schedule(now + cfg.batching_window_s, EvKind::kWindowClose, bi);
+    if (window > 0.0) {
+      open_by_fp[fp] = bi;
+      schedule(now + window, EvKind::kWindowClose, bi);
     } else {
       close_batch(bi);
     }
+  }
+
+  /// Adaptive window for a batch just opened on signature `fp`: choose the
+  /// w maximizing expected shared-cmat savings net of the wait it imposes,
+  ///   score(w) = min(λ·w, max_batch − 1) · per_peer_saving(fp) − w,
+  /// where λ is the signature's arrival-rate EMA and per_peer_saving the
+  /// predicted node-second gain of running a member inside a k=2
+  /// shared-cmat pair instead of alone. Candidates are {0, ⅛, ¼, ½, 1}·W
+  /// around the configured window W. A signature with no observed
+  /// inter-arrival gap yet keeps the full W (nothing to tune from).
+  [[nodiscard]] double pick_window(std::uint64_t fp,
+                                   const gyro::Input& input) {
+    const auto it = sig_rate.find(fp);
+    if (it == sig_rate.end() || it->second.gap_ema_s <= 0.0) {
+      return cfg.batching_window_s;
+    }
+    const double rate = 1.0 / it->second.gap_ema_s;
+    const double saving = per_peer_saving(fp, input);
+    static constexpr double kFractions[] = {0.0, 0.125, 0.25, 0.5, 1.0};
+    double best_w = 0.0;
+    double best_score = 0.0;
+    bool first = true;
+    for (const double f : kFractions) {
+      const double w = f * cfg.batching_window_s;
+      const double peers = std::min(rate * w, double(cfg.max_batch - 1));
+      const double score = peers * saving - w;
+      if (first || score > best_score + 1e-12) {
+        best_w = w;
+        best_score = score;
+        first = false;
+      }
+    }
+    return best_w;
   }
 
   /// One job-to-be: `size` members on `nodes` nodes with `gb`'s layout.
@@ -372,6 +471,25 @@ struct Engine {
     int nodes = 0;
     GroupBatch gb;
   };
+
+  // Planner memoization. Plans depend only on the member's cmat-relevant
+  // shape (the fingerprint) and the live node count, so every request of a
+  // signature shares one planner sweep; the caches are flushed whenever a
+  // node failure shrinks the cluster. The feasibility cache above is
+  // separate: it is keyed on the pristine configured cluster and never
+  // invalidated.
+  std::map<std::pair<std::uint64_t, int>, std::optional<Chunk>> exact_cache;
+  std::map<std::pair<std::uint64_t, int>, std::vector<Chunk>> split_cache;
+  std::map<std::uint64_t, double> saving_cache;
+  int cache_cluster_nodes = -1;
+
+  void refresh_plan_caches() {
+    if (cache_cluster_nodes == cluster_nodes) return;
+    exact_cache.clear();
+    split_cache.clear();
+    saving_cache.clear();
+    cache_cluster_nodes = cluster_nodes;
+  }
 
   /// Best single-job allocation for EXACTLY k members: the node count
   /// minimizing predicted node-seconds (or the first feasible count at or
@@ -384,7 +502,8 @@ struct Engine {
     std::optional<Chunk> best;
     double best_cost = 0.0;
     for (int n = lo; n <= cluster_nodes; ++n) {
-      const auto gb = plan_batch_exact(input, k, machine_with(n));
+      const auto gb =
+          plan_batch_exact(input, k, machine_with(n), cfg.coll_selector.get());
       if (!gb.has_value()) continue;
       if (cfg.nodes_per_job > 0) return Chunk{k, n, *gb};
       const double cost = double(n) * gb->predicted_seconds;
@@ -394,6 +513,38 @@ struct Engine {
       }
     }
     return best;
+  }
+
+  std::optional<Chunk> place_exact_cached(std::uint64_t fp,
+                                          const gyro::Input& input, int k) {
+    refresh_plan_caches();
+    const auto key = std::make_pair(fp, k);
+    const auto it = exact_cache.find(key);
+    if (it != exact_cache.end()) return it->second;
+    auto c = place_exact(input, k);
+    exact_cache.emplace(key, c);
+    return c;
+  }
+
+  /// Predicted node-seconds one member saves by running as half of a k=2
+  /// shared-cmat pair instead of alone (0 when pairing is infeasible or
+  /// not cheaper). This is the per-peer value the adaptive window weighs
+  /// against queueing delay; cached per signature.
+  double per_peer_saving(std::uint64_t fp, const gyro::Input& input) {
+    refresh_plan_caches();
+    const auto it = saving_cache.find(fp);
+    if (it != saving_cache.end()) return it->second;
+    double saving = 0.0;
+    const auto solo = place_exact_cached(fp, input, 1);
+    const auto pair = place_exact_cached(fp, input, 2);
+    if (solo.has_value() && pair.has_value()) {
+      const double solo_ns = double(solo->nodes) * solo->gb.predicted_seconds;
+      const double pair_ns =
+          double(pair->nodes) * pair->gb.predicted_seconds / 2.0;
+      saving = std::max(solo_ns - pair_ns, 0.0);
+    }
+    saving_cache[fp] = saving;
+    return saving;
   }
 
   /// Split a closed batch of `size` same-fingerprint members into jobs.
@@ -406,8 +557,10 @@ struct Engine {
   /// The cheaper candidate wins, so the realized grouping is never worse
   /// than the offline plan for the same group. Empty if even a single
   /// member no longer fits (the cluster may have shrunk since admission).
-  [[nodiscard]] std::vector<Chunk> split_batch(const gyro::Input& input,
-                                               int size) const {
+  /// Memoized per (fingerprint, size) through split_batch below.
+  [[nodiscard]] std::vector<Chunk> split_batch_impl(std::uint64_t fp,
+                                                    const gyro::Input& input,
+                                                    int size) {
     std::vector<Chunk> uniform;
     double uniform_cost = 0.0;
     {
@@ -417,7 +570,8 @@ struct Engine {
       std::optional<std::pair<int, GroupBatch>> best;
       double best_cost = 0.0;
       for (int n = lo; n <= cluster_nodes; ++n) {
-        const auto gb = plan_group(input, size, machine_with(n));
+        const auto gb =
+            plan_group(input, size, machine_with(n), cfg.coll_selector.get());
         if (!gb.has_value()) continue;
         const double cost = double(n) * (size / gb->k) * gb->predicted_seconds;
         if (cfg.nodes_per_job > 0) {
@@ -443,7 +597,7 @@ struct Engine {
       std::optional<Chunk> pick;
       double pick_per_member = 0.0;
       for (int k = 1; k <= rem; ++k) {
-        const auto c = place_exact(input, k);
+        const auto c = place_exact_cached(fp, input, k);
         if (!c.has_value()) continue;
         const double pm = double(c->nodes) * c->gb.predicted_seconds / k;
         // <= so ties go to the larger k: fewer jobs means fewer cmat
@@ -465,6 +619,16 @@ struct Engine {
     if (uniform.empty()) return greedy;
     if (greedy.empty()) return uniform;
     return greedy_cost < uniform_cost ? greedy : uniform;
+  }
+
+  const std::vector<Chunk>& split_batch(std::uint64_t fp,
+                                        const gyro::Input& input, int size) {
+    refresh_plan_caches();
+    const auto key = std::make_pair(fp, size);
+    const auto it = split_cache.find(key);
+    if (it != split_cache.end()) return it->second;
+    return split_cache.emplace(key, split_batch_impl(fp, input, size))
+        .first->second;
   }
 
   /// Fold the member requests' fault plans into one per-job plan. Only the
@@ -499,8 +663,12 @@ struct Engine {
     OpenBatch& ob = batches[static_cast<size_t>(bi)];
     if (ob.closed) return;
     ob.closed = true;
+    const auto open_it = open_by_fp.find(ob.fp);
+    if (open_it != open_by_fp.end() && open_it->second == bi) {
+      open_by_fp.erase(open_it);
+    }
     const int size = static_cast<int>(ob.request_ids.size());
-    const auto chunks = split_batch(ob.input, size);
+    const auto& chunks = split_batch(ob.fp, ob.input, size);
     if (chunks.empty()) {
       // The cluster shrank below feasibility after these requests were
       // admitted. Fail them structurally; the service keeps running.
@@ -545,9 +713,28 @@ struct Engine {
       js.machine = machine_with(chunk.nodes);
       js.recoveries_left = cfg.max_recoveries;
       js.queue_since = now;
+      if (cfg.fast_path) {
+        // Fast-path mode decision, fixed at job creation. Fault-carrying
+        // jobs are always DES-executed ("forced" audits — the price never
+        // models kills and recoveries, so they would poison the gate and
+        // are excluded from it); fault-free jobs DES-execute only when the
+        // seeded per-job draw samples them for audit.
+        const bool forced = js.faults.active();
+        bool sampled = false;
+        if (!forced && cfg.audit_frac > 0.0) {
+          Rng draw(cfg.audit_seed +
+                   0x9e3779b97f4a7c15ull *
+                       (static_cast<std::uint64_t>(js.rec.id) + 1));
+          sampled = draw.next_double() < cfg.audit_frac;
+        }
+        js.rec.modeled = !forced && !sampled;
+        js.rec.audited = forced || sampled;
+        js.rec.audit_forced = forced;
+      }
       metrics.add_counter("service.jobs");
       ready.push_back(js.rec.id);
       jobs.push_back(std::move(js));
+      set_backlog(jobs.back(), job_remaining_ns(jobs.back()));
     }
     try_schedule();
   }
@@ -557,7 +744,8 @@ struct Engine {
   /// job keeps its progress across the smaller decomposition), or report
   /// that nothing fits anymore.
   bool replan_job(JobState& js) {
-    const auto c = place_exact(js.batch.members[0], js.rec.k);
+    const auto c = place_exact_cached(js.rec.cmat_fingerprint,
+                                      js.batch.members[0], js.rec.k);
     if (!c.has_value()) return false;
     js.machine = machine_with(c->nodes);
     js.rec.nodes = c->nodes;
@@ -565,6 +753,7 @@ struct Engine {
     js.rec.decomp = c->gb.decomp;
     js.rec.predicted_seconds = c->gb.predicted_seconds;
     js.faults = js.faults.pruned_to(js.rec.k * js.rec.ranks_per_sim);
+    set_backlog(js, job_remaining_ns(js));
     metrics.add_counter("service.jobs_replanned");
     return true;
   }
@@ -575,6 +764,7 @@ struct Engine {
     js.rec.failure = "no feasible allocation on the surviving nodes";
     js.rec.finish_s = now;
     js.done = true;
+    set_backlog(js, 0.0);
     if (js.rec.start_s < 0.0) {
       pending_requests -= static_cast<int>(js.rec.request_ids.size());
     }
@@ -582,7 +772,59 @@ struct Engine {
     finish_requests(js, /*completed=*/false);
   }
 
-  /// First-fit bin packing in (priority desc, queue age asc, id asc) order.
+  /// Predicted virtual time at which a running job releases its nodes:
+  /// end of the slice in flight plus the modeled cost of the intervals
+  /// still to run after it.
+  [[nodiscard]] double predicted_release_s(const JobState& js) const {
+    const int after = cfg.n_report_intervals - js.slice_target;
+    return js.slice_end_s +
+           js.rec.predicted_seconds * std::max(after, 0);
+  }
+
+  /// Predicted span of a ready job if started now.
+  [[nodiscard]] double predicted_job_span(const JobState& js) const {
+    return js.rec.predicted_seconds *
+           std::max(cfg.n_report_intervals - js.intervals_done, 0);
+  }
+
+  /// EASY-backfill shadow for a blocked head-of-queue job: walk the
+  /// running jobs' predicted release times until enough nodes accumulate,
+  /// giving the head's predicted start (shadow_s) and the nodes left
+  /// spare at that instant (shadow_extra). False only if even a fully
+  /// drained cluster cannot host the head (the caller has already
+  /// replanned it onto the survivors, so in practice this cannot fire).
+  bool compute_shadow(const JobState& head, double& shadow_s,
+                      int& shadow_extra) const {
+    std::vector<std::pair<double, int>> releases;
+    releases.reserve(running_jobs.size());
+    for (const int r : running_jobs) {
+      const JobState& rj = jobs[static_cast<size_t>(r)];
+      releases.emplace_back(predicted_release_s(rj), rj.machine.n_nodes);
+    }
+    std::sort(releases.begin(), releases.end());
+    int avail = free_nodes;
+    shadow_s = now;
+    for (const auto& [t, n] : releases) {
+      if (avail >= head.machine.n_nodes) break;
+      avail += n;
+      shadow_s = std::max(shadow_s, t);
+    }
+    if (avail < head.machine.n_nodes) return false;
+    shadow_extra = avail - head.machine.n_nodes;
+    return true;
+  }
+
+  /// Bin packing in (priority desc, queue age asc, id asc) order, under
+  /// the configured policy:
+  ///   first-fit — greedy: any ready job that fits the free nodes starts
+  ///               (jobs behind a blocked head may leapfrog it freely);
+  ///   fifo      — strict: placement stops at the first job that does not
+  ///               fit (no leapfrogging, maximal head protection);
+  ///   backfill  — EASY: a job behind the blocked head starts only if its
+  ///               predicted finish lands before the head's shadow start,
+  ///               or it fits inside the nodes the shadow leaves spare —
+  ///               i.e. backfilling provably cannot delay the head's
+  ///               predicted start.
   void try_schedule() {
     std::sort(ready.begin(), ready.end(), [this](int a, int b) {
       const JobState& ja = jobs[static_cast<size_t>(a)];
@@ -596,17 +838,42 @@ struct Engine {
       return a < b;
     });
     std::vector<int> still_waiting;
+    bool blocked = false;     ///< a higher-ordered job is waiting for nodes
+    bool have_shadow = false;
+    double shadow_s = 0.0;
+    int shadow_extra = 0;
     for (const int j : ready) {
       JobState& js = jobs[static_cast<size_t>(j)];
       if (js.machine.n_nodes > cluster_nodes && !replan_job(js)) {
         fail_stranded(js);
         continue;
       }
-      if (js.machine.n_nodes <= free_nodes) {
+      if (blocked && cfg.placement == PlacementPolicy::kFifo) {
+        still_waiting.push_back(j);
+        continue;
+      }
+      bool can_place = js.machine.n_nodes <= free_nodes;
+      bool uses_shadow_extra = false;
+      if (can_place && blocked &&
+          cfg.placement == PlacementPolicy::kBackfill) {
+        const bool before_shadow =
+            have_shadow && now + predicted_job_span(js) <= shadow_s + 1e-9;
+        uses_shadow_extra =
+            !before_shadow && have_shadow && js.machine.n_nodes <= shadow_extra;
+        can_place = before_shadow || uses_shadow_extra;
+      }
+      if (can_place) {
+        if (uses_shadow_extra) shadow_extra -= js.machine.n_nodes;
         free_nodes -= js.machine.n_nodes;
         start_slice(j);
-      } else {
-        still_waiting.push_back(j);
+        continue;
+      }
+      still_waiting.push_back(j);
+      if (!blocked) {
+        blocked = true;
+        if (cfg.placement == PlacementPolicy::kBackfill) {
+          have_shadow = compute_shadow(js, shadow_s, shadow_extra);
+        }
       }
     }
     ready = std::move(still_waiting);
@@ -625,11 +892,10 @@ struct Engine {
             .observe(wait);
         wait_abs_err_sum += std::abs(wait - oc.predicted_wait_s);
         ++wait_err_n;
-        // Incremental percentile state: waits land insert-sorted, so both
-        // periodic snapshots and finalize() read order statistics without
-        // ever re-sorting the stream.
-        auto& tw = tenant_waits[oc.tenant];
-        tw.insert(std::lower_bound(tw.begin(), tw.end(), wait), wait);
+        // Appended raw; finalize() sorts each tenant's sample once. The
+        // old insert-sorted scheme was O(n) per placement — quadratic
+        // over a production stream.
+        tenant_waits[oc.tenant].push_back(wait);
         pred_waits.push_back(oc.predicted_wait_s);
         real_waits.push_back(wait);
         if (observing()) {
@@ -659,40 +925,73 @@ struct Engine {
                                      cfg.n_report_intervals)
                           : cfg.n_report_intervals;
     js.nodes_held = js.machine.n_nodes;
-
-    RecoveryOptions ro;
-    if (sliced()) {
-      ro.checkpoint_dir =
-          cfg.checkpoint_root + strprintf("/job-%d", js.rec.id);
+    if (cfg.fast_path) {
+      // The fast-path price of this slice — for a modeled job this IS the
+      // duration; for an audited job it accumulates the counterfactual
+      // price the divergence gate compares against the DES cost.
+      js.rec.price_s +=
+          js.rec.predicted_seconds * (js.slice_target - js.intervals_done);
     }
-    ro.checkpoint_every = 1;
-    ro.max_recoveries = js.recoveries_left;
-    ro.resume = js.has_checkpoint;
-    ro.faults = js.faults;
-    ro.check_invariants = cfg.check_invariants;
-    ro.watchdog_timeout_s = cfg.watchdog_timeout_s;
-    ro.enable_traffic = !cfg.report_dir.empty();
-    ro.coll_selector = cfg.coll_selector;
-    ro.sharing = xgyro::SharingPolicy::kSingleGroup;
+    if (observing() && js.rec.modeled && !js.mode_emitted) {
+      js.mode_emitted = true;
+      emit(new_event("job.modeled")
+               .set("job", js.rec.id)
+               .set("k", js.rec.k)
+               .set("nodes", js.machine.n_nodes)
+               .set("price_s",
+                    js.rec.predicted_seconds * cfg.n_report_intervals));
+    }
 
     double duration;
-    try {
-      ElasticJobResult r =
-          run_job_elastic(js.batch, js.machine, js.rec.ranks_per_sim,
-                          js.slice_target, cfg.mode, ro);
-      duration = r.run.makespan_s;
+    if (js.rec.modeled) {
+      // Modeled fast path: price the slice straight from the perfmodel
+      // plan instead of spinning up simnet ranks — the plan's
+      // per-interval prediction is what a fault-free DES execution
+      // integrates, and the sampled audits keep that claim honest.
+      duration =
+          js.rec.predicted_seconds * (js.slice_target - js.intervals_done);
+      ElasticJobResult r;
+      r.machine = js.machine;
+      r.ranks_per_sim = js.rec.ranks_per_sim;
+      r.run.makespan_s = duration;
       js.slice_ok = true;
       js.slice = std::move(r);
-    } catch (const JobAborted& e) {
-      js.slice_ok = false;
-      js.slice_error = e.what();
-      js.abort_recoveries = e.recoveries();
-      js.abort_snapshots_committed = e.snapshots_committed();
-      js.abort_snapshots_rejected = e.snapshots_rejected();
-      duration = std::max(e.virtual_time_s(), 0.0);
+    } else {
+      RecoveryOptions ro;
+      if (sliced()) {
+        ro.checkpoint_dir =
+            cfg.checkpoint_root + strprintf("/job-%d", js.rec.id);
+      }
+      ro.checkpoint_every = 1;
+      ro.max_recoveries = js.recoveries_left;
+      ro.resume = js.has_checkpoint;
+      ro.faults = js.faults;
+      ro.check_invariants = cfg.check_invariants;
+      ro.watchdog_timeout_s = cfg.watchdog_timeout_s;
+      ro.enable_traffic = !cfg.report_dir.empty();
+      ro.coll_selector = cfg.coll_selector;
+      ro.sharing = xgyro::SharingPolicy::kSingleGroup;
+
+      try {
+        ElasticJobResult r =
+            run_job_elastic(js.batch, js.machine, js.rec.ranks_per_sim,
+                            js.slice_target, cfg.mode, ro);
+        duration = r.run.makespan_s;
+        js.slice_ok = true;
+        js.slice = std::move(r);
+      } catch (const JobAborted& e) {
+        js.slice_ok = false;
+        js.slice_error = e.what();
+        js.abort_recoveries = e.recoveries();
+        js.abort_snapshots_committed = e.snapshots_committed();
+        js.abort_snapshots_rejected = e.snapshots_rejected();
+        duration = std::max(e.virtual_time_s(), 0.0);
+      }
     }
     ++js.rec.slices;
     busy_node_seconds += double(js.nodes_held) * duration;
+    js.slice_end_s = now + duration;
+    running_jobs.insert(j);
     schedule(now + duration, EvKind::kSliceDone, j);
   }
 
@@ -703,7 +1002,11 @@ struct Engine {
       oc.finish_s = now;
       oc.completed = completed;
       if (completed) {
-        oc.diagnostics = js.slice.diagnostics[i];
+        if (js.rec.modeled) {
+          oc.modeled = true;  // fast-path priced: no per-member diagnostics
+        } else {
+          oc.diagnostics = js.slice.diagnostics[i];
+        }
         metrics.add_counter("tenant." + oc.tenant + ".completed");
       } else {
         metrics.add_counter("tenant." + oc.tenant + ".failed");
@@ -726,7 +1029,9 @@ struct Engine {
   }
 
   void write_job_report(const JobState& js) {
-    if (cfg.report_dir.empty()) return;
+    // Modeled jobs have no DES run to report on — only audited (and
+    // classic) jobs produce the per-job traffic/phase breakdown.
+    if (cfg.report_dir.empty() || js.rec.modeled) return;
     const net::Placement placement(js.machine);
     telemetry::RunReport report = telemetry::build_run_report(
         js.slice.run, placement, xgyro::solver_phases(),
@@ -746,6 +1051,7 @@ struct Engine {
 
   void on_slice_done(int j) {
     JobState& js = jobs[static_cast<size_t>(j)];
+    running_jobs.erase(j);
     if (!js.slice_ok) {
       // The elastic executor gave up: surviving nodes come back, the dead
       // ones are gone, the member requests fail.
@@ -763,6 +1069,7 @@ struct Engine {
       js.rec.failure = js.slice_error;
       js.rec.finish_s = now;
       js.done = true;
+      set_backlog(js, 0.0);
       metrics.add_counter("service.jobs_failed");
       metrics.add_counter("service.recoveries", js.abort_recoveries.size());
       finish_requests(js, /*completed=*/false);
@@ -790,6 +1097,7 @@ struct Engine {
     js.faults = js.faults.pruned_to(js.rec.k * js.rec.ranks_per_sim);
     js.intervals_done = js.slice_target;
     js.has_checkpoint = sliced();
+    set_backlog(js, job_remaining_ns(js));
 
     if (js.intervals_done >= cfg.n_report_intervals) {
       js.rec.finish_s = now;
@@ -798,6 +1106,22 @@ struct Engine {
       metrics.add_counter("service.jobs_completed");
       metrics.histogram("service.job_span_s", wait_bounds())
           .observe(now - js.rec.ready_s);
+      if (cfg.fast_path && js.rec.audited) {
+        // Feed the divergence gate with the (price, DES cost) pair; the
+        // gate excludes forced audits, whose DES cost includes recovery
+        // work the price never models.
+        if (!js.rec.audit_forced) {
+          audit_price.push_back(js.rec.price_s);
+          audit_measured.push_back(js.rec.busy_s);
+        }
+        if (observing()) {
+          emit(new_event("job.audited")
+                   .set("job", js.rec.id)
+                   .set("price_s", js.rec.price_s)
+                   .set("measured_s", js.rec.busy_s)
+                   .set("forced", js.rec.audit_forced));
+        }
+      }
       finish_requests(js, /*completed=*/true);
       write_job_report(js);
       try_schedule();
@@ -849,6 +1173,16 @@ struct Engine {
     XG_REQUIRE(cfg.preempt_quantum >= 1, "service: preempt_quantum >= 1");
     XG_REQUIRE(cfg.nodes_per_job <= cfg.cluster.n_nodes,
                "service: nodes_per_job exceeds the cluster");
+    XG_REQUIRE(cfg.audit_frac >= 0.0 && cfg.audit_frac <= 1.0,
+               "service: audit_frac must be in [0,1]");
+    XG_REQUIRE(cfg.audit_tolerance >= 0.0,
+               "service: audit_tolerance must be >= 0");
+    if (cfg.window_auto) {
+      XG_REQUIRE(
+          cfg.batching && cfg.batching_window_s > 0.0 && cfg.max_batch > 1,
+          "service: window_auto requires windowed batching "
+          "(batching on, window > 0, max_batch > 1)");
+    }
     if (!cfg.checkpoint_root.empty()) {
       XG_REQUIRE(cfg.mode == gyro::Mode::kReal,
                  "service: checkpointing (preemption) requires real mode");
@@ -908,6 +1242,10 @@ struct Engine {
                         .set("batching_window_s", cfg.batching_window_s)
                         .set("max_batch", cfg.max_batch)
                         .set("batching", cfg.batching)
+                        .set("window_auto", cfg.window_auto)
+                        .set("placement", placement_name(cfg.placement))
+                        .set("fast_path", cfg.fast_path)
+                        .set("audit_frac", cfg.audit_frac)
                         .set("nodes_per_job", cfg.nodes_per_job)
                         .set("n_report_intervals", cfg.n_report_intervals)
                         .set("preempt_quantum", cfg.preempt_quantum)
@@ -985,11 +1323,11 @@ struct Engine {
         }
       }
     }
-    // Order statistics come from the insert-sorted per-tenant samples (no
-    // end-of-run re-sort): the global view is a merge of already-sorted
-    // runs, and each tenant's is read off directly.
+    // One sort per tenant at the end of the run; the global view is then
+    // a merge of sorted runs.
     std::vector<double> waits;
-    for (const auto& [tenant, tw] : tenant_waits) {
+    for (auto& [tenant, tw] : tenant_waits) {
+      std::sort(tw.begin(), tw.end());
       std::vector<double> merged;
       merged.reserve(waits.size() + tw.size());
       std::merge(waits.begin(), waits.end(), tw.begin(), tw.end(),
@@ -1032,6 +1370,24 @@ struct Engine {
     }
     res.wait_calibration = wait_calibration_json(
         perfmodel::calibrate_queue_wait(pred_waits, real_waits));
+    if (cfg.fast_path) {
+      for (const auto& js : jobs) {
+        res.jobs_modeled += js.rec.modeled ? 1 : 0;
+        res.jobs_audited += js.rec.audited ? 1 : 0;
+        res.audits_forced += js.rec.audit_forced ? 1 : 0;
+      }
+      const perfmodel::AuditGate gate = perfmodel::audit_fast_path(
+          audit_price, audit_measured,
+          cfg.audit_tolerance > 0.0 ? cfg.audit_tolerance
+                                    : perfmodel::kDefaultAuditTolerance);
+      res.fast_path = telemetry::Json::object()
+                          .set("modeled", res.jobs_modeled)
+                          .set("audited", res.jobs_audited)
+                          .set("forced", res.audits_forced)
+                          .set("audit", audit_gate_json(gate));
+      metrics.set_gauge("service.jobs_modeled", res.jobs_modeled);
+      metrics.set_gauge("service.jobs_audited", res.jobs_audited);
+    }
     res.metrics = metrics.snapshot();
     res.outcomes = std::move(outcomes);
     res.jobs.reserve(jobs.size());
@@ -1099,12 +1455,22 @@ std::string ServiceResult::describe() const {
     out += strprintf("  fairness (Jain): %.4f over %zu tenant(s)\n",
                      fairness_jain, tenant_queue_wait.size());
   }
+  if (jobs_modeled > 0 || jobs_audited > 0) {
+    const telemetry::Json* audit =
+        fast_path.is_object() ? fast_path.find("audit") : nullptr;
+    const bool gate_pass = audit == nullptr || audit->at("pass").as_bool();
+    out += strprintf(
+        "  fast path: %d modeled, %d audited (%d forced), audit gate %s\n",
+        jobs_modeled, jobs_audited, audits_forced,
+        gate_pass ? "PASS" : "FAIL");
+  }
   for (const auto& j : jobs) {
     out += strprintf(
         "  job %d: k=%d fp=%016llx %d node(s) rps=%d prio=%d slices=%d "
-        "preempt=%d%s\n",
+        "preempt=%d%s%s\n",
         j.id, j.k, static_cast<unsigned long long>(j.cmat_fingerprint),
         j.nodes, j.ranks_per_sim, j.priority, j.slices, j.preemptions,
+        j.modeled ? " modeled" : (j.audited ? " audited" : ""),
         j.failure.empty() ? "" : " FAILED");
   }
   return out;
@@ -1113,7 +1479,7 @@ std::string ServiceResult::describe() const {
 telemetry::Json ServiceResult::to_json() const {
   using telemetry::Json;
   Json doc = Json::object();
-  doc.set("schema", "xgyro.service").set("schema_version", 2);
+  doc.set("schema", "xgyro.service").set("schema_version", 3);
   Json totals = Json::object();
   totals.set("admitted", admitted)
       .set("rejected", rejected)
@@ -1146,6 +1512,7 @@ telemetry::Json ServiceResult::to_json() const {
   if (wait_calibration.is_object()) {
     doc.set("wait_calibration", wait_calibration);
   }
+  if (fast_path.is_object()) doc.set("fast_path", fast_path);
   if (observability.is_object()) doc.set("observability", observability);
   Json jarr = Json::array();
   for (const auto& j : jobs) {
@@ -1164,6 +1531,9 @@ telemetry::Json ServiceResult::to_json() const {
         .set("slices", j.slices)
         .set("preemptions", j.preemptions)
         .set("recoveries", static_cast<std::int64_t>(j.recoveries.size()))
+        .set("modeled", j.modeled)
+        .set("audited", j.audited)
+        .set("price_s", j.price_s)
         .set("failure", j.failure);
     Json members = Json::array();
     for (const int id : j.request_ids) members.push(id);

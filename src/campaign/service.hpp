@@ -14,9 +14,10 @@
 //                 whole point: the collisional constant tensor is built
 //                 once per job, not once per request);
 //   placement   — ready jobs are bin-packed onto the simulated cluster
-//                 (first-fit in priority order), with higher-priority
-//                 jobs able to preempt running ones at slice boundaries
-//                 through the checkpoint/restart path;
+//                 (first-fit in priority order by default, or EASY
+//                 backfilling with a head-of-queue reservation), with
+//                 higher-priority jobs able to preempt running ones at
+//                 slice boundaries through the checkpoint/restart path;
 //   telemetry   — per-tenant counters, queue-wait histograms + exact
 //                 percentiles, and optional per-job RunReports.
 //
@@ -27,8 +28,11 @@
 //
 // Everything runs under the deterministic DES: the service clock is
 // virtual, job durations come from actually running each job (slice) with
-// mpi::run_simulation, and identical streams + config reproduce identical
-// results bit for bit.
+// mpi::run_simulation — or, on the modeled fast path, directly from the
+// perfmodel closed forms, with a seeded sample of jobs still DES-executed
+// as audits so the model cannot silently drift (ServiceConfig::fast_path).
+// Identical streams + config reproduce identical results bit for bit in
+// every mode.
 #pragma once
 
 #include <cstdint>
@@ -67,6 +71,27 @@ enum class Admission {
 };
 
 [[nodiscard]] const char* admission_name(Admission a);
+
+/// How try_schedule packs ready jobs onto free nodes (always in
+/// priority-desc / queue-age-asc order).
+enum class PlacementPolicy {
+  /// Greedy: every job that fits the free nodes starts, even past a
+  /// blocked head-of-queue job. Maximizes instantaneous utilization but
+  /// can starve a large job indefinitely.
+  kFirstFit = 0,
+  /// Strict order: placement stops at the first job that does not fit.
+  /// Nothing ever overtakes the head, at the cost of idle nodes.
+  kFifo,
+  /// EASY backfilling: the blocked head gets a reservation at its
+  /// predicted start time (computed from the perfmodel release times of
+  /// running jobs); later jobs may start only if their predicted finish
+  /// lands before that reservation or they fit into nodes the head will
+  /// not need. Bounded head delay AND backfilled utilization — the PR-8
+  /// monitor's starvation bound is the gate that checks the first half.
+  kBackfill,
+};
+
+[[nodiscard]] const char* placement_name(PlacementPolicy p);
 
 struct ServiceConfig {
   net::MachineSpec cluster;       ///< the multi-tenant allocation to pack
@@ -109,6 +134,29 @@ struct ServiceConfig {
   /// SLO objective (SloSpec grammar, e.g. "wait=100;target=0.9;burn=2").
   /// Empty = no SLO monitoring. Requires an event sink.
   std::string slo;
+
+  // --- Production-scale stream knobs ---------------------------------------
+  /// Modeled fast path: price each slice from the perfmodel (the same
+  /// selector-aware closed forms the planner used to choose the job's
+  /// layout) and advance virtual time without spinning up simnet ranks.
+  /// A seeded sample of audit_frac jobs still DES-executes and feeds the
+  /// fast-path divergence gate (perfmodel::audit_fast_path); jobs carrying
+  /// fault plans are always DES-executed ("forced" audits — the model
+  /// cannot price kills and recoveries) but excluded from the gate.
+  bool fast_path = false;
+  double audit_frac = 0.05;      ///< fraction of jobs sampled for DES audit
+  std::uint64_t audit_seed = 1;  ///< seeds the per-job audit draw
+  /// Audit-gate ratio tolerance; 0 = perfmodel::kDefaultAuditTolerance.
+  double audit_tolerance = 0.0;
+  /// Placement policy; kFirstFit reproduces the PR-7 greedy behavior.
+  PlacementPolicy placement = PlacementPolicy::kFirstFit;
+  /// Auto-tune the batching window per signature from the observed
+  /// arrival mix: a rolling inter-arrival estimate per cmat fingerprint
+  /// picks, for each newly opened batch, the window (up to
+  /// batching_window_s) maximizing expected shared-cmat savings minus
+  /// wait cost. Rare signatures close immediately; hot ones keep the full
+  /// window. Requires windowed batching.
+  bool window_auto = false;
 };
 
 /// Where one request ended up.
@@ -124,7 +172,9 @@ struct RequestOutcome {
   int job = -1;                   ///< ServiceJobRecord::id (-1 = rejected)
   std::uint64_t cmat_fingerprint = 0;
   bool completed = false;
-  gyro::Diagnostics diagnostics;  ///< final report interval (completed only)
+  bool modeled = false;           ///< fast-path priced: no DES diagnostics
+  gyro::Diagnostics diagnostics;  ///< final report interval (completed,
+                                  ///< DES-executed jobs only)
 
   [[nodiscard]] double wait_s() const {
     return start_s >= 0.0 ? start_s - arrival_s : 0.0;
@@ -150,6 +200,11 @@ struct ServiceJobRecord {
   int preemptions = 0;
   std::vector<RecoveryEvent> recoveries;
   std::string failure;            ///< empty = completed
+  // Fast-path accounting (all zero/false outside fast_path runs):
+  bool modeled = false;           ///< slices priced, not DES-executed
+  bool audited = false;           ///< sampled (or forced) DES audit
+  bool audit_forced = false;      ///< audited because it carries faults
+  double price_s = 0.0;           ///< summed fast-path slice prices
 };
 
 /// Exact queue-wait percentiles over completed requests (computed from the
@@ -177,9 +232,16 @@ struct ServiceResult {
   telemetry::Json metrics;         ///< xgyro.metrics snapshot
   /// ServiceMonitor end-of-run report (null unless an event sink was set).
   telemetry::Json observability;
+  // Fast-path accounting (zero / null unless cfg.fast_path):
+  int jobs_modeled = 0;
+  int jobs_audited = 0;    ///< sampled + forced
+  int audits_forced = 0;
+  /// Fast-path audit verdict: counters + perfmodel::audit_fast_path gate
+  /// over the sampled (price, measured) pairs.
+  telemetry::Json fast_path;
 
   [[nodiscard]] std::string describe() const;
-  /// { "schema": "xgyro.service", "schema_version": 2, ... }
+  /// { "schema": "xgyro.service", "schema_version": 3, ... }
   [[nodiscard]] telemetry::Json to_json() const;
 };
 

@@ -345,7 +345,8 @@ PlanPoint plan_cgyro(const gyro::Input& input, const net::MachineSpec& machine) 
 }
 
 PlanPoint plan_xgyro(const gyro::Input& input, int k,
-                     const net::MachineSpec& machine) {
+                     const net::MachineSpec& machine,
+                     const mpi::CollSelector* selector) {
   XG_REQUIRE(k >= 1, "plan_xgyro: k must be >= 1");
   XG_REQUIRE(machine.total_ranks() % k == 0,
              "plan_xgyro: total ranks not divisible by ensemble size");
@@ -356,7 +357,7 @@ PlanPoint plan_xgyro(const gyro::Input& input, int k,
   p.decomp = gyro::Decomposition::choose(input, p.ranks_per_sim, k);
   p.fit = cluster::check_fit(
       gyro::Simulation::memory_inventory(input, p.decomp, k), machine);
-  p.per_report = estimate_phases(input, p.decomp, k, machine);
+  p.per_report = estimate_phases(input, p.decomp, k, machine, selector);
   return p;
 }
 
@@ -402,6 +403,43 @@ WaitCalibration calibrate_queue_wait(const std::vector<double>& predicted_s,
   c.pass = !c.significant ||
            (c.ratio <= tolerance && c.coverage >= min_coverage);
   return c;
+}
+
+AuditGate audit_fast_path(const std::vector<double>& price_s,
+                          const std::vector<double>& measured_s,
+                          double tolerance) {
+  if (price_s.size() != measured_s.size()) {
+    throw InputError(strprintf(
+        "audit_fast_path: %zu prices vs %zu measured costs",
+        price_s.size(), measured_s.size()));
+  }
+  AuditGate g;
+  g.tolerance = tolerance;
+  g.n = static_cast<int>(price_s.size());
+  if (g.n == 0) return g;
+  double price_sum = 0.0, measured_sum = 0.0, ratio_sum = 0.0;
+  for (size_t i = 0; i < price_s.size(); ++i) {
+    const double p = price_s[i];
+    const double m = measured_s[i];
+    if ((p <= 0.0) != (m <= 0.0)) {
+      throw InputError(strprintf(
+          "audit_fast_path: sample %zu has price %g vs measured %g (one "
+          "side vanished)", i, p, m));
+    }
+    price_sum += p;
+    measured_sum += m;
+    const double ratio =
+        (p <= 0.0 && m <= 0.0) ? 1.0 : std::max(p, m) / std::min(p, m);
+    ratio_sum += ratio;
+    g.worst_ratio = std::max(g.worst_ratio, ratio);
+  }
+  g.mean_price_s = price_sum / g.n;
+  g.mean_measured_s = measured_sum / g.n;
+  g.mean_ratio = ratio_sum / g.n;
+  g.significant =
+      g.n >= kAuditMinSamples && g.mean_measured_s >= kAuditMinMeanMeasuredS;
+  g.pass = !g.significant || g.worst_ratio <= tolerance;
+  return g;
 }
 
 int min_feasible_nodes_cgyro(const gyro::Input& input, int max_nodes) {

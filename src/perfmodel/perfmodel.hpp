@@ -105,9 +105,13 @@ struct PlanPoint {
 PlanPoint plan_cgyro(const gyro::Input& input, const net::MachineSpec& machine);
 
 /// Evaluate running a k-member ensemble XGYRO-style on `nodes` nodes
-/// (ranks split evenly across members).
+/// (ranks split evenly across members). `selector` propagates to
+/// estimate_phases so callers pricing a run that uses a tuned collective
+/// decision table (the campaign service's fast path) get selector-aware
+/// comm costs.
 PlanPoint plan_xgyro(const gyro::Input& input, int k,
-                     const net::MachineSpec& machine);
+                     const net::MachineSpec& machine,
+                     const mpi::CollSelector* selector = nullptr);
 
 /// Smallest power-of-two node count (≤ max_nodes) at which one CGYRO
 /// simulation fits; -1 if none. Reproduces the paper's "a single CGYRO
@@ -160,5 +164,38 @@ WaitCalibration calibrate_queue_wait(
     const std::vector<double>& realized_s,
     double tolerance = kDefaultWaitTolerance,
     double min_coverage = kDefaultWaitMinCoverage);
+
+/// Divergence verdict for the campaign service's modeled fast path: each
+/// sampled-audit job contributes a (fast-path price, audited DES cost)
+/// pair, and the gate checks the per-job ratio max(price, cost) /
+/// min(price, cost) against a multiplicative tolerance — the same envelope
+/// the PR-5 phase-divergence gate uses, because both compare the closed
+/// forms to the DES they summarize.
+struct AuditGate {
+  int n = 0;                      ///< audited (price, cost) pairs
+  double mean_price_s = 0.0;      ///< mean fast-path price per audited job
+  double mean_measured_s = 0.0;   ///< mean DES-measured cost per audited job
+  double worst_ratio = 0.0;       ///< max per-job divergence ratio (>= 1)
+  double mean_ratio = 0.0;        ///< mean per-job divergence ratio
+  bool significant = false;       ///< n and mean cost above the cuts
+  bool pass = true;               ///< !significant, or worst_ratio <= tol
+  double tolerance = 0.0;
+};
+
+/// Audit-gate defaults. The tolerance matches the PR-5 divergence envelope:
+/// the price and the audited cost come from the same model/DES pair, so a
+/// job drifting past 3x means the closed forms no longer describe what the
+/// simulator executes. Significance cuts keep trivial streams (too few
+/// audits, or audited costs in the noise) reported but not gated.
+inline constexpr double kDefaultAuditTolerance = 3.0;
+inline constexpr int kAuditMinSamples = 3;
+inline constexpr double kAuditMinMeanMeasuredS = 1e-6;
+
+/// Compare fast-path prices with audited DES costs (parallel vectors, one
+/// entry per sampled-audit job). Throws xg::InputError when the vectors
+/// disagree in length or a sample is non-positive on one side only.
+AuditGate audit_fast_path(const std::vector<double>& price_s,
+                          const std::vector<double>& measured_s,
+                          double tolerance = kDefaultAuditTolerance);
 
 }  // namespace xg::perfmodel

@@ -135,122 +135,152 @@ ReqState state_after(const std::string& type) {
 
 }  // namespace
 
-EventLogStats validate_events(const std::vector<Json>& records) {
-  if (records.empty()) {
+void EventValidator::consume(const Json& record) {
+  XG_REQUIRE(!finished_, "events: consume after finish");
+  const long i = next_seq_;
+  if (!record.is_object()) {
+    throw InputError(strprintf("events: record %ld is not an object", i));
+  }
+  const Json* seq_field = record.find("seq");
+  if (seq_field == nullptr) {
+    throw InputError(strprintf("events: record %ld has no 'seq'", i));
+  }
+  const long seq = static_cast<long>(seq_field->as_int());
+  if (seq != i) {
+    bad(seq, strprintf("expected seq %ld (duplicate, gap, or out-of-order "
+                       "record)", i));
+  }
+  ++next_seq_;
+  const Json* t_field = record.find("t");
+  if (t_field == nullptr) bad(seq, "missing 't'");
+  const double t = t_field->as_double();
+  if (!std::isfinite(t) || t < 0.0) bad(seq, "non-finite or negative 't'");
+  if (i > 0 && t < prev_t_) {
+    bad(seq, strprintf("time runs backwards (%.9g after %.9g)", t, prev_t_));
+  }
+  prev_t_ = t;
+  const Json* type_field = record.find("type");
+  if (type_field == nullptr) bad(seq, "missing 'type'");
+  const std::string& type = type_field->as_string();
+  if (closed_) {
+    bad(seq, "record after the log's terminal service.* record");
+  }
+  ++stats_.records;
+  ++stats_.by_type[type];
+
+  if (i == 0) {
+    if (type != "service.start") {
+      bad(seq, "first record must be service.start");
+    }
+    const Json* schema = record.find("schema");
+    if (schema == nullptr || schema->as_string() != kEventSchema) {
+      bad(seq, "service.start missing schema 'xgyro.events'");
+    }
+    if (record.at("schema_version").as_int() != kEventSchemaVersion) {
+      bad(seq, "unsupported schema_version");
+    }
+    return;
+  }
+  if (type == "service.start") bad(seq, "second service.start");
+
+  if (type == "service.end") {
+    stats_.ended = true;
+    closed_ = true;
+    return;
+  }
+  if (type == "service.aborted") {
+    stats_.aborted = true;
+    closed_ = true;
+    return;
+  }
+  if (type == "monitor.snapshot" || type == "slo.alert") return;
+
+  if (type == "job.modeled" || type == "job.audited") {
+    const Json* job_field = record.find("job");
+    if (job_field == nullptr || job_field->as_int() < 0) {
+      bad(seq, type + " without a non-negative 'job' id");
+    }
+    const Json* price = record.find("price_s");
+    if (price == nullptr || !std::isfinite(price->as_double()) ||
+        price->as_double() < 0.0) {
+      bad(seq, type + " without a finite non-negative 'price_s'");
+    }
+    if (type == "job.audited") {
+      const Json* measured = record.find("measured_s");
+      if (measured == nullptr || !std::isfinite(measured->as_double()) ||
+          measured->as_double() < 0.0) {
+        bad(seq, "job.audited without a finite non-negative 'measured_s'");
+      }
+      ++stats_.jobs_audited;
+    } else {
+      ++stats_.jobs_modeled;
+    }
+    return;
+  }
+
+  if (type.rfind("request.", 0) != 0) {
+    bad(seq, strprintf("unknown event type '%s'", type.c_str()));
+  }
+  const Json* req_field = record.find("request");
+  if (req_field == nullptr) bad(seq, type + " has no 'request' id");
+  const int id = static_cast<int>(req_field->as_int());
+
+  const auto it = req_state_.find(id);
+  if (type == "request.submitted") {
+    if (it != req_state_.end()) {
+      bad(seq, strprintf("request %d submitted twice", id));
+    }
+    req_state_[id] = static_cast<int>(ReqState::kSubmitted);
+    ++stats_.requests;
+    return;
+  }
+  const auto legal_it = transitions().find(type);
+  if (legal_it == transitions().end()) {
+    bad(seq, strprintf("unknown request event '%s'", type.c_str()));
+  }
+  if (it == req_state_.end()) {
+    bad(seq, strprintf("%s for request %d before request.submitted",
+                       type.c_str(), id));
+  }
+  const auto& legal = legal_it->second;
+  const auto cur = static_cast<ReqState>(it->second);
+  if (std::find(legal.begin(), legal.end(), cur) == legal.end()) {
+    bad(seq, strprintf("illegal transition for request %d: %s while %s",
+                       id, type.c_str(), req_state_name(cur)));
+  }
+  const ReqState next = state_after(type);
+  it->second = static_cast<int>(next);
+  if (is_terminal(next)) {
+    ++stats_.terminals;
+    if (next == ReqState::kCompleted) ++stats_.completed;
+    if (next == ReqState::kFailed) ++stats_.failed;
+    if (next == ReqState::kRejected) ++stats_.rejected;
+  }
+}
+
+EventLogStats EventValidator::finish() {
+  XG_REQUIRE(!finished_, "events: finish called twice");
+  finished_ = true;
+  if (stats_.records == 0) {
     throw InputError("events: empty log (no service.start record)");
   }
-  EventLogStats stats;
-  std::map<int, ReqState> req_state;
-  double prev_t = 0.0;
-  bool closed = false;  // saw service.end / service.aborted
-
-  for (size_t i = 0; i < records.size(); ++i) {
-    const Json& rec = records[i];
-    if (!rec.is_object()) {
-      throw InputError(strprintf("events: record %zu is not an object", i));
-    }
-    const Json* seq_field = rec.find("seq");
-    if (seq_field == nullptr) {
-      throw InputError(strprintf("events: record %zu has no 'seq'", i));
-    }
-    const long seq = static_cast<long>(seq_field->as_int());
-    if (seq != static_cast<long>(i)) {
-      bad(seq, strprintf("expected seq %zu (duplicate, gap, or out-of-order "
-                         "record)", i));
-    }
-    const Json* t_field = rec.find("t");
-    if (t_field == nullptr) bad(seq, "missing 't'");
-    const double t = t_field->as_double();
-    if (!std::isfinite(t) || t < 0.0) bad(seq, "non-finite or negative 't'");
-    if (i > 0 && t < prev_t) {
-      bad(seq, strprintf("time runs backwards (%.9g after %.9g)", t, prev_t));
-    }
-    prev_t = t;
-    const Json* type_field = rec.find("type");
-    if (type_field == nullptr) bad(seq, "missing 'type'");
-    const std::string& type = type_field->as_string();
-    if (closed) {
-      bad(seq, "record after the log's terminal service.* record");
-    }
-    ++stats.records;
-    ++stats.by_type[type];
-
-    if (i == 0) {
-      if (type != "service.start") {
-        bad(seq, "first record must be service.start");
-      }
-      const Json* schema = rec.find("schema");
-      if (schema == nullptr || schema->as_string() != kEventSchema) {
-        bad(seq, "service.start missing schema 'xgyro.events'");
-      }
-      if (rec.at("schema_version").as_int() != kEventSchemaVersion) {
-        bad(seq, "unsupported schema_version");
-      }
-      continue;
-    }
-    if (type == "service.start") bad(seq, "second service.start");
-
-    if (type == "service.end") {
-      stats.ended = true;
-      closed = true;
-      continue;
-    }
-    if (type == "service.aborted") {
-      stats.aborted = true;
-      closed = true;
-      continue;
-    }
-    if (type == "monitor.snapshot" || type == "slo.alert") continue;
-
-    if (type.rfind("request.", 0) != 0) {
-      bad(seq, strprintf("unknown event type '%s'", type.c_str()));
-    }
-    const Json* req_field = rec.find("request");
-    if (req_field == nullptr) bad(seq, type + " has no 'request' id");
-    const int id = static_cast<int>(req_field->as_int());
-
-    const auto it = req_state.find(id);
-    if (type == "request.submitted") {
-      if (it != req_state.end()) {
-        bad(seq, strprintf("request %d submitted twice", id));
-      }
-      req_state[id] = ReqState::kSubmitted;
-      ++stats.requests;
-      continue;
-    }
-    const auto legal_it = transitions().find(type);
-    if (legal_it == transitions().end()) {
-      bad(seq, strprintf("unknown request event '%s'", type.c_str()));
-    }
-    if (it == req_state.end()) {
-      bad(seq, strprintf("%s for request %d before request.submitted",
-                         type.c_str(), id));
-    }
-    const auto& legal = legal_it->second;
-    if (std::find(legal.begin(), legal.end(), it->second) == legal.end()) {
-      bad(seq, strprintf("illegal transition for request %d: %s while %s",
-                         id, type.c_str(), req_state_name(it->second)));
-    }
-    const ReqState next = state_after(type);
-    it->second = next;
-    if (is_terminal(next)) {
-      ++stats.terminals;
-      if (next == ReqState::kCompleted) ++stats.completed;
-      if (next == ReqState::kFailed) ++stats.failed;
-      if (next == ReqState::kRejected) ++stats.rejected;
-    }
-  }
-
-  if (!stats.aborted) {
-    for (const auto& [id, s] : req_state) {
-      if (!is_terminal(s)) {
+  if (!stats_.aborted) {
+    for (const auto& [id, s] : req_state_) {
+      if (!is_terminal(static_cast<ReqState>(s))) {
         throw InputError(strprintf(
             "events: request %d never reached a terminal state (last: %s) "
-            "and the log did not abort", id, req_state_name(s)));
+            "and the log did not abort", id,
+            req_state_name(static_cast<ReqState>(s))));
       }
     }
   }
-  return stats;
+  return stats_;
+}
+
+EventLogStats validate_events(const std::vector<Json>& records) {
+  EventValidator v;
+  for (const Json& rec : records) v.consume(rec);
+  return v.finish();
 }
 
 std::vector<Json> load_event_log(const std::string& path) {

@@ -25,13 +25,22 @@
 //   monitor.snapshot periodic rolling-window monitor state (no lifecycle
 //                    effect)
 //   slo.alert        burn-rate alert emitted by the SLO monitor
+//   job.modeled      a job's slices were priced by the perfmodel fast path
+//                    instead of DES-executed: job id + fast-path price
+//   job.audited      a sampled-audit job finished its DES execution: job
+//                    id, fast-path price, measured DES cost, divergence
+//                    ratio, and whether the audit was forced (fault plans)
 //   service.end      last record of a clean run: totals
 //   service.aborted  last record of a crashed run: reason
 //
 // validate_events() checks the whole grammar: contiguous seq, monotone t,
 // exactly-once terminals, and per-request transition legality; a log that
 // ends in service.aborted is exempt from the every-request-terminal rule
-// (that is what makes flushed partial logs schema-valid).
+// (that is what makes flushed partial logs schema-valid). At production
+// stream sizes the parsed-vector form is too hungry (10⁵ requests ≈ 10⁶
+// records); EventValidator is the streaming equivalent — feed records one
+// at a time, memory stays O(requests), and validate_events() is now a thin
+// wrapper over it.
 #pragma once
 
 #include <cstdio>
@@ -103,17 +112,42 @@ struct EventLogStats {
   int completed = 0;
   int failed = 0;
   int rejected = 0;
+  int jobs_modeled = 0;  ///< job.modeled records (fast-path priced jobs)
+  int jobs_audited = 0;  ///< job.audited records (sampled DES audits)
   bool aborted = false;  ///< log ends in service.aborted
   bool ended = false;    ///< log ends in service.end
   std::map<std::string, int> by_type;
 };
 
+/// Streaming grammar validator: consume() each record in stream order,
+/// then finish() exactly once for the end-of-log checks (every submitted
+/// request terminal unless the log aborted). Throws xg::InputError naming
+/// the offending seq on any violation: gaps/duplicates/out-of-order seq,
+/// time running backwards, a missing or malformed service.start header,
+/// an illegal per-request transition, a second terminal, a job.* record
+/// without its job/price fields, or events after the log's terminal
+/// service.* record. Memory is O(distinct requests), never O(records), so
+/// a 10⁵-request stream can validate inline as the service emits.
+class EventValidator : public EventSink {
+ public:
+  void consume(const Json& record);
+  /// EventSink adapter so the validator can sit directly in a sink chain.
+  void write(const Json& record) override { consume(record); }
+  /// End-of-log checks; returns the accumulated stats. Call once.
+  EventLogStats finish();
+  [[nodiscard]] const EventLogStats& stats() const { return stats_; }
+
+ private:
+  EventLogStats stats_;
+  std::map<int, int> req_state_;  ///< request id -> ReqState (as int)
+  long next_seq_ = 0;
+  double prev_t_ = 0.0;
+  bool closed_ = false;
+  bool finished_ = false;
+};
+
 /// Validate a parsed record stream against the full grammar (see file
-/// header). Throws xg::InputError naming the offending seq on any
-/// violation: gaps/duplicates/out-of-order seq, time running backwards,
-/// a missing or malformed service.start header, an illegal per-request
-/// transition, a second terminal, events after the log's terminal record,
-/// or a submitted request left non-terminal in a log that did not abort.
+/// header): EventValidator::consume over every record, then finish().
 EventLogStats validate_events(const std::vector<Json>& records);
 
 /// Parse a JSONL event log file into records (no validation beyond JSON

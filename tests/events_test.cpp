@@ -151,6 +151,98 @@ TEST(EventValidation, SnapshotAndAlertRecordsPassThrough) {
   EXPECT_EQ(stats.by_type.at("slo.alert"), 1);
 }
 
+TEST(EventValidation, CountsFastPathJobRecords) {
+  LogBuilder b;
+  b.full_life(0, "a", 0.0);
+  b.add(0.5, "job.modeled").set("job", 0).set("k", 1).set("price_s", 0.25);
+  b.add(0.9, "job.audited")
+      .set("job", 1)
+      .set("price_s", 0.25)
+      .set("measured_s", 0.27)
+      .set("forced", false);
+  // A zero price is legal (an empty slice costs nothing), as is a forced
+  // audit of a job that never got a job.modeled record.
+  b.add(1.0, "job.audited")
+      .set("job", 2)
+      .set("price_s", 0.0)
+      .set("measured_s", 0.0)
+      .set("forced", true);
+  const EventLogStats stats = validate_events(b.end(2.0));
+  EXPECT_EQ(stats.jobs_modeled, 1);
+  EXPECT_EQ(stats.jobs_audited, 2);
+  EXPECT_EQ(stats.by_type.at("job.modeled"), 1);
+  EXPECT_EQ(stats.by_type.at("job.audited"), 2);
+}
+
+TEST(EventValidation, RejectsMalformedFastPathJobRecords) {
+  {
+    LogBuilder b;
+    b.full_life(0, "a", 0.0);
+    b.add(0.5, "job.modeled").set("price_s", 0.25);  // no job id
+    expect_rejects(b.end(2.0), "job");
+  }
+  {
+    LogBuilder b;
+    b.full_life(0, "a", 0.0);
+    b.add(0.5, "job.modeled").set("job", -1).set("price_s", 0.25);
+    expect_rejects(b.end(2.0), "non-negative 'job'");
+  }
+  {
+    LogBuilder b;
+    b.full_life(0, "a", 0.0);
+    b.add(0.5, "job.modeled").set("job", 0);  // no price
+    expect_rejects(b.end(2.0), "price_s");
+  }
+  {
+    LogBuilder b;
+    b.full_life(0, "a", 0.0);
+    b.add(0.5, "job.modeled").set("job", 0).set("price_s", -1.0);
+    expect_rejects(b.end(2.0), "price_s");
+  }
+  {
+    // job.audited without the measured DES cost
+    LogBuilder b;
+    b.full_life(0, "a", 0.0);
+    b.add(0.5, "job.audited").set("job", 0).set("price_s", 0.25);
+    expect_rejects(b.end(2.0), "measured_s");
+  }
+}
+
+TEST(EventValidation, StreamingValidatorMatchesBatchValidation) {
+  // The streaming EventValidator is what the scale path runs inline; it
+  // must accept exactly the logs validate_events accepts, with the same
+  // census — including the fast-path job records.
+  LogBuilder b;
+  b.full_life(0, "a", 0.0);
+  b.full_life(1, "b", 0.2);
+  b.add(0.5, "job.modeled").set("job", 0).set("price_s", 0.25);
+  b.add(0.9, "job.audited")
+      .set("job", 1)
+      .set("price_s", 0.3)
+      .set("measured_s", 0.31)
+      .set("forced", false);
+  const auto recs = b.end(2.0);
+
+  const EventLogStats batch = validate_events(recs);
+  EventValidator streaming;
+  for (const auto& rec : recs) streaming.consume(rec);
+  const EventLogStats stream_stats = streaming.finish();
+
+  EXPECT_EQ(stream_stats.records, batch.records);
+  EXPECT_EQ(stream_stats.requests, batch.requests);
+  EXPECT_EQ(stream_stats.terminals, batch.terminals);
+  EXPECT_EQ(stream_stats.completed, batch.completed);
+  EXPECT_EQ(stream_stats.jobs_modeled, batch.jobs_modeled);
+  EXPECT_EQ(stream_stats.jobs_audited, batch.jobs_audited);
+  EXPECT_EQ(stream_stats.ended, batch.ended);
+  EXPECT_EQ(stream_stats.by_type, batch.by_type);
+
+  // And it rejects mid-stream exactly where the batch form would.
+  EventValidator rejects;
+  rejects.consume(recs[0]);
+  EXPECT_THROW(rejects.consume(recs[2]), InputError);  // seq gap
+}
+
 // ---------------------------------------------------------------------------
 // Validator: rejections
 

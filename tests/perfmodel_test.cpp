@@ -321,5 +321,74 @@ TEST(WaitCalibrationGate, RejectsMismatchedVectors) {
   EXPECT_FALSE(empty.significant);
 }
 
+TEST(FastPathAuditGate, SmallOrQuietSamplesReportButNeverGate) {
+  // Two wildly divergent audits: under the sample-count cut.
+  const AuditGate few = audit_fast_path({1.0, 1.0}, {10.0, 10.0});
+  EXPECT_EQ(few.n, 2);
+  EXPECT_FALSE(few.significant);
+  EXPECT_TRUE(few.pass);
+  EXPECT_DOUBLE_EQ(few.worst_ratio, 10.0);
+
+  // Audited costs down in the noise: under the mean-measured cut.
+  const AuditGate quiet =
+      audit_fast_path({1e-8, 1e-8, 1e-8, 1e-8}, {1e-7, 1e-7, 1e-7, 1e-7});
+  EXPECT_FALSE(quiet.significant);
+  EXPECT_TRUE(quiet.pass);
+  EXPECT_LT(quiet.mean_measured_s, kAuditMinMeanMeasuredS);
+
+  const AuditGate empty = audit_fast_path({}, {});
+  EXPECT_EQ(empty.n, 0);
+  EXPECT_TRUE(empty.pass);
+  EXPECT_FALSE(empty.significant);
+}
+
+TEST(FastPathAuditGate, AccuratePricesPassAndStatsAreExact) {
+  // Prices within a few percent of the audited costs, both directions:
+  // the ratio is symmetric (max/min), so under- and over-pricing gate
+  // alike.
+  const AuditGate g = audit_fast_path({1.0, 2.0, 4.2}, {1.1, 1.9, 4.2});
+  EXPECT_EQ(g.n, 3);
+  EXPECT_TRUE(g.significant);
+  EXPECT_TRUE(g.pass);
+  EXPECT_NEAR(g.worst_ratio, 1.1, 1e-12);
+  EXPECT_NEAR(g.mean_price_s, 7.2 / 3.0, 1e-12);
+  EXPECT_NEAR(g.mean_measured_s, 7.2 / 3.0, 1e-12);
+  EXPECT_GE(g.mean_ratio, 1.0);
+  EXPECT_LE(g.mean_ratio, g.worst_ratio);
+  EXPECT_DOUBLE_EQ(g.tolerance, kDefaultAuditTolerance);
+}
+
+TEST(FastPathAuditGate, SingleDivergentJobTripsTheGate) {
+  // The gate is a worst-case cut, not an average: one job drifting past
+  // the tolerance fails the whole stream even if the mean looks fine.
+  const AuditGate g =
+      audit_fast_path({1.0, 1.0, 1.0, 1.0}, {1.0, 1.0, 1.0, 3.5});
+  EXPECT_TRUE(g.significant);
+  EXPECT_FALSE(g.pass);
+  EXPECT_NEAR(g.worst_ratio, 3.5, 1e-12);
+  EXPECT_LT(g.mean_ratio, kDefaultAuditTolerance);
+
+  // A wider tolerance accepts the same stream.
+  EXPECT_TRUE(audit_fast_path({1.0, 1.0, 1.0, 1.0},
+                              {1.0, 1.0, 1.0, 3.5}, 4.0).pass);
+}
+
+TEST(FastPathAuditGate, ZeroPairsCountAsAgreement) {
+  // A job whose price and audited cost both vanish contributes ratio 1
+  // (perfect agreement), not a division by zero.
+  const AuditGate g = audit_fast_path({0.0, 2.0, 2.0}, {0.0, 2.0, 2.0});
+  EXPECT_TRUE(g.pass);
+  EXPECT_DOUBLE_EQ(g.worst_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(g.mean_ratio, 1.0);
+}
+
+TEST(FastPathAuditGate, RejectsMismatchedOrOneSidedSamples) {
+  EXPECT_THROW(audit_fast_path({1.0, 2.0}, {1.0}), InputError);
+  // One side vanished: the model priced work the DES never ran (or vice
+  // versa) — that is a bug upstream, not a divergence to average away.
+  EXPECT_THROW(audit_fast_path({0.0}, {1.0}), InputError);
+  EXPECT_THROW(audit_fast_path({1.0}, {0.0}), InputError);
+}
+
 }  // namespace
 }  // namespace xg::perfmodel

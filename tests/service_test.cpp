@@ -448,6 +448,304 @@ TEST_P(ServiceStress, InvariantsHoldUnderRandomizedLoad) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ServiceStress, ::testing::Range(1, 16));
 
 // ---------------------------------------------------------------------------
+// Fast path: modeled pricing vs full DES execution
+
+ServiceConfig fast_path_config(int seed) {
+  ServiceConfig cfg;
+  cfg.cluster = net::testbox(2, 2);
+  cfg.batching_window_s = 0.5 * (seed % 2);  // 0 disables for even seeds
+  cfg.max_batch = 2 + seed % 2;
+  return cfg;
+}
+
+std::vector<Request> fast_path_stream(int seed) {
+  StreamSpec spec;
+  spec.seed = static_cast<std::uint64_t>(seed);
+  spec.n = 6 + seed % 5;
+  spec.rate_hz = 2.0 + seed % 5;
+  spec.tenants = 1 + seed % 2;
+  spec.signatures = 1 + seed % 3;
+  spec.priorities = 1 + seed % 2;
+  spec.skew = seed % 2 == 1;
+  return spec.generate();
+}
+
+class FastPathDifferential : public ::testing::TestWithParam<int> {};
+
+// audit_frac = 1.0 sends every job down the DES path: the fast-path run
+// must reproduce the plain DES run's virtual-time story bit-for-bit, and
+// the divergence gate (every job is a sampled audit) must pass at the
+// default tolerance.
+TEST_P(FastPathDifferential, FullAuditReproducesDesExactly) {
+  const int seed = GetParam();
+  const auto stream = fast_path_stream(seed);
+
+  const auto des = CampaignService(fast_path_config(seed)).run(stream);
+
+  ServiceConfig cfg = fast_path_config(seed);
+  cfg.fast_path = true;
+  cfg.audit_frac = 1.0;
+  cfg.audit_seed = static_cast<std::uint64_t>(seed);
+  const auto audited = CampaignService(cfg).run(stream);
+
+  EXPECT_EQ(audited.makespan_s, des.makespan_s) << "seed " << seed;
+  EXPECT_EQ(audited.completed, des.completed);
+  EXPECT_EQ(audited.queue_wait.p50, des.queue_wait.p50);
+  EXPECT_EQ(audited.queue_wait.max, des.queue_wait.max);
+  ASSERT_EQ(audited.outcomes.size(), des.outcomes.size());
+  for (size_t i = 0; i < des.outcomes.size(); ++i) {
+    EXPECT_EQ(audited.outcomes[i].start_s, des.outcomes[i].start_s)
+        << "seed " << seed << " request " << i;
+    EXPECT_EQ(audited.outcomes[i].finish_s, des.outcomes[i].finish_s)
+        << "seed " << seed << " request " << i;
+    EXPECT_EQ(audited.outcomes[i].job, des.outcomes[i].job);
+    EXPECT_FALSE(audited.outcomes[i].modeled);
+  }
+
+  EXPECT_EQ(audited.jobs_modeled, 0);
+  EXPECT_EQ(audited.jobs_audited, static_cast<int>(audited.jobs.size()));
+  EXPECT_EQ(audited.audits_forced, 0);
+  ASSERT_TRUE(audited.fast_path.is_object());
+  const telemetry::Json& gate = audited.fast_path.at("audit");
+  EXPECT_EQ(gate.at("n").as_int(),
+            static_cast<std::int64_t>(audited.jobs.size()));
+  EXPECT_TRUE(gate.at("pass").as_bool())
+      << "seed " << seed << ": worst ratio "
+      << gate.at("worst_ratio").as_double();
+}
+
+// audit_frac = 0.0 prices every job from the perfmodel. Batch membership
+// is arrival-driven, so the modeled run builds the same jobs as the DES
+// run — and each job's fast-path price must track its realized DES cost
+// within the audit-gate tolerance (the property the sampled audits check
+// online).
+TEST_P(FastPathDifferential, ModeledPricesTrackDesWithinAuditTolerance) {
+  const int seed = GetParam();
+  const auto stream = fast_path_stream(seed);
+
+  const auto des = CampaignService(fast_path_config(seed)).run(stream);
+
+  ServiceConfig cfg = fast_path_config(seed);
+  cfg.fast_path = true;
+  cfg.audit_frac = 0.0;
+  const auto modeled = CampaignService(cfg).run(stream);
+
+  EXPECT_EQ(modeled.jobs_modeled, static_cast<int>(modeled.jobs.size()));
+  EXPECT_EQ(modeled.jobs_audited, 0);
+  ASSERT_TRUE(modeled.fast_path.is_object());
+  // No sampled audits: the gate reports n = 0 and cannot trip.
+  EXPECT_TRUE(modeled.fast_path.at("audit").at("pass").as_bool());
+
+  ASSERT_EQ(modeled.jobs.size(), des.jobs.size()) << "seed " << seed;
+  for (size_t j = 0; j < des.jobs.size(); ++j) {
+    const auto& mj = modeled.jobs[j];
+    const auto& dj = des.jobs[j];
+    ASSERT_EQ(mj.request_ids, dj.request_ids) << "seed " << seed << " job " << j;
+    EXPECT_TRUE(mj.modeled);
+    ASSERT_GT(mj.price_s, 0.0);
+    ASSERT_GT(dj.busy_s, 0.0);
+    const double ratio = std::max(mj.price_s, dj.busy_s) /
+                         std::min(mj.price_s, dj.busy_s);
+    EXPECT_LE(ratio, perfmodel::kDefaultAuditTolerance)
+        << "seed " << seed << " job " << j << ": price " << mj.price_s
+        << " vs DES " << dj.busy_s;
+  }
+  for (const auto& oc : modeled.outcomes) {
+    if (oc.completed) EXPECT_TRUE(oc.modeled) << "request " << oc.id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastPathDifferential, ::testing::Range(1, 12));
+
+// Jobs carrying fault plans cannot be priced (the model knows nothing of
+// kills and recoveries), so the fast path force-audits them — and keeps
+// them out of the divergence gate.
+TEST(FastPathAudit, FaultCarryingJobsAreForcedAuditsOutsideTheGate) {
+  StreamSpec spec;
+  spec.seed = 4;
+  spec.n = 8;
+  spec.rate_hz = 2.0;
+  spec.kill_frac = 0.5;
+  const auto stream = spec.generate();
+
+  const TempDir ckpt("forced_audit");
+  ServiceConfig cfg;
+  cfg.cluster = net::testbox(2, 2);
+  cfg.nodes_per_job = 2;  // recovery needs a node to drop
+  cfg.checkpoint_root = ckpt.path;
+  cfg.n_report_intervals = 2;
+  cfg.batching = false;
+  cfg.fast_path = true;
+  cfg.audit_frac = 0.0;  // only the forced audits DES-execute
+  const auto res = CampaignService(cfg).run(stream);
+
+  EXPECT_GT(res.audits_forced, 0);
+  EXPECT_EQ(res.jobs_audited, res.audits_forced);
+  int forced = 0;
+  for (const auto& job : res.jobs) {
+    EXPECT_NE(job.modeled, job.audited) << "job " << job.id;
+    if (job.audit_forced) {
+      ++forced;
+      EXPECT_TRUE(job.audited);
+    }
+  }
+  EXPECT_EQ(forced, res.audits_forced);
+  // Forced audits are excluded from the gate: with no sampled audits the
+  // gate sees zero pairs and passes vacuously.
+  ASSERT_TRUE(res.fast_path.is_object());
+  EXPECT_EQ(res.fast_path.at("audit").at("n").as_int(), 0);
+  EXPECT_TRUE(res.fast_path.at("audit").at("pass").as_bool());
+}
+
+// ---------------------------------------------------------------------------
+// Backfilling placement
+
+/// small_test(2) with the radial grid scaled: on testbox(·, 4) nodes,
+/// radial = 131072 is infeasible on one node and plans onto two, while
+/// smaller grids stay cost-optimal on a single node — which is what lets
+/// these scenarios pin down exact head/backfill geometry.
+gyro::Input scaled_input(int n_radial) {
+  gyro::Input in = gyro::Input::small_test(2);
+  in.n_radial = n_radial;
+  return in;
+}
+
+/// Shared scenario: a long 1-node job A holds half the cluster when the
+/// 2-node head H arrives and blocks; a third 1-node request lands behind
+/// the blocked head. Fully modeled (fast path, no sampled audits) so job
+/// durations equal their perfmodel predictions and the schedule is exact.
+ServiceConfig backfill_config(PlacementPolicy policy) {
+  ServiceConfig cfg;
+  cfg.cluster = net::testbox(2, 4);
+  cfg.batching = false;
+  cfg.fast_path = true;
+  cfg.audit_frac = 0.0;
+  cfg.placement = policy;
+  return cfg;
+}
+
+std::vector<Request> backfill_stream(int tail_radial) {
+  return {make_request(0.0, scaled_input(65536)),    // A: 1 node, ~24 s
+          make_request(0.5, scaled_input(131072)),   // H: 2 nodes (head)
+          make_request(1.0, scaled_input(tail_radial))};
+}
+
+TEST(ServiceBackfill, ShortJobBackfillsWithoutDelayingTheHead) {
+  const auto stream = backfill_stream(8);  // tail: 1 node, milliseconds
+  const auto fifo =
+      CampaignService(backfill_config(PlacementPolicy::kFifo)).run(stream);
+  const auto easy =
+      CampaignService(backfill_config(PlacementPolicy::kBackfill)).run(stream);
+  ASSERT_EQ(fifo.completed, 3);
+  ASSERT_EQ(easy.completed, 3);
+  ASSERT_EQ(easy.jobs[easy.outcomes[1].job].nodes, 2) << "head is not wide";
+
+  // The head's start is untouched by the backfill…
+  EXPECT_EQ(easy.outcomes[1].start_s, fifo.outcomes[1].start_s);
+  // …while the short tail runs immediately instead of queueing behind it.
+  EXPECT_LT(easy.outcomes[2].wait_s(), 0.1);
+  EXPECT_LT(easy.outcomes[2].finish_s, easy.outcomes[1].start_s);
+  EXPECT_GE(fifo.outcomes[2].start_s, fifo.outcomes[1].start_s);
+  EXPECT_LT(easy.makespan_s, fifo.makespan_s);
+}
+
+TEST(ServiceBackfill, BackfillThatWouldDelayTheHeadIsDenied) {
+  // The tail now runs as long as A itself: starting it at t = 1 would push
+  // the head's start from ~24 s to ~25 s, so EASY must hold it back.
+  const auto stream = backfill_stream(65536);
+  const auto fifo =
+      CampaignService(backfill_config(PlacementPolicy::kFifo)).run(stream);
+  const auto easy =
+      CampaignService(backfill_config(PlacementPolicy::kBackfill)).run(stream);
+  const auto greedy =
+      CampaignService(backfill_config(PlacementPolicy::kFirstFit)).run(stream);
+  ASSERT_EQ(fifo.completed, 3);
+  ASSERT_EQ(easy.completed, 3);
+  ASSERT_EQ(greedy.completed, 3);
+
+  // EASY denies the backfill: the head starts exactly when FIFO would
+  // have started it, and the tail waits for the head.
+  EXPECT_EQ(easy.outcomes[1].start_s, fifo.outcomes[1].start_s);
+  EXPECT_GE(easy.outcomes[2].start_s, easy.outcomes[1].start_s);
+  // First-fit leapfrogs the blocked head and delays it — the failure mode
+  // the shadow test exists to rule out.
+  EXPECT_GT(greedy.outcomes[1].start_s, easy.outcomes[1].start_s);
+  EXPECT_LT(greedy.outcomes[2].start_s, greedy.outcomes[1].start_s);
+}
+
+TEST(ServiceBackfill, HeadProtectionBoundsStarvationUnderBackfill) {
+  // Same denied-backfill scenario, seen through the monitor. EASY trades
+  // the tail's wait for the head's: the head (the request the starvation
+  // bound shields) waits strictly less than under first-fit, and the
+  // denied tail — the longest-queued request of the run, which is what
+  // the monitor's starvation peak tracks — starts the moment the head
+  // releases the cluster, so even the sacrificed job's wait is bounded by
+  // the head's completion rather than unbounded leapfrogging.
+  const auto stream = backfill_stream(65536);
+  auto run_with_monitor = [&](PlacementPolicy policy) {
+    telemetry::EventBuffer events;
+    ServiceConfig cfg = backfill_config(policy);
+    cfg.events = &events;
+    const auto res = CampaignService(cfg).run(stream);
+    ServiceMonitor monitor;
+    for (const auto& rec : events.records) (void)monitor.consume(rec);
+    return std::make_pair(res, monitor.report());
+  };
+  const auto [easy, easy_report] = run_with_monitor(PlacementPolicy::kBackfill);
+  const auto [greedy, greedy_report] =
+      run_with_monitor(PlacementPolicy::kFirstFit);
+
+  // Head starvation is what the shadow bound protects: strictly better
+  // than the greedy policy that leapfrogs it.
+  EXPECT_LT(easy.outcomes[1].wait_s(), greedy.outcomes[1].wait_s());
+  // The replayed monitor peak is exactly the denied tail's wait…
+  const double easy_peak =
+      easy_report.at("starvation").at("peak_age_s").as_double();
+  EXPECT_NEAR(easy_peak, easy.outcomes[2].wait_s(), 1e-6);
+  // …and that wait is bounded by the head's own completion: the denied
+  // job starts as soon as the head's allocation frees, never later.
+  EXPECT_LE(easy.outcomes[2].start_s, easy.outcomes[1].finish_s + 1e-6);
+  // The greedy run's peak is its delayed head.
+  const double greedy_peak =
+      greedy_report.at("starvation").at("peak_age_s").as_double();
+  EXPECT_NEAR(greedy_peak, greedy.outcomes[1].wait_s(), 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive batching windows
+
+TEST(ServiceWindows, AutoWindowHoldsUnknownSignaturesAndClosesColdOnes) {
+  // Three same-signature arrivals spaced far beyond the window. On
+  // testbox, pairing k = 2 is never predicted cheaper than two solo jobs,
+  // so once the signature has an inter-arrival estimate the optimizer's
+  // expected sharing gain is zero and the window collapses to zero. The
+  // first arrival has no history and conservatively holds the full window.
+  const gyro::Input in = gyro::Input::small_test(1);
+  const std::vector<Request> stream = {make_request(0.0, in),
+                                       make_request(10.0, in),
+                                       make_request(20.0, in)};
+  ServiceConfig cfg;
+  cfg.cluster = net::testbox(1, 4);
+  cfg.batching_window_s = 2.0;
+  cfg.max_batch = 4;
+
+  const auto fixed = CampaignService(cfg).run(stream);
+  cfg.window_auto = true;
+  const auto adaptive = CampaignService(cfg).run(stream);
+  ASSERT_EQ(fixed.completed, 3);
+  ASSERT_EQ(adaptive.completed, 3);
+
+  // Fixed windows make every solo arrival wait out the full window.
+  for (const auto& oc : fixed.outcomes) {
+    EXPECT_GE(oc.wait_s(), cfg.batching_window_s - 1e-9) << "request " << oc.id;
+  }
+  // The adaptive window holds only the never-seen signature.
+  EXPECT_GE(adaptive.outcomes[0].wait_s(), cfg.batching_window_s - 1e-9);
+  EXPECT_LT(adaptive.outcomes[1].wait_s(), 0.1);
+  EXPECT_LT(adaptive.outcomes[2].wait_s(), 0.1);
+}
+
+// ---------------------------------------------------------------------------
 // Stream generator
 
 TEST(StreamSpec, ParsesFullGrammarAndRejectsJunk) {
